@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sec. 5.1 validation: measured query fidelity against the analytic
+ * lower bounds (Eqs. 3, 5, 6).
+ *
+ * Under the per-moment qubit Z channel the measured fidelity must sit
+ * at or above the Eq. 5 bound for every (m, k); under the X channel it
+ * may crash but must respect Eq. 6. The per-branch survival estimate
+ * (Eq. 4 chain) is printed as the tighter expectation.
+ */
+
+#include "analysis/bounds.hh"
+#include "bench_util.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+
+using namespace qramsim;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("Sec. 5.1 bounds vs measured fidelity",
+                  "Xu et al., MICRO'23, Eqs. 3/5/6");
+    const double eps = 1e-4;
+
+    Table t("Qubit-channel fidelity vs analytic lower bounds (eps = "
+            "1e-4)",
+            {"m", "k", "F_Z(meas)", "Eq5-bound", "E[F_Z](Eq4)",
+             "F_X(meas)", "Eq6-bound", "Z>=bound", "X>=bound"});
+    for (unsigned m = 1; m <= 5; ++m) {
+        for (unsigned k = 0; k <= 2; ++k) {
+            Rng rng(args.seed + m * 8 + k);
+            Memory mem = Memory::random(m + k, rng);
+            QueryCircuit qc = VirtualQram(m, k).build(mem);
+            FidelityEstimator est(qc.circuit, qc.addressQubits,
+                                  qc.busQubit,
+                                  AddressSuperposition::uniform(m + k));
+            // The bounds are stated for the round-based channel (one
+            // application per logical round; see sim/noise.hh).
+            const unsigned rounds =
+                QubitChannelNoise::virtualQramRounds(m, k);
+            FidelityResult fz = est.estimate(
+                QubitChannelNoise(PauliRates::phaseFlip(eps), rounds),
+                args.shots, args.seed + m * 100 + k);
+            FidelityResult fx = est.estimate(
+                QubitChannelNoise(PauliRates::bitFlip(eps), rounds),
+                args.shots, args.seed + m * 100 + k + 7);
+            // Dual-rail bounds: our tree duplicates rails, doubling
+            // the error constant (the paper's own Sec. 5.1 adjustment).
+            const double bz = boundVirtualZDualRail(eps, m, k);
+            const double bx = boundVirtualXDualRail(eps, m, k);
+            t.addRow({Table::fmt(m), Table::fmt(k),
+                      Table::fmt(fz.full), Table::fmt(bz),
+                      Table::fmt(expectedFidelityZ(eps, m)),
+                      Table::fmt(fx.full), Table::fmt(bx),
+                      fz.full + 3 * fz.fullStderr + 1e-9 >= bz ? "yes"
+                                                               : "NO",
+                      fx.full + 3 * fx.fullStderr + 1e-9 >= bx ? "yes"
+                                                               : "NO"});
+        }
+    }
+    bench::emit(t, args, "bounds");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 10 reproduction: virtual QRAM fidelity vs the error reduction
+ * factor eps_r under the phase-flip (left panel) and bit-flip (right
+ * panel) qubit channels, m = 1..6, k = 0.
+ *
+ * eps_r = (current error rate) / (future error rate) with the current
+ * rate fixed at 1e-3 (Appendix A convention), so each sweep point runs
+ * the per-moment qubit channel at eps = 1e-3 / eps_r.
+ *
+ * Expected shape: all curves rise toward 1 as eps_r grows; the
+ * phase-flip family saturates at much smaller eps_r than the bit-flip
+ * family (the intrinsic Z bias), and larger m needs larger eps_r.
+ */
+
+#include "bench_util.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+
+using namespace qramsim;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("Figure 10: fidelity vs error reduction factor",
+                  "Xu et al., MICRO'23, Fig. 10");
+    const double epsBase = 1e-3;
+    const double factors[] = {0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000};
+
+    for (bool phaseFlip : {true, false}) {
+        Table t(std::string(phaseFlip ? "Phase-flip" : "Bit-flip") +
+                    " channel, fidelity vs eps_r (k = 0)",
+                {"eps_r", "m=1", "m=2", "m=3", "m=4", "m=5", "m=6"});
+        for (double er : factors) {
+            const double eps = epsBase / er;
+            std::vector<std::string> row{Table::fmt(er, 1)};
+            for (unsigned m = 1; m <= 6; ++m) {
+                Rng rng(args.seed + m);
+                Memory mem = Memory::random(m, rng);
+                QueryCircuit qc = VirtualQram(m, 0).build(mem);
+                FidelityEstimator est(
+                    qc.circuit, qc.addressQubits, qc.busQubit,
+                    AddressSuperposition::uniform(m));
+                QubitChannelNoise noise(
+                    phaseFlip ? PauliRates::phaseFlip(eps)
+                              : PauliRates::bitFlip(eps),
+                    QubitChannelNoise::virtualQramRounds(m, 0));
+                FidelityResult r = est.estimate(
+                    noise, args.shots,
+                    args.seed + m * 1000 + std::uint64_t(er * 10));
+                row.push_back(Table::fmt(r.reduced));
+            }
+            t.addRow(row);
+        }
+        bench::emit(t, args, phaseFlip ? "fig10_z" : "fig10_x");
+    }
+    return 0;
+}

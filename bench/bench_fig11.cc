@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 11 reproduction: virtual QRAM fidelity over the (m, k) plane
+ * under Z and X single-qubit error channels, at error reduction
+ * factors eps_r in {1, 10, 100}.
+ *
+ * Expected shape (paper Sec. 7.3): fidelity decays exponentially
+ * faster along the SQC-width axis k than along the QRAM-width axis m —
+ * the SQC stage has no intrinsic noise resilience, so every added SQC
+ * bit doubles the exposed work, while added QRAM width only grows the
+ * polynomial Z term.
+ */
+
+#include "bench_util.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+
+using namespace qramsim;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("Figure 11: fidelity over the (m, k) plane",
+                  "Xu et al., MICRO'23, Fig. 11");
+    const double epsBase = 1e-3;
+    const unsigned maxM = 5, maxK = 3;
+
+    for (bool phaseFlip : {true, false}) {
+        for (double er : {1.0, 10.0, 100.0}) {
+            const double eps = epsBase / er;
+            Table t(std::string(phaseFlip ? "Z" : "X") +
+                        " error, eps_r = " + Table::fmt(er, 0),
+                    {"m\\k", "k=0", "k=1", "k=2", "k=3"});
+            for (unsigned m = 1; m <= maxM; ++m) {
+                std::vector<std::string> row{Table::fmt(m)};
+                for (unsigned k = 0; k <= maxK; ++k) {
+                    Rng rng(args.seed + m * 8 + k);
+                    Memory mem = Memory::random(m + k, rng);
+                    QueryCircuit qc = VirtualQram(m, k).build(mem);
+                    FidelityEstimator est(
+                        qc.circuit, qc.addressQubits, qc.busQubit,
+                        AddressSuperposition::uniform(m + k));
+                    QubitChannelNoise noise(
+                        phaseFlip ? PauliRates::phaseFlip(eps)
+                                  : PauliRates::bitFlip(eps),
+                        QubitChannelNoise::virtualQramRounds(m, k));
+                    FidelityResult r = est.estimate(
+                        noise, args.shots,
+                        args.seed + m * 64 + k * 8 +
+                            std::uint64_t(er));
+                    row.push_back(Table::fmt(r.reduced));
+                }
+                t.addRow(row);
+            }
+            bench::emit(t, args,
+                        std::string("fig11_") +
+                            (phaseFlip ? "z" : "x") + "_er" +
+                            Table::fmt(std::uint64_t(er)));
+        }
+    }
+    return 0;
+}

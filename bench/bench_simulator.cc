@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): Feynman-path
+ * throughput for circuit construction, ideal propagation, and noisy
+ * Monte Carlo shots across QRAM widths — the "efficient simulation of
+ * noisy QRAM circuits at larger scale than previously possible"
+ * claim of Sec. 6.2 (the paper's largest runs used 1.5 MB of RAM on a
+ * single core; these numbers document our cost per shot).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+
+using namespace qramsim;
+
+namespace {
+
+void
+bmBuildCircuit(benchmark::State &state)
+{
+    const unsigned m = static_cast<unsigned>(state.range(0));
+    Rng rng(1);
+    Memory mem = Memory::random(m + 1, rng);
+    VirtualQram arch(m, 1);
+    for (auto _ : state) {
+        QueryCircuit qc = arch.build(mem);
+        benchmark::DoNotOptimize(qc.circuit.numGates());
+    }
+}
+BENCHMARK(bmBuildCircuit)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void
+bmIdealQuery(benchmark::State &state)
+{
+    const unsigned m = static_cast<unsigned>(state.range(0));
+    Rng rng(2);
+    Memory mem = Memory::random(m, rng);
+    QueryCircuit qc = VirtualQram(m, 0).build(mem);
+    FeynmanExecutor exec(qc.circuit);
+    PathState in(qc.circuit.numQubits());
+    for (auto _ : state) {
+        PathState out = exec.runIdeal(in);
+        benchmark::DoNotOptimize(out.phase);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            qc.circuit.numGates());
+}
+BENCHMARK(bmIdealQuery)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void
+bmNoisyShot(benchmark::State &state)
+{
+    const unsigned m = static_cast<unsigned>(state.range(0));
+    Rng rng(3);
+    Memory mem = Memory::random(m, rng);
+    QueryCircuit qc = VirtualQram(m, 0).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(m));
+    GateNoise noise(PauliRates::phaseFlip(1e-3));
+    Rng shotRng(4);
+    for (auto _ : state) {
+        ErrorRealization errs = noise.sample(est.executor(), shotRng);
+        double f = 0.0, r = 0.0;
+        est.shotFidelity(errs, f, r);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bmNoisyShot)->Arg(2)->Arg(4)->Arg(6);
+
+} // namespace
+
+BENCHMARK_MAIN();

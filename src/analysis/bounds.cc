@@ -1,0 +1,65 @@
+#include "analysis/bounds.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qramsim {
+
+namespace {
+
+double
+clamp01(double v)
+{
+    return std::max(0.0, std::min(1.0, v));
+}
+
+} // namespace
+
+double
+boundQramZ(double eps, unsigned m)
+{
+    return clamp01(1.0 - 4.0 * eps * m * m);
+}
+
+double
+boundQramZDualRail(double eps, unsigned m)
+{
+    return clamp01(1.0 - 8.0 * eps * m * m);
+}
+
+double
+boundVirtualZ(double eps, unsigned m, unsigned k)
+{
+    const double pages = std::pow(2.0, double(k));
+    return clamp01(1.0 - 8.0 * eps * (m + 1.0) * pages * (k + m));
+}
+
+double
+boundVirtualX(double eps, unsigned m, unsigned k)
+{
+    const double pages = std::pow(2.0, double(k));
+    const double cells = std::pow(2.0, double(m));
+    return clamp01(1.0 - 8.0 * eps * (m + 1.0) * pages * (k + cells));
+}
+
+double
+boundVirtualZDualRail(double eps, unsigned m, unsigned k)
+{
+    return clamp01(1.0 - 2.0 * (1.0 - boundVirtualZ(eps, m, k)));
+}
+
+double
+boundVirtualXDualRail(double eps, unsigned m, unsigned k)
+{
+    return clamp01(1.0 - 2.0 * (1.0 - boundVirtualX(eps, m, k)));
+}
+
+double
+expectedFidelityZ(double eps, unsigned m)
+{
+    const double branchOk = std::pow(1.0 - eps, double(m) * m);
+    const double overlap = 2.0 * branchOk - 1.0;
+    return clamp01(overlap * overlap);
+}
+
+} // namespace qramsim

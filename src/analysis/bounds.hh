@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Closed-form query-fidelity lower bounds (Sec. 5.1).
+ *
+ * Under the per-qubit Z channel rho -> (1-eps) rho + eps Z rho Z the
+ * QRAM part of a query keeps errors local to tree branches; with m
+ * routers per branch exposed for O(m) moments, a branch is ideal with
+ * probability (1-eps)^(m^2), giving (Eq. 3 and the dual-rail variant):
+ *
+ *   F_Z        >= 1 - 4 eps m^2          (bit encoding)
+ *   F_Z(dual)  >= 1 - 8 eps m^2          (rails doubled)
+ *
+ * X errors propagate globally (any flip reaches the root through the
+ * compression array), and the SQC stage protects nothing, yielding the
+ * hybrid bounds (Eqs. 5-6; Eq. 6's last factor is exponential in m —
+ * "1 - 8 eps m 2^m" in the prose — which we implement as k + 2^m):
+ *
+ *   F_virtual,Z >= 1 - 8 eps (m+1) 2^k (k + m)
+ *   F_virtual,X >= 1 - 8 eps (m+1) 2^k (k + 2^m)
+ *
+ * All bounds are clamped to [0, 1].
+ */
+
+#ifndef QRAMSIM_ANALYSIS_BOUNDS_HH
+#define QRAMSIM_ANALYSIS_BOUNDS_HH
+
+namespace qramsim {
+
+/** Eq. 3: Z-error bound for the bit-encoded QRAM part, width m. */
+double boundQramZ(double eps, unsigned m);
+
+/** Dual-rail variant of Eq. 3. */
+double boundQramZDualRail(double eps, unsigned m);
+
+/** Eq. 5: Z-error bound for virtual QRAM (m, k). */
+double boundVirtualZ(double eps, unsigned m, unsigned k);
+
+/** Eq. 6: X-error bound for virtual QRAM (m, k). */
+double boundVirtualX(double eps, unsigned m, unsigned k);
+
+/**
+ * Dual-rail variants of Eqs. 5/6: the paper notes (Sec. 5.1) that
+ * dual-rail encoding duplicates router and data qubits, doubling the
+ * error constant while preserving the locality argument — these are
+ * the bounds our dual-rail implementation is held to.
+ */
+double boundVirtualZDualRail(double eps, unsigned m, unsigned k);
+double boundVirtualXDualRail(double eps, unsigned m, unsigned k);
+
+/**
+ * Expected-fidelity estimate behind the bounds (Eq. 4 chain): every
+ * branch survives with probability (1-eps)^(m^2); E[F] >=
+ * (2 E[c]/2^m - 1)^2.
+ */
+double expectedFidelityZ(double eps, unsigned m);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_ANALYSIS_BOUNDS_HH

@@ -1,0 +1,145 @@
+#include "analysis/lightcone.hh"
+
+#include <algorithm>
+
+namespace qramsim {
+
+namespace {
+
+/** Apply one gate's propagation rules to the component sets. */
+void
+step(const Gate &g, std::vector<bool> &xs, std::vector<bool> &zs)
+{
+    if (g.kind == GateKind::Barrier)
+        return;
+
+    auto anyXControl = [&]() {
+        for (Qubit c : g.controls)
+            if (xs[c])
+                return true;
+        return false;
+    };
+
+    switch (g.kind) {
+      case GateKind::X: {
+        const Qubit t = g.targets[0];
+        // X on a control toggles the gate: targets gain X.
+        if (anyXControl())
+            xs[t] = true;
+        // Z on the target spreads to every control.
+        if (zs[t])
+            for (Qubit c : g.controls)
+                zs[c] = true;
+        return;
+      }
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::T:
+      case GateKind::Tdg: {
+        const Qubit t = g.targets[0];
+        // Diagonal gates: X on a control makes targets gain Z; an X
+        // component on the target picks up Z on target and controls.
+        if (anyXControl())
+            zs[t] = true;
+        if (xs[t]) {
+            zs[t] = true;
+            for (Qubit c : g.controls)
+                zs[c] = true;
+        }
+        return;
+      }
+      case GateKind::Swap: {
+        const Qubit a = g.targets[0], b = g.targets[1];
+        if (g.controls.empty()) {
+            // Components follow the swap exactly.
+            bool xa = xs[a], xb = xs[b];
+            xs[a] = xb;
+            xs[b] = xa;
+            bool za = zs[a], zb = zs[b];
+            zs[a] = zb;
+            zs[b] = za;
+            return;
+        }
+        // CSWAP (not Clifford): sound over-approximations.
+        if (anyXControl()) {
+            // Toggled swap: both targets fully corrupted.
+            xs[a] = xs[b] = true;
+            zs[a] = zs[b] = true;
+        }
+        if (xs[a] || xs[b]) {
+            // The component may sit on either target after the swap,
+            // and the controlled structure correlates with controls.
+            bool had = xs[a] || xs[b];
+            xs[a] = xs[a] || had;
+            xs[b] = xs[b] || had;
+            for (Qubit c : g.controls)
+                zs[c] = true;
+        }
+        if (zs[a] || zs[b]) {
+            bool had = zs[a] || zs[b];
+            zs[a] = zs[a] || had;
+            zs[b] = zs[b] || had;
+            for (Qubit c : g.controls)
+                zs[c] = true;
+        }
+        return;
+      }
+      case GateKind::H:
+        QRAMSIM_PANIC("lightcone analysis does not support H");
+      case GateKind::Barrier:
+        return;
+    }
+}
+
+} // namespace
+
+Lightcone
+propagatePauli(const Circuit &circuit, std::size_t afterGate,
+               Qubit qubit, PauliKind pauli)
+{
+    Lightcone lc;
+    lc.xComponent.assign(circuit.numQubits(), false);
+    lc.zComponent.assign(circuit.numQubits(), false);
+    if (pauli == PauliKind::X || pauli == PauliKind::Y)
+        lc.xComponent[qubit] = true;
+    if (pauli == PauliKind::Z || pauli == PauliKind::Y)
+        lc.zComponent[qubit] = true;
+
+    const auto &gates = circuit.gates();
+    std::size_t start =
+        afterGate == SIZE_MAX ? 0 : afterGate + 1;
+    for (std::size_t gi = start; gi < gates.size(); ++gi)
+        step(gates[gi], lc.xComponent, lc.zComponent);
+    return lc;
+}
+
+LightconeStats
+sweepLightcones(const Circuit &circuit, Qubit bus, PauliKind pauli)
+{
+    LightconeStats stats;
+    double total = 0.0;
+    const auto &gates = circuit.gates();
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        auto visit = [&](Qubit q) {
+            Lightcone lc = propagatePauli(circuit, gi, q, pauli);
+            std::size_t size = lc.xSize() + lc.zSize();
+            total += static_cast<double>(size);
+            stats.maxSize = std::max(stats.maxSize, size);
+            if (lc.canFlip(bus))
+                ++stats.busFlips;
+            ++stats.injections;
+        };
+        for (Qubit q : g.controls)
+            visit(q);
+        for (Qubit q : g.targets)
+            visit(q);
+    }
+    if (stats.injections)
+        stats.meanSize = total / double(stats.injections);
+    return stats;
+}
+
+} // namespace qramsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pauli error lightcone analysis (Fig. 7 / Sec. 5.1).
+ *
+ * The biased-noise resilience of bucket-brigade-style QRAM rests on a
+ * commutation fact: a Z error on the *control* of a CX or CSWAP
+ * commutes with the gate and therefore never spreads, while an X
+ * error on a control toggles the gate's action and corrupts its
+ * targets. This pass makes the argument checkable on real circuits:
+ * inject one Pauli at a chosen (gate, qubit) and conservatively
+ * propagate its X- and Z-components forward through the remaining
+ * gates, yielding the set of qubits the error can possibly reach.
+ *
+ * Propagation rules (conjugation by the gate; CSWAP handled by a
+ * sound over-approximation since it is not Clifford):
+ *
+ *   gate      error on        becomes
+ *   CX(c,t)   Z on c          Z on c              (the Fig. 7 rule)
+ *   CX(c,t)   X on c          X on c, X on t
+ *   CX(c,t)   Z on t          Z on t, Z on c
+ *   CX(c,t)   X on t          X on t
+ *   CZ(c,t)   X on t          X on t, Z on c
+ *   SWAP      anything        follows the swap (both, conservatively)
+ *   CSWAP     Z on control    Z on control (diagonal commutes)
+ *   CSWAP     X on control    X+Z on both targets, X on control
+ *   CSWAP     X/Z on target   same component on both targets,
+ *                             Z on control
+ *
+ * The Sec. 5 claims become theorems of the analysis: in the virtual
+ * QRAM a Z injected on any router can never reach the bus, while an X
+ * injected on a leaf ancilla during retrieval can.
+ */
+
+#ifndef QRAMSIM_ANALYSIS_LIGHTCONE_HH
+#define QRAMSIM_ANALYSIS_LIGHTCONE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "sim/feynman.hh"
+
+namespace qramsim {
+
+/** The reachable set of one injected Pauli. */
+struct Lightcone
+{
+    /** xComponent[q]: an X component can be present on q at the end. */
+    std::vector<bool> xComponent;
+
+    /** zComponent[q]: a Z component can be present on q at the end. */
+    std::vector<bool> zComponent;
+
+    std::size_t
+    xSize() const
+    {
+        std::size_t s = 0;
+        for (bool b : xComponent)
+            s += b;
+        return s;
+    }
+
+    std::size_t
+    zSize() const
+    {
+        std::size_t s = 0;
+        for (bool b : zComponent)
+            s += b;
+        return s;
+    }
+
+    /** Can the error flip qubit @p q (i.e., carry an X onto it)? */
+    bool canFlip(Qubit q) const { return xComponent.at(q); }
+
+    /** Can the error put any component on @p q? */
+    bool
+    touches(Qubit q) const
+    {
+        return xComponent.at(q) || zComponent.at(q);
+    }
+};
+
+/**
+ * Propagate a single Pauli @p pauli injected on @p qubit immediately
+ * after program-order gate @p afterGate (SIZE_MAX: before the first
+ * gate) through the rest of @p circuit.
+ */
+Lightcone propagatePauli(const Circuit &circuit, std::size_t afterGate,
+                         Qubit qubit, PauliKind pauli);
+
+/** Summary statistics over all injection points of one Pauli kind. */
+struct LightconeStats
+{
+    double meanSize = 0.0;      ///< mean reachable-set size
+    std::size_t maxSize = 0;    ///< worst case
+    std::size_t busFlips = 0;   ///< injections that can flip the bus
+    std::size_t injections = 0;
+};
+
+/**
+ * Sweep every (gate, operand qubit) injection point of @p circuit
+ * with Pauli @p pauli and summarize; @p bus is the qubit whose
+ * flippability is counted (the query output).
+ */
+LightconeStats sweepLightcones(const Circuit &circuit, Qubit bus,
+                               PauliKind pauli);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_ANALYSIS_LIGHTCONE_HH

@@ -1,0 +1,55 @@
+#include "analysis/resources.hh"
+
+#include "common/logging.hh"
+
+namespace qramsim {
+
+Table1Formula
+paperTable1(unsigned m, unsigned k, bool opt1, bool opt2, bool opt3)
+{
+    Table1Formula f;
+    const std::uint64_t cells = std::uint64_t(1) << m;
+    const std::uint64_t pages = std::uint64_t(1) << k;
+    f.label = std::string("opt:") + (opt1 ? "1" : "-") +
+              (opt2 ? "2" : "-") + (opt3 ? "3" : "-");
+    f.qubits = (opt1 ? 4 : 6) * cells + k;
+    f.circuitDepth =
+        (opt3 ? m : std::uint64_t(m) * m) + (m + 1) * pages;
+    const std::uint64_t nk = std::uint64_t(m) + k;
+    f.classicalGates = nk >= (opt2 ? 2u : 1u)
+                           ? std::uint64_t(1) << (nk - (opt2 ? 2 : 1))
+                           : 1;
+    return f;
+}
+
+Table2Formula
+paperTable2(const std::string &architecture, unsigned m, unsigned k)
+{
+    Table2Formula f;
+    f.architecture = architecture;
+    const std::uint64_t cells = std::uint64_t(1) << m;
+    const std::uint64_t pages = std::uint64_t(1) << k;
+    f.qubits = cells + k; // all three architectures: O(2^m + k)
+
+    if (architecture == "SQC+BB") {
+        f.circuitDepth = m * pages;
+        f.tCount = (cells + k) * pages;
+        f.tDepth = (m + k) * pages;
+        f.cliffordDepth = (m + k) * pages;
+    } else if (architecture == "SQC+SS") {
+        f.circuitDepth = std::uint64_t(m) * m * pages;
+        f.tCount = cells + k * pages;
+        f.tDepth = m + k * pages;
+        f.cliffordDepth = (std::uint64_t(m) * m + k) * pages;
+    } else if (architecture == "Ours") {
+        f.circuitDepth = m * pages;
+        f.tCount = cells + k * pages;
+        f.tDepth = m + k * pages;
+        f.cliffordDepth = (std::uint64_t(m) + k) * pages;
+    } else {
+        QRAMSIM_PANIC("unknown architecture '", architecture, "'");
+    }
+    return f;
+}
+
+} // namespace qramsim

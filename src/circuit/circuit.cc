@@ -1,0 +1,179 @@
+#include "circuit/circuit.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace qramsim {
+
+const char *
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X: return "X";
+      case GateKind::Z: return "Z";
+      case GateKind::S: return "S";
+      case GateKind::T: return "T";
+      case GateKind::Tdg: return "Tdg";
+      case GateKind::H: return "H";
+      case GateKind::Swap: return "SWAP";
+      case GateKind::Barrier: return "BARRIER";
+    }
+    return "?";
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream os;
+    if (classical)
+        os << "c-";
+    if (!controls.empty()) {
+        if (controls.size() == 1)
+            os << (negControl(0) ? "0C" : "C");
+        else
+            os << controls.size() << "C";
+    }
+    os << gateKindName(kind);
+    if (!controls.empty()) {
+        os << " c=[";
+        for (std::size_t i = 0; i < controls.size(); ++i) {
+            os << (negControl(i) ? "!" : "") << controls[i]
+               << (i + 1 == controls.size() ? "" : ",");
+        }
+        os << "]";
+    }
+    if (!targets.empty()) {
+        os << " t=[";
+        for (std::size_t i = 0; i < targets.size(); ++i)
+            os << targets[i] << (i + 1 == targets.size() ? "" : ",");
+        os << "]";
+    }
+    return os.str();
+}
+
+Qubit
+Circuit::allocQubit(const std::string &name)
+{
+    names.push_back(name.empty()
+                    ? "q" + std::to_string(names.size()) : name);
+    QRAMSIM_ASSERT(names.size() < (std::size_t(1) << 32),
+                   "qubit register overflow");
+    return static_cast<Qubit>(names.size() - 1);
+}
+
+std::vector<Qubit>
+Circuit::allocRegister(std::size_t n, const std::string &name)
+{
+    std::vector<Qubit> reg;
+    reg.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        reg.push_back(allocQubit(name + "[" + std::to_string(i) + "]"));
+    return reg;
+}
+
+void
+Circuit::emit(GateKind kind, std::vector<Qubit> ctrls, std::uint64_t neg,
+              std::vector<Qubit> tgts, bool classical)
+{
+    Gate g;
+    g.kind = kind;
+    g.controls = std::move(ctrls);
+    g.negCtrlMask = neg;
+    g.targets = std::move(tgts);
+    g.classical = classical;
+    check(g);
+    gateList.push_back(std::move(g));
+}
+
+void
+Circuit::pushGate(Gate g)
+{
+    check(g);
+    gateList.push_back(std::move(g));
+}
+
+void
+Circuit::check(const Gate &g) const
+{
+    std::unordered_set<Qubit> seen;
+    auto checkOne = [&](Qubit q) {
+        QRAMSIM_ASSERT(q < names.size(), "qubit ", q, " out of range");
+        QRAMSIM_ASSERT(seen.insert(q).second,
+                       "duplicate operand qubit ", q, " in ",
+                       gateKindName(g.kind));
+    };
+    for (Qubit q : g.controls)
+        checkOne(q);
+    for (Qubit q : g.targets)
+        checkOne(q);
+    switch (g.kind) {
+      case GateKind::Swap:
+        QRAMSIM_ASSERT(g.targets.size() == 2, "SWAP needs 2 targets");
+        break;
+      case GateKind::Barrier:
+        QRAMSIM_ASSERT(g.targets.empty() && g.controls.empty(),
+                       "barrier takes no operands");
+        break;
+      default:
+        QRAMSIM_ASSERT(g.targets.size() == 1,
+                       gateKindName(g.kind), " needs 1 target");
+    }
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    QRAMSIM_ASSERT(other.numQubits() <= numQubits(),
+                   "appended circuit uses unknown qubits");
+    for (const Gate &g : other.gateList)
+        gateList.push_back(g);
+}
+
+void
+Circuit::appendReversedRange(std::size_t begin, std::size_t end)
+{
+    QRAMSIM_ASSERT(begin <= end && end <= gateList.size(),
+                   "bad reversal range");
+    // Copy first: push_back may reallocate while we read.
+    std::vector<Gate> section(gateList.begin() + begin,
+                              gateList.begin() + end);
+    for (auto it = section.rbegin(); it != section.rend(); ++it) {
+        QRAMSIM_ASSERT(it->kind != GateKind::S && it->kind != GateKind::T
+                       && it->kind != GateKind::Tdg
+                       && it->kind != GateKind::H,
+                       "gate is not self-inverse");
+        gateList.push_back(*it);
+    }
+}
+
+std::size_t
+Circuit::countClassical() const
+{
+    std::size_t n = 0;
+    for (const Gate &g : gateList)
+        n += g.classical ? 1 : 0;
+    return n;
+}
+
+std::size_t
+Circuit::countKind(GateKind kind, std::size_t numControls) const
+{
+    std::size_t n = 0;
+    for (const Gate &g : gateList)
+        if (g.kind == kind && g.controls.size() == numControls)
+            ++n;
+    return n;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << "circuit: " << numQubits() << " qubits, " << numGates()
+       << " gates\n";
+    for (const Gate &g : gateList)
+        os << "  " << g.toString() << "\n";
+    return os.str();
+}
+
+} // namespace qramsim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Circuit container and builder API.
+ *
+ * A Circuit owns a qubit register (with optional debug names) and a gate
+ * list in program order. Builders (the QRAM architectures) emit gates
+ * through the typed helpers below; analysis passes (scheduling, cost
+ * model, simulation) consume the gate list.
+ */
+
+#ifndef QRAMSIM_CIRCUIT_CIRCUIT_HH
+#define QRAMSIM_CIRCUIT_CIRCUIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+#include "common/logging.hh"
+
+namespace qramsim {
+
+/** A quantum circuit over a fixed qubit register. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** Allocate one fresh qubit; @p name is kept for diagnostics. */
+    Qubit allocQubit(const std::string &name = "");
+
+    /** Allocate @p n fresh qubits named name[0..n). */
+    std::vector<Qubit> allocRegister(std::size_t n,
+                                     const std::string &name = "");
+
+    std::size_t numQubits() const { return names.size(); }
+    std::size_t numGates() const { return gateList.size(); }
+    const std::vector<Gate> &gates() const { return gateList; }
+    const std::string &qubitName(Qubit q) const { return names.at(q); }
+
+    /// @name Single-qubit gates
+    /// @{
+    void x(Qubit t) { emit(GateKind::X, {}, 0, {t}); }
+    void z(Qubit t) { emit(GateKind::Z, {}, 0, {t}); }
+    void s(Qubit t) { emit(GateKind::S, {}, 0, {t}); }
+    void t(Qubit q) { emit(GateKind::T, {}, 0, {q}); }
+    void tdg(Qubit q) { emit(GateKind::Tdg, {}, 0, {q}); }
+    void h(Qubit t) { emit(GateKind::H, {}, 0, {t}); }
+    /// @}
+
+    /// @name Controlled X family
+    /// @{
+    void cx(Qubit c, Qubit t) { emit(GateKind::X, {c}, 0, {t}); }
+
+    /** 0-controlled X (fires when control is |0>). */
+    void cx0(Qubit c, Qubit t) { emit(GateKind::X, {c}, 1, {t}); }
+
+    void
+    ccx(Qubit c0, Qubit c1, Qubit t)
+    {
+        emit(GateKind::X, {c0, c1}, 0, {t});
+    }
+
+    /**
+     * Multi-controlled X. @p pattern gives the firing value of each
+     * control: bit i of pattern == required state of controls[i].
+     */
+    void
+    mcx(const std::vector<Qubit> &ctrls, std::uint64_t pattern, Qubit t)
+    {
+        QRAMSIM_ASSERT(ctrls.size() <= 64, "too many controls");
+        std::uint64_t neg = ~pattern;
+        if (ctrls.size() < 64)
+            neg &= (std::uint64_t(1) << ctrls.size()) - 1;
+        emit(GateKind::X, ctrls, neg, {t});
+    }
+    /// @}
+
+    /// @name Diagonal two-qubit gates
+    /// @{
+    void cz(Qubit c, Qubit t) { emit(GateKind::Z, {c}, 0, {t}); }
+    /// @}
+
+    /// @name Swap family
+    /// @{
+    void swap(Qubit a, Qubit b) { emit(GateKind::Swap, {}, 0, {a, b}); }
+
+    void
+    cswap(Qubit c, Qubit a, Qubit b)
+    {
+        emit(GateKind::Swap, {c}, 0, {a, b});
+    }
+
+    /** 0-controlled SWAP (fires when control is |0>). */
+    void
+    cswap0(Qubit c, Qubit a, Qubit b)
+    {
+        emit(GateKind::Swap, {c}, 1, {a, b});
+    }
+    /// @}
+
+    /// @name Classically-controlled gates
+    ///
+    /// The classical condition is evaluated at construction time: a gate
+    /// is emitted (and tagged) only when the condition is 1, matching how
+    /// the paper counts "classically-controlled gates".
+    /// @{
+    void
+    classicalX(bool cond, Qubit t)
+    {
+        if (cond)
+            emit(GateKind::X, {}, 0, {t}, true);
+    }
+
+    void
+    classicalSwap(bool cond, Qubit a, Qubit b)
+    {
+        if (cond)
+            emit(GateKind::Swap, {}, 0, {a, b}, true);
+    }
+
+    void
+    classicalCx(bool cond, Qubit c, Qubit t)
+    {
+        if (cond)
+            emit(GateKind::X, {c}, 0, {t}, true);
+    }
+    /// @}
+
+    /** Full scheduling barrier (used by non-pipelined schedules). */
+    void barrier() { emit(GateKind::Barrier, {}, 0, {}); }
+
+    /** Append a raw gate (used by mapping/routing passes). */
+    void pushGate(Gate g);
+
+    /**
+     * Re-emit this circuit's own gates [begin, end) in reverse order.
+     * Every gate in the QRAM gate set (X, Z, CX, SWAP, CSWAP, MCX) is
+     * self-inverse, so this implements uncomputation of a recorded
+     * section; panics if the range contains a non-self-inverse gate.
+     */
+    void appendReversedRange(std::size_t begin, std::size_t end);
+
+    /** Append all gates of @p other; registers must already align. */
+    void append(const Circuit &other);
+
+    /** Number of gates tagged as classically controlled. */
+    std::size_t countClassical() const;
+
+    /** Number of gates of a given kind/controls signature. */
+    std::size_t countKind(GateKind kind, std::size_t numControls) const;
+
+    /** Multi-line textual dump (for small circuits / debugging). */
+    std::string toString() const;
+
+  private:
+    void
+    emit(GateKind kind, std::vector<Qubit> ctrls, std::uint64_t neg,
+         std::vector<Qubit> tgts, bool classical = false);
+
+    /** Validate operands are in range and distinct. */
+    void check(const Gate &g) const;
+
+    std::vector<std::string> names;
+    std::vector<Gate> gateList;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_CIRCUIT_CIRCUIT_HH

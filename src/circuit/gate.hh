@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Gate representation for QRAM circuits.
+ *
+ * QRAM circuits are built from a small, fixed set of classical-reversible
+ * gates (Sec. 6.2 of the paper): X, CX, Toffoli, MCX, SWAP, CSWAP, plus
+ * diagonal gates (Z/CZ/S/T) and H for teleportation gadgets. We represent
+ * every gate as a base operation (X, Z, Swap, ...) plus a control list
+ * with per-control polarity, so CX is "X with one control" and CSWAP is
+ * "Swap with one control". This keeps the simulator, scheduler and cost
+ * model each to a single dispatch.
+ */
+
+#ifndef QRAMSIM_CIRCUIT_GATE_HH
+#define QRAMSIM_CIRCUIT_GATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qramsim {
+
+/** Logical qubit index within a Circuit. */
+using Qubit = std::uint32_t;
+
+/** Base operation of a gate; controls are attached separately. */
+enum class GateKind : std::uint8_t {
+    X,       ///< Pauli X (NOT); with controls: CX / Toffoli / MCX
+    Z,       ///< Pauli Z; with controls: CZ / CCZ
+    S,       ///< phase gate diag(1, i)
+    T,       ///< T gate diag(1, e^{i pi/4})
+    Tdg,     ///< T dagger
+    H,       ///< Hadamard (teleportation gadgets only; not path-simulable)
+    Swap,    ///< SWAP of two targets; with one control: CSWAP (Fredkin)
+    Barrier, ///< scheduling barrier across all qubits (no-op operation)
+};
+
+/** Printable name of a gate kind. */
+const char *gateKindName(GateKind kind);
+
+/**
+ * One gate instance. A control participates positively (fires on |1>)
+ * unless its bit in negCtrlMask is set (fires on |0>), which is how the
+ * paper's 0-CX / segment-pattern MCX gates are expressed.
+ */
+struct Gate
+{
+    GateKind kind = GateKind::X;
+
+    /** Control qubits (may be empty). */
+    std::vector<Qubit> controls;
+
+    /** Bit i set: controls[i] is a negative (|0>-firing) control. */
+    std::uint64_t negCtrlMask = 0;
+
+    /** Target qubits: 1 for X/Z/S/T/H, 2 for Swap, 0 for Barrier. */
+    std::vector<Qubit> targets;
+
+    /**
+     * True if this gate is classically controlled: its classical
+     * condition evaluated to 1 at circuit-construction time (gates whose
+     * condition is 0 are simply not emitted). Used for the paper's
+     * "classically-controlled gates" resource counts (Table 1).
+     */
+    bool classical = false;
+
+    /** Number of controls. */
+    std::size_t arityControls() const { return controls.size(); }
+
+    /** Total qubits touched. */
+    std::size_t
+    aritytotal() const
+    {
+        return controls.size() + targets.size();
+    }
+
+    /** True if controls[i] is a negative control. */
+    bool
+    negControl(std::size_t i) const
+    {
+        QRAMSIM_ASSERT(i < 64, "more than 64 controls unsupported");
+        return (negCtrlMask >> i) & 1;
+    }
+
+    /** Human-readable rendering, e.g. "CSWAP c=[3] t=[7,8]". */
+    std::string toString() const;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_CIRCUIT_GATE_HH

@@ -1,0 +1,159 @@
+#include "circuit/qasm.hh"
+
+#include <functional>
+#include <sstream>
+
+namespace qramsim {
+
+namespace {
+
+/** Writer with the ancilla pool for MCX ladders. */
+class QasmWriter
+{
+  public:
+    QasmWriter(const Circuit &c, const QasmOptions &opts)
+        : circ(c), options(opts)
+    {
+        // Pre-scan for the largest MCX to size the ancilla pool.
+        for (const Gate &g : c.gates())
+            if (g.kind == GateKind::X && g.controls.size() >= 3)
+                ancillas = std::max(ancillas, g.controls.size() - 2);
+    }
+
+    std::string
+    run()
+    {
+        os << "OPENQASM 2.0;\n";
+        os << "include \"qelib1.inc\";\n";
+        if (options.nameComments) {
+            for (std::size_t q = 0; q < circ.numQubits(); ++q)
+                os << "// q[" << q << "] = "
+                   << circ.qubitName(static_cast<Qubit>(q)) << "\n";
+        }
+        os << "qreg q[" << circ.numQubits() + ancillas << "];\n";
+        for (const Gate &g : circ.gates())
+            emit(g);
+        return os.str();
+    }
+
+  private:
+    std::string
+    ref(std::size_t q) const
+    {
+        return "q[" + std::to_string(q) + "]";
+    }
+
+    /** X-conjugate negative controls around the body emission. */
+    void
+    withPolarity(const Gate &g, const std::function<void()> &body)
+    {
+        for (std::size_t i = 0; i < g.controls.size(); ++i)
+            if (g.negControl(i))
+                os << "x " << ref(g.controls[i]) << ";\n";
+        body();
+        for (std::size_t i = 0; i < g.controls.size(); ++i)
+            if (g.negControl(i))
+                os << "x " << ref(g.controls[i]) << ";\n";
+    }
+
+    void
+    emitMcx(const Gate &g)
+    {
+        const auto &c = g.controls;
+        const std::size_t anc0 = circ.numQubits();
+        // V-chain: anc[0] = c0 AND c1; anc[i] = anc[i-1] AND c[i+1].
+        os << "ccx " << ref(c[0]) << ", " << ref(c[1]) << ", "
+           << ref(anc0) << ";\n";
+        for (std::size_t i = 2; i + 1 < c.size(); ++i)
+            os << "ccx " << ref(c[i]) << ", " << ref(anc0 + i - 2)
+               << ", " << ref(anc0 + i - 1) << ";\n";
+        os << "ccx " << ref(c.back()) << ", "
+           << ref(anc0 + c.size() - 3) << ", " << ref(g.targets[0])
+           << ";\n";
+        for (std::size_t i = c.size() - 2; i >= 2; --i)
+            os << "ccx " << ref(c[i]) << ", " << ref(anc0 + i - 2)
+               << ", " << ref(anc0 + i - 1) << ";\n";
+        os << "ccx " << ref(c[0]) << ", " << ref(c[1]) << ", "
+           << ref(anc0) << ";\n";
+    }
+
+    void
+    emit(const Gate &g)
+    {
+        if (g.kind == GateKind::Barrier) {
+            os << "barrier q;\n";
+            return;
+        }
+        if (g.classical && options.markClassical)
+            os << "// classically-controlled (condition == 1)\n";
+
+        withPolarity(g, [&]() {
+            const auto &c = g.controls;
+            const auto &t = g.targets;
+            switch (g.kind) {
+              case GateKind::X:
+                if (c.empty())
+                    os << "x " << ref(t[0]) << ";\n";
+                else if (c.size() == 1)
+                    os << "cx " << ref(c[0]) << ", " << ref(t[0])
+                       << ";\n";
+                else if (c.size() == 2)
+                    os << "ccx " << ref(c[0]) << ", " << ref(c[1])
+                       << ", " << ref(t[0]) << ";\n";
+                else
+                    emitMcx(g);
+                break;
+              case GateKind::Z:
+                if (c.empty())
+                    os << "z " << ref(t[0]) << ";\n";
+                else if (c.size() == 1)
+                    os << "cz " << ref(c[0]) << ", " << ref(t[0])
+                       << ";\n";
+                else
+                    QRAMSIM_PANIC("multi-controlled Z unsupported in "
+                                  "QASM export");
+                break;
+              case GateKind::S:
+                os << "s " << ref(t[0]) << ";\n";
+                break;
+              case GateKind::T:
+                os << "t " << ref(t[0]) << ";\n";
+                break;
+              case GateKind::Tdg:
+                os << "tdg " << ref(t[0]) << ";\n";
+                break;
+              case GateKind::H:
+                os << "h " << ref(t[0]) << ";\n";
+                break;
+              case GateKind::Swap:
+                if (c.empty())
+                    os << "swap " << ref(t[0]) << ", " << ref(t[1])
+                       << ";\n";
+                else if (c.size() == 1)
+                    os << "cswap " << ref(c[0]) << ", " << ref(t[0])
+                       << ", " << ref(t[1]) << ";\n";
+                else
+                    QRAMSIM_PANIC("multi-controlled SWAP unsupported "
+                                  "in QASM export");
+                break;
+              case GateKind::Barrier:
+                break;
+            }
+        });
+    }
+
+    const Circuit &circ;
+    QasmOptions options;
+    std::size_t ancillas = 0;
+    std::ostringstream os;
+};
+
+} // namespace
+
+std::string
+toQasm(const Circuit &c, const QasmOptions &opts)
+{
+    return QasmWriter(c, opts).run();
+}
+
+} // namespace qramsim

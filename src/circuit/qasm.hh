@@ -1,0 +1,44 @@
+/**
+ * @file
+ * OpenQASM 2.0 export.
+ *
+ * Interop path for running qramsim circuits through external stacks
+ * (Qiskit transpilers, hardware backends — the Appendix A workflow the
+ * paper drove through IBM's toolchain). The reversible gate set maps
+ * directly: x, z, s, t, tdg, h, cx, cz, swap, ccx, cswap; negative
+ * controls are wrapped in x conjugation; MCX gates with >= 3 controls
+ * are decomposed into a Toffoli V-chain over clean ancillas appended
+ * to the register (the same decomposition the cost model charges).
+ *
+ * Classically-controlled gates appear as plain gates (their condition
+ * was resolved at construction time) preceded by a comment.
+ */
+
+#ifndef QRAMSIM_CIRCUIT_QASM_HH
+#define QRAMSIM_CIRCUIT_QASM_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+
+namespace qramsim {
+
+/** Options for QASM emission. */
+struct QasmOptions
+{
+    /** Emit qubit-name comments before the register declaration. */
+    bool nameComments = true;
+
+    /** Emit a comment before classically-controlled gates. */
+    bool markClassical = true;
+};
+
+/**
+ * Serialize @p c as an OpenQASM 2.0 program. The main register is
+ * named q[0..n); MCX ancillas, if any, extend it.
+ */
+std::string toQasm(const Circuit &c, const QasmOptions &opts = {});
+
+} // namespace qramsim
+
+#endif // QRAMSIM_CIRCUIT_QASM_HH

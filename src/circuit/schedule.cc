@@ -1,0 +1,55 @@
+#include "circuit/schedule.hh"
+
+#include <algorithm>
+
+namespace qramsim {
+
+Schedule
+scheduleAsap(const Circuit &c)
+{
+    Schedule sched;
+    const auto &gates = c.gates();
+    sched.moment.assign(gates.size(), -1);
+
+    // busyUntil[q] = first moment at which q is free.
+    std::vector<std::size_t> busyUntil(c.numQubits(), 0);
+    std::size_t barrierFloor = 0;
+
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier) {
+            // Synchronize: nothing after this barrier may start before
+            // every earlier gate has finished.
+            std::size_t hi = barrierFloor;
+            for (auto b : busyUntil)
+                hi = std::max(hi, b);
+            barrierFloor = hi;
+            continue;
+        }
+        std::size_t start = barrierFloor;
+        auto visit = [&](Qubit q) {
+            start = std::max(start, busyUntil[q]);
+        };
+        for (Qubit q : g.controls)
+            visit(q);
+        for (Qubit q : g.targets)
+            visit(q);
+        sched.moment[gi] = static_cast<int>(start);
+        if (sched.moments.size() <= start)
+            sched.moments.resize(start + 1);
+        sched.moments[start].push_back(gi);
+        for (Qubit q : g.controls)
+            busyUntil[q] = start + 1;
+        for (Qubit q : g.targets)
+            busyUntil[q] = start + 1;
+    }
+    return sched;
+}
+
+std::size_t
+circuitDepth(const Circuit &c)
+{
+    return scheduleAsap(c).depth();
+}
+
+} // namespace qramsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASAP moment scheduling.
+ *
+ * The depth of a circuit is computed by as-soon-as-possible layering of
+ * its gate DAG: a gate starts at the first moment after every qubit it
+ * touches is free. Barriers synchronize all qubits, which is how the
+ * non-pipelined (sequential) schedules of Sec. 3.2.3 are modeled: the
+ * RAW address-loading loop places a barrier between rounds, the
+ * pipelined variant does not, and the same gate list then schedules to
+ * O(m^2) vs O(m) depth.
+ */
+
+#ifndef QRAMSIM_CIRCUIT_SCHEDULE_HH
+#define QRAMSIM_CIRCUIT_SCHEDULE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace qramsim {
+
+/** Result of ASAP scheduling: moment index per gate plus the layering. */
+struct Schedule
+{
+    /** moment[g] = layer of gate g (barriers excluded, moment = -1). */
+    std::vector<int> moment;
+
+    /** moments[t] = indices of gates scheduled in layer t. */
+    std::vector<std::vector<std::size_t>> moments;
+
+    std::size_t depth() const { return moments.size(); }
+};
+
+/** Schedule @p c with ASAP layering; barriers force synchronization. */
+Schedule scheduleAsap(const Circuit &c);
+
+/** Convenience: scheduled depth of a circuit. */
+std::size_t circuitDepth(const Circuit &c);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_CIRCUIT_SCHEDULE_HH

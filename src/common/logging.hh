@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a qramsim bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with status 1.
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef QRAMSIM_COMMON_LOGGING_HH
+#define QRAMSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace qramsim {
+
+namespace detail {
+
+/** Stream-concatenate a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Print a warning that does not stop execution. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+} // namespace qramsim
+
+/** Abort on an internal bug. Never use for user errors. */
+#define QRAMSIM_PANIC(...) \
+    ::qramsim::detail::panicImpl(__FILE__, __LINE__, \
+        ::qramsim::detail::concat(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define QRAMSIM_FATAL(...) \
+    ::qramsim::detail::fatalImpl(__FILE__, __LINE__, \
+        ::qramsim::detail::concat(__VA_ARGS__))
+
+/** Cheap always-on invariant check (not compiled out in release). */
+#define QRAMSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            QRAMSIM_PANIC("assertion '", #cond, "' failed: ", \
+                          ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // QRAMSIM_COMMON_LOGGING_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Plain-text table emitter used by the benchmark binaries to print the
+ * rows of the paper's tables and the series behind its figures.
+ *
+ * Output format: a fixed-width ASCII table for human reading, plus an
+ * optional CSV dump so figures can be re-plotted.
+ */
+
+#ifndef QRAMSIM_COMMON_TABLE_HH
+#define QRAMSIM_COMMON_TABLE_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qramsim {
+
+/** Row/column table with a title, printed fixed-width or as CSV. */
+class Table
+{
+  public:
+    explicit Table(std::string title_, std::vector<std::string> header_)
+        : title(std::move(title_)), header(std::move(header_))
+    {}
+
+    /** Append a fully-formed row; must match the header width. */
+    void
+    addRow(std::vector<std::string> row)
+    {
+        QRAMSIM_ASSERT(row.size() == header.size(),
+                       "row width ", row.size(), " != header width ",
+                       header.size());
+        rows.push_back(std::move(row));
+    }
+
+    /** Format a double with fixed precision. */
+    static std::string
+    fmt(double v, int precision = 4)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    /** Format any integer type. */
+    template <typename Int>
+        requires std::is_integral_v<Int>
+    static std::string
+    fmt(Int v)
+    {
+        return std::to_string(v);
+    }
+
+    /** Print the table to @p out as aligned ASCII. */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::vector<std::size_t> width(header.size());
+        for (std::size_t c = 0; c < header.size(); ++c)
+            width[c] = header[c].size();
+        for (const auto &row : rows)
+            for (std::size_t c = 0; c < row.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        std::fprintf(out, "== %s ==\n", title.c_str());
+        auto emitRow = [&](const std::vector<std::string> &row) {
+            for (std::size_t c = 0; c < row.size(); ++c)
+                std::fprintf(out, "%-*s%s", static_cast<int>(width[c]),
+                             row[c].c_str(),
+                             c + 1 == row.size() ? "\n" : "  ");
+        };
+        emitRow(header);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+        for (const auto &row : rows)
+            emitRow(row);
+        std::fprintf(out, "\n");
+    }
+
+    /** Dump to a CSV file; returns false if the file cannot be opened. */
+    bool
+    writeCsv(const std::string &path) const
+    {
+        std::ofstream f(path);
+        if (!f)
+            return false;
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t c = 0; c < row.size(); ++c)
+                f << row[c] << (c + 1 == row.size() ? "\n" : ",");
+        };
+        emit(header);
+        for (const auto &row : rows)
+            emit(row);
+        return true;
+    }
+
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return rows;
+    }
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_COMMON_TABLE_HH

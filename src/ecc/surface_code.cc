@@ -1,0 +1,68 @@
+#include "ecc/surface_code.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qramsim {
+
+double
+surfaceLogicalRate(double p, double pTh, unsigned d, double prefactor)
+{
+    QRAMSIM_ASSERT(p > 0 && pTh > 0, "rates must be positive");
+    return prefactor * std::pow(p / pTh, (d + 1) / 2.0);
+}
+
+double
+rectangularRatio(double p, double pTh, unsigned dx, unsigned dz)
+{
+    return std::pow(p / pTh,
+                    static_cast<double>(dx) - static_cast<double>(dz));
+}
+
+double
+balancedDistanceGap(unsigned m, unsigned k, double p, double pTh)
+{
+    QRAMSIM_ASSERT(p < pTh, "physical rate must be below threshold");
+    const double num = static_cast<double>(k + m);
+    const double den =
+        static_cast<double>(k) + std::pow(2.0, double(m));
+    return std::log(num / den) / std::log(p / pTh);
+}
+
+RectangularCode
+chooseRectangularCode(unsigned m, unsigned k, double p, double pTh,
+                      double targetLogical)
+{
+    const double gapF = balancedDistanceGap(m, k, p, pTh);
+    // The QRAM is Z-resilient, so protect X harder: dx >= dz + gap.
+    const int gap = static_cast<int>(std::lround(gapF));
+    for (unsigned dz = 3; dz <= 99; dz += 2) {
+        unsigned dx = static_cast<unsigned>(
+            std::max<int>(3, static_cast<int>(dz) + gap));
+        if (dx % 2 == 0)
+            ++dx;
+        if (surfaceLogicalRate(p, pTh, dx) <= targetLogical &&
+            surfaceLogicalRate(p, pTh, dz) *
+                    (std::pow(2.0, double(m)) + k) <=
+                targetLogical * (m + k + 1))
+            return {dx, dz};
+    }
+    return {99, 99};
+}
+
+std::uint64_t
+virtualQramPhysicalQubits(unsigned m, unsigned k,
+                          const RectangularCode &treeCode,
+                          unsigned dSquare)
+{
+    // Tree footprint: the OPT1 virtual QRAM uses ~4*2^m + m + 1 qubits
+    // (routers, carriers, leaf data nodes, bus); SQC bits use the
+    // square code.
+    const std::uint64_t treeQubits =
+        4ull * (std::uint64_t(1) << m) + m + 1;
+    const std::uint64_t squarePhys = 2ull * dSquare * dSquare - 1;
+    return treeQubits * treeCode.physicalQubits() + k * squarePhys;
+}
+
+} // namespace qramsim

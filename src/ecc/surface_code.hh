@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Asymmetric (rectangular) surface-code model (Sec. 5.2).
+ *
+ * A rectangular surface code with distances (dx, dz) suppresses X and
+ * Z logical errors unequally:
+ *
+ *   p_l(d)       ~ A * (p / p_th)^((d+1)/2)          [standard ansatz]
+ *   p_xl / p_zl  ~ (p / p_th)^(dx - dz)              [paper, after Eq 6]
+ *
+ * The virtual QRAM is intrinsically biased: its Z-error fidelity bound
+ * (Eq. 5) is polynomially weaker than its X-error bound (Eq. 6), so the
+ * code should spend *less* distance on Z and more on X. Setting the two
+ * bounds equal gives the paper's balancing rule (Eq. 7):
+ *
+ *   dx - dz ~ log((k+m) / (k+2^m)) / log(p / p_th)
+ *
+ * SQC address qubits have no bias protection, so they get a square code
+ * (dx == dz) sized for full protection.
+ */
+
+#ifndef QRAMSIM_ECC_SURFACE_CODE_HH
+#define QRAMSIM_ECC_SURFACE_CODE_HH
+
+#include <cstdint>
+
+namespace qramsim {
+
+/** Logical error rate of a distance-d surface code patch. */
+double surfaceLogicalRate(double p, double pTh, unsigned d,
+                          double prefactor = 0.1);
+
+/** Logical X/Z error-rate ratio of a rectangular (dx, dz) code. */
+double rectangularRatio(double p, double pTh, unsigned dx, unsigned dz);
+
+/**
+ * The Eq. 7 distance gap dx - dz that balances the virtual QRAM's X and
+ * Z query-fidelity bounds for a (m, k) configuration at physical rate
+ * p and threshold pTh. Negative values mean dz should exceed dx.
+ */
+double balancedDistanceGap(unsigned m, unsigned k, double p, double pTh);
+
+/** A concrete rectangular code choice. */
+struct RectangularCode
+{
+    unsigned dx = 3;
+    unsigned dz = 3;
+
+    /** Physical qubits per logical qubit (2*dx*dz - 1 layout). */
+    std::uint64_t
+    physicalQubits() const
+    {
+        return 2ull * dx * dz - 1;
+    }
+};
+
+/**
+ * Pick the smallest rectangular code achieving logical rates below
+ * @p targetLogical on both axes while respecting the Eq. 7 gap.
+ */
+RectangularCode chooseRectangularCode(unsigned m, unsigned k, double p,
+                                      double pTh, double targetLogical);
+
+/**
+ * Footprint comparison: physical qubits for the whole virtual QRAM
+ * when tree qubits use the biased rectangular code and SQC qubits use
+ * a square code of distance @p dSquare.
+ */
+std::uint64_t virtualQramPhysicalQubits(unsigned m, unsigned k,
+                                        const RectangularCode &treeCode,
+                                        unsigned dSquare);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_ECC_SURFACE_CODE_HH

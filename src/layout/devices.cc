@@ -1,0 +1,54 @@
+#include "layout/devices.hh"
+
+namespace qramsim {
+
+Device
+makeIbmPerth()
+{
+    // Published 7-qubit Falcon r5.11H coupling map:
+    //   0 - 1 - 2
+    //       |
+    //       3
+    //       |
+    //   4 - 5 - 6
+    CouplingGraph g(7,
+                    {{0, 1}, {1, 2}, {1, 3}, {3, 5}, {4, 5}, {5, 6}},
+                    "ibm_perth");
+    // Order-of-magnitude published averages: 1q ~ 3e-4, CX ~ 1e-2;
+    // the paper normalizes "current error rate" to 1e-3, which the
+    // eps_r sweep rescales anyway.
+    return Device{std::move(g), DeviceErrorRates{3e-4, 1e-2}};
+}
+
+Device
+makeIbmGuadalupe()
+{
+    // Published 16-qubit Falcon heavy-hex layout.
+    CouplingGraph g(16,
+                    {{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7},
+                     {5, 8}, {6, 7}, {7, 10}, {8, 9}, {8, 11}, {10, 12},
+                     {11, 14}, {12, 13}, {12, 15}, {13, 14}},
+                    "ibmq_guadalupe");
+    return Device{std::move(g), DeviceErrorRates{3e-4, 1e-2}};
+}
+
+Device
+makeGridDevice(int w, int h, DeviceErrorRates rates)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    auto id = [w](int x, int y) {
+        return static_cast<std::uint32_t>(y * w + x);
+    };
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            if (x + 1 < w)
+                edges.push_back({id(x, y), id(x + 1, y)});
+            if (y + 1 < h)
+                edges.push_back({id(x, y), id(x, y + 1)});
+        }
+    }
+    CouplingGraph g(std::size_t(w) * h, std::move(edges), "grid");
+    return Device{std::move(g), rates};
+}
+
+} // namespace qramsim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * NISQ device substrates for the Appendix A experiment (Fig. 12).
+ *
+ * The paper runs small virtual QRAMs through Qiskit with noise models
+ * calibrated from IBM's ibm_perth (7 qubits) and ibmq_guadalupe
+ * (16 qubits). We substitute: the devices' published coupling maps
+ * (heavy-hex family) plus per-gate-class Pauli error rates of the
+ * published order of magnitude. The experiment's conclusions — extra
+ * SWAP counts from sparse connectivity, and the error-reduction factor
+ * at which queries become usable — depend on topology and rate scale,
+ * not on day-of-calibration data.
+ */
+
+#ifndef QRAMSIM_LAYOUT_DEVICES_HH
+#define QRAMSIM_LAYOUT_DEVICES_HH
+
+#include "layout/grid.hh"
+
+namespace qramsim {
+
+/** Per-gate-class error rates of a device (before eps_r scaling). */
+struct DeviceErrorRates
+{
+    double oneQubit = 0.0;
+    double twoQubit = 0.0;
+};
+
+/** A NISQ device: coupling map plus baseline error rates. */
+struct Device
+{
+    CouplingGraph coupling;
+    DeviceErrorRates rates;
+};
+
+/** IBM ibm_perth: 7-qubit H-shaped heavy-hex fragment. */
+Device makeIbmPerth();
+
+/** IBM ibmq_guadalupe: 16-qubit heavy-hex Falcon layout. */
+Device makeIbmGuadalupe();
+
+/** An ideal W x H nearest-neighbor grid device (Sec. 6.3 assumption). */
+Device makeGridDevice(int w, int h, DeviceErrorRates rates);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_LAYOUT_DEVICES_HH

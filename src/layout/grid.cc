@@ -1,0 +1,74 @@
+#include "layout/grid.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace qramsim {
+
+CouplingGraph::CouplingGraph(
+    std::size_t numQubits,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edgeList,
+    std::string name)
+    : deviceName(std::move(name)), adj(numQubits)
+{
+    for (auto [a, b] : edgeList) {
+        QRAMSIM_ASSERT(a < numQubits && b < numQubits && a != b,
+                       "bad edge ", a, "-", b);
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    for (auto &v : adj)
+        std::sort(v.begin(), v.end());
+
+    // All-pairs BFS (devices are tiny).
+    const unsigned inf = ~0u;
+    dist.assign(numQubits, std::vector<unsigned>(numQubits, inf));
+    for (std::uint32_t s = 0; s < numQubits; ++s) {
+        std::queue<std::uint32_t> q;
+        dist[s][s] = 0;
+        q.push(s);
+        while (!q.empty()) {
+            std::uint32_t u = q.front();
+            q.pop();
+            for (std::uint32_t v : adj[u]) {
+                if (dist[s][v] == inf) {
+                    dist[s][v] = dist[s][u] + 1;
+                    q.push(v);
+                }
+            }
+        }
+        for (std::uint32_t v = 0; v < numQubits; ++v)
+            QRAMSIM_ASSERT(dist[s][v] != inf,
+                           "coupling graph is disconnected");
+    }
+}
+
+bool
+CouplingGraph::adjacent(std::uint32_t a, std::uint32_t b) const
+{
+    const auto &v = adj.at(a);
+    return std::binary_search(v.begin(), v.end(), b);
+}
+
+std::vector<std::uint32_t>
+CouplingGraph::shortestPath(std::uint32_t a, std::uint32_t b) const
+{
+    std::vector<std::uint32_t> path{a};
+    std::uint32_t cur = a;
+    while (cur != b) {
+        // Greedy descent on the precomputed distances.
+        std::uint32_t next = cur;
+        for (std::uint32_t v : adj[cur]) {
+            if (dist[v][b] + 1 == dist[cur][b]) {
+                next = v;
+                break;
+            }
+        }
+        QRAMSIM_ASSERT(next != cur, "path search stuck");
+        path.push_back(next);
+        cur = next;
+    }
+    return path;
+}
+
+} // namespace qramsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * 2D grid geometry and general coupling graphs (Sec. 4).
+ *
+ * Grid models the 2D nearest-neighbor architecture QRAM is embedded
+ * into; CouplingGraph is the general sparse-connectivity abstraction
+ * used for the NISQ devices of Appendix A (ibm_perth, ibmq_guadalupe).
+ */
+
+#ifndef QRAMSIM_LAYOUT_GRID_HH
+#define QRAMSIM_LAYOUT_GRID_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qramsim {
+
+/** A cell of the 2D grid. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &o) const = default;
+};
+
+/** Manhattan distance between two cells. */
+inline int
+manhattan(Coord a, Coord b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/** Rectangular grid of physical qubit sites. */
+class GridLayout
+{
+  public:
+    GridLayout(int width_, int height_) : w(width_), h(height_)
+    {
+        QRAMSIM_ASSERT(w > 0 && h > 0, "degenerate grid");
+    }
+
+    int width() const { return w; }
+    int height() const { return h; }
+    std::size_t sites() const { return std::size_t(w) * h; }
+
+    bool
+    inBounds(Coord c) const
+    {
+        return c.x >= 0 && c.x < w && c.y >= 0 && c.y < h;
+    }
+
+    std::size_t
+    index(Coord c) const
+    {
+        QRAMSIM_ASSERT(inBounds(c), "coordinate out of bounds");
+        return std::size_t(c.y) * w + c.x;
+    }
+
+    Coord
+    coord(std::size_t i) const
+    {
+        return {static_cast<int>(i % w), static_cast<int>(i / w)};
+    }
+
+  private:
+    int w, h;
+};
+
+/**
+ * Undirected sparse coupling graph with shortest-path queries (BFS,
+ * precomputed all-pairs for the small NISQ devices).
+ */
+class CouplingGraph
+{
+  public:
+    CouplingGraph(std::size_t numQubits,
+                  std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                      edgeList,
+                  std::string name = "device");
+
+    std::size_t size() const { return adj.size(); }
+    const std::string &name() const { return deviceName; }
+
+    const std::vector<std::uint32_t> &
+    neighbors(std::uint32_t q) const
+    {
+        return adj.at(q);
+    }
+
+    bool adjacent(std::uint32_t a, std::uint32_t b) const;
+
+    /** Hop distance (precomputed). */
+    unsigned distance(std::uint32_t a, std::uint32_t b) const
+    {
+        return dist.at(a).at(b);
+    }
+
+    /** One shortest path a..b inclusive. */
+    std::vector<std::uint32_t> shortestPath(std::uint32_t a,
+                                            std::uint32_t b) const;
+
+  private:
+    std::string deviceName;
+    std::vector<std::vector<std::uint32_t>> adj;
+    std::vector<std::vector<unsigned>> dist;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_LAYOUT_GRID_HH

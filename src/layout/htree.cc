@@ -1,0 +1,235 @@
+#include "layout/htree.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace qramsim {
+
+namespace {
+
+/** Straight-line path between two cells sharing a row or column. */
+std::vector<Coord>
+straightPath(Coord a, Coord b)
+{
+    QRAMSIM_ASSERT(a.x == b.x || a.y == b.y, "path must be axial");
+    std::vector<Coord> path;
+    int dx = b.x > a.x ? 1 : (b.x < a.x ? -1 : 0);
+    int dy = b.y > a.y ? 1 : (b.y < a.y ? -1 : 0);
+    Coord c = a;
+    path.push_back(c);
+    while (!(c == b)) {
+        c.x += dx;
+        c.y += dy;
+        path.push_back(c);
+    }
+    return path;
+}
+
+/** Side of the square hosting an even-width subtree. */
+int
+evenSide(unsigned m)
+{
+    QRAMSIM_ASSERT(m >= 2 && m % 2 == 0, "even width required");
+    return (1 << (m / 2 + 1)) - 1;
+}
+
+} // namespace
+
+void
+HTreeEmbedding::placeEven(unsigned m, std::size_t nodeId, int ox, int oy,
+                          int size)
+{
+    const int cx = ox + size / 2;
+    const int cy = oy + size / 2;
+    routerPos[nodeId] = {cx, cy};
+    const std::size_t cl = 2 * nodeId + 1;
+    const std::size_t cr = 2 * nodeId + 2;
+
+    if (m == 2) {
+        // Base case (Fig. 6a): children on the middle row, leaves in
+        // the corners, middle column free above/below the root.
+        routerPos[cl] = {ox, cy};
+        routerPos[cr] = {ox + 2, cy};
+        edges[2 * nodeId + 0].path = straightPath({cx, cy}, {ox, cy});
+        edges[2 * nodeId + 1].path =
+            straightPath({cx, cy}, {ox + 2, cy});
+        // Leaf slot indices: bottom-level node j owns leaves 2j, 2j+1.
+        const std::size_t jl = cl - (leafPos.size() / 2 - 1);
+        const std::size_t jr = cr - (leafPos.size() / 2 - 1);
+        leafPos[2 * jl] = {ox, oy};
+        leafPos[2 * jl + 1] = {ox, oy + 2};
+        leafPos[2 * jr] = {ox + 2, oy};
+        leafPos[2 * jr + 1] = {ox + 2, oy + 2};
+        edges[2 * cl + 0].path = straightPath({ox, cy}, {ox, oy});
+        edges[2 * cl + 1].path = straightPath({ox, cy}, {ox, oy + 2});
+        edges[2 * cr + 0].path = straightPath({ox + 2, cy}, {ox + 2, oy});
+        edges[2 * cr + 1].path =
+            straightPath({ox + 2, cy}, {ox + 2, oy + 2});
+        return;
+    }
+
+    // Recursive case: arms on the middle row reach the quadrant
+    // columns; grandchildren are the quadrant roots, entered through
+    // the quadrants' free middle columns.
+    const int sub = (size - 1) / 2;
+    const int lx = ox + sub / 2;            // left quadrant center col
+    const int rx = ox + sub + 1 + sub / 2;  // right quadrant center col
+    const int ty = oy + sub / 2;            // top quadrant center row
+    const int by = oy + sub + 1 + sub / 2;  // bottom quadrant center row
+
+    routerPos[cl] = {lx, cy};
+    routerPos[cr] = {rx, cy};
+    edges[2 * nodeId + 0].path = straightPath({cx, cy}, {lx, cy});
+    edges[2 * nodeId + 1].path = straightPath({cx, cy}, {rx, cy});
+
+    edges[2 * cl + 0].path = straightPath({lx, cy}, {lx, ty});
+    edges[2 * cl + 1].path = straightPath({lx, cy}, {lx, by});
+    edges[2 * cr + 0].path = straightPath({rx, cy}, {rx, ty});
+    edges[2 * cr + 1].path = straightPath({rx, cy}, {rx, by});
+
+    placeEven(m - 2, 2 * cl + 1, ox, oy, sub);
+    placeEven(m - 2, 2 * cl + 2, ox, oy + sub + 1, sub);
+    placeEven(m - 2, 2 * cr + 1, ox + sub + 1, oy, sub);
+    placeEven(m - 2, 2 * cr + 2, ox + sub + 1, oy + sub + 1, sub);
+}
+
+HTreeEmbedding
+HTreeEmbedding::build(unsigned m)
+{
+    QRAMSIM_ASSERT(m >= 1 && m <= 12, "unsupported width ", m);
+    HTreeEmbedding e;
+    e.width = m;
+    e.routerPos.resize(TreeIndex::nodeCount(m));
+    e.leafPos.resize(TreeIndex::leafCount(m));
+    e.edges.resize(2 * TreeIndex::nodeCount(m));
+
+    if (m == 1) {
+        e.gw = 3;
+        e.gh = 1;
+        e.routerPos[0] = {1, 0};
+        e.leafPos[0] = {0, 0};
+        e.leafPos[1] = {2, 0};
+        e.edges[0].path = straightPath({1, 0}, {0, 0});
+        e.edges[1].path = straightPath({1, 0}, {2, 0});
+        return e;
+    }
+    if (m % 2 == 0) {
+        const int s = evenSide(m);
+        e.gw = e.gh = s;
+        e.placeEven(m, 0, 0, 0, s);
+        return e;
+    }
+
+    // Odd m >= 3: root between two vertically stacked even halves (the
+    // paper's rectangular cut).
+    const int s = evenSide(m - 1);
+    e.gw = s;
+    e.gh = 2 * s + 1;
+    const int xc = s / 2;
+    e.routerPos[0] = {xc, s};
+    e.placeEven(m - 1, 1, 0, 0, s);
+    e.placeEven(m - 1, 2, 0, s + 1, s);
+    e.edges[0].path = straightPath({xc, s}, {xc, s / 2});
+    e.edges[1].path = straightPath({xc, s}, {xc, s + 1 + s / 2});
+    return e;
+}
+
+std::size_t
+HTreeEmbedding::maxEdgeLength(unsigned l) const
+{
+    std::size_t best = 0;
+    const std::size_t n = std::size_t(1) << l;
+    for (std::size_t j = 0; j < n; ++j)
+        for (int c = 0; c < 2; ++c)
+            best = std::max(best, edge(l, j, c).path.size() - 1);
+    return best;
+}
+
+bool
+HTreeEmbedding::validate() const
+{
+    struct CoordLess
+    {
+        bool
+        operator()(Coord a, Coord b) const
+        {
+            return a.y != b.y ? a.y < b.y : a.x < b.x;
+        }
+    };
+    std::set<Coord, CoordLess> sites;
+    auto inGrid = [&](Coord c) {
+        return c.x >= 0 && c.x < gw && c.y >= 0 && c.y < gh;
+    };
+
+    for (Coord c : routerPos)
+        if (!inGrid(c) || !sites.insert(c).second)
+            return false;
+    for (Coord c : leafPos)
+        if (!inGrid(c) || !sites.insert(c).second)
+            return false;
+
+    std::set<Coord, CoordLess> interiors;
+    for (std::size_t id = 0; id < routerPos.size(); ++id) {
+        for (int c = 0; c < 2; ++c) {
+            const auto &path = edges[2 * id + c].path;
+            if (path.size() < 2)
+                return false;
+            // Endpoints must be the node cells.
+            if (!(path.front() == routerPos[id]))
+                return false;
+            const std::size_t childId = 2 * id + c + 1;
+            Coord childCell;
+            if (childId < routerPos.size()) {
+                childCell = routerPos[childId];
+            } else {
+                // Bottom-level node j owns leaves 2j and 2j+1.
+                std::size_t j = id - (routerPos.size() / 2);
+                childCell = leafPos[2 * j + c];
+            }
+            if (!(path.back() == childCell))
+                return false;
+            // Contiguity and vertex-disjoint interiors.
+            for (std::size_t t = 0; t + 1 < path.size(); ++t)
+                if (manhattan(path[t], path[t + 1]) != 1)
+                    return false;
+            for (std::size_t t = 1; t + 1 < path.size(); ++t) {
+                Coord cell = path[t];
+                if (!inGrid(cell) || sites.count(cell) ||
+                    !interiors.insert(cell).second)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+double
+HTreeEmbedding::unusedFraction() const
+{
+    std::size_t used = routerPos.size() + leafPos.size();
+    for (const auto &e : edges)
+        used += e.interiorLength();
+    const double total = double(gw) * gh;
+    return (total - double(used)) / total;
+}
+
+std::string
+HTreeEmbedding::toAscii() const
+{
+    std::vector<std::string> canvas(gh, std::string(gw, '.'));
+    for (const auto &e : edges)
+        for (std::size_t t = 1; t + 1 < e.path.size(); ++t)
+            canvas[e.path[t].y][e.path[t].x] = '*';
+    for (Coord c : routerPos)
+        canvas[c.y][c.x] = 'R';
+    for (Coord c : leafPos)
+        canvas[c.y][c.x] = 'D';
+
+    std::ostringstream os;
+    for (const auto &row : canvas)
+        os << row << "\n";
+    return os.str();
+}
+
+} // namespace qramsim

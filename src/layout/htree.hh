@@ -1,0 +1,116 @@
+/**
+ * @file
+ * H-tree embedding of the QRAM router tree into a 2D grid (Sec. 4.2).
+ *
+ * The complete binary tree T_m (2^m - 1 router sites plus 2^m leaf/data
+ * sites) is embedded as a topological minor of a grid: router and leaf
+ * sites map to distinct cells, and every tree edge maps to a grid path
+ * whose interiors are vertex-disjoint — those interior cells are the
+ * routing qubits available for teleportation (Sec. 4.3).
+ *
+ * Construction (Browning's H-tree recursion):
+ *  - base case m = 2: T_2 into Grid(3,3) — root at the center, its two
+ *    children on the middle row, four leaves in the corners; the middle
+ *    column above/below the root stays free and is the inbound routing
+ *    corridor (the paper's Fig. 6a: 3 router qubits, 4 data qubits, one
+ *    routing qubit, one unused);
+ *  - recursive even case: T_m (size S) = root at the center of a
+ *    (2S'+1)x(2S'+1) grid, two arm nodes on the middle row, and four
+ *    T_{m-2} quadrants (size S') entered vertically through their free
+ *    middle-column corridors;
+ *  - odd case m >= 3: root between two vertically stacked T_{m-1}
+ *    halves (the paper's rectangular cut);
+ *  - m = 1: a 3x1 strip.
+ *
+ * The invariant making the recursion work: an even embedding occupies
+ * its middle column only at the root, so a parent can always reach a
+ * quadrant's root by a straight vertical path.
+ */
+
+#ifndef QRAMSIM_LAYOUT_HTREE_HH
+#define QRAMSIM_LAYOUT_HTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/grid.hh"
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+/** One embedded tree edge: endpoints plus the grid path between them. */
+struct EmbeddedEdge
+{
+    /** Full cell sequence, endpoints inclusive. */
+    std::vector<Coord> path;
+
+    /** Number of interior (routing) cells. */
+    std::size_t
+    interiorLength() const
+    {
+        return path.size() >= 2 ? path.size() - 2 : 0;
+    }
+};
+
+/** The embedding of T_m into a grid. */
+class HTreeEmbedding
+{
+  public:
+    /** Build the embedding for address width @p m (1 <= m <= 12). */
+    static HTreeEmbedding build(unsigned m);
+
+    unsigned m() const { return width; }
+    int gridWidth() const { return gw; }
+    int gridHeight() const { return gh; }
+
+    /** Cell of internal router node (l, j). */
+    Coord
+    routerCell(unsigned l, std::size_t j) const
+    {
+        return routerPos.at(TreeIndex::node(l, j));
+    }
+
+    /** Cell of leaf (data) slot i. */
+    Coord leafCell(std::size_t i) const { return leafPos.at(i); }
+
+    /**
+     * Edge from node (l, j) to its child c (0 = left, 1 = right);
+     * children of bottom-level nodes are leaves.
+     */
+    const EmbeddedEdge &
+    edge(unsigned l, std::size_t j, int c) const
+    {
+        return edges.at(2 * TreeIndex::node(l, j) + c);
+    }
+
+    /** Longest tree-edge grid distance at level @p l. */
+    std::size_t maxEdgeLength(unsigned l) const;
+
+    /**
+     * Topological-minor validation: all site cells distinct, all edge
+     * interiors vertex-disjoint from each other and from sites.
+     * Returns true iff the embedding is valid.
+     */
+    bool validate() const;
+
+    /** Fraction of grid cells not used by sites or edge interiors. */
+    double unusedFraction() const;
+
+    /** ASCII rendering (R = router, D = data, * = routing, . = free). */
+    std::string toAscii() const;
+
+  private:
+    unsigned width = 0;
+    int gw = 0, gh = 0;
+    std::vector<Coord> routerPos;           ///< per internal node
+    std::vector<Coord> leafPos;             ///< per leaf slot
+    std::vector<EmbeddedEdge> edges;        ///< 2 per internal node
+
+    /** Recursive even-width placement into a square sub-region. */
+    void placeEven(unsigned m, std::size_t nodeId, int ox, int oy,
+                   int size);
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_LAYOUT_HTREE_HH

@@ -1,0 +1,54 @@
+#include "layout/routers.hh"
+
+namespace qramsim {
+
+RoutingCost
+swapRoutingCost(const HTreeEmbedding &emb, unsigned traversals)
+{
+    RoutingCost cost;
+    std::uint64_t routing = 0;
+    for (unsigned l = 0; l < emb.m(); ++l) {
+        const std::size_t d = emb.maxEdgeLength(l);
+        if (d > 1) {
+            // Shuttle in and back out: 2*(d-1) SWAPs on the critical
+            // path, once per traversal of this level.
+            cost.extraDepth += traversals * 2 * (d - 1);
+        }
+        // Total ops: every node at the level pays its own edges.
+        const std::size_t nodes = std::size_t(1) << l;
+        for (std::size_t j = 0; j < nodes; ++j)
+            for (int c = 0; c < 2; ++c) {
+                std::size_t len = emb.edge(l, j, c).path.size() - 1;
+                if (len > 1)
+                    cost.extraOps += traversals * 2 * (len - 1);
+            }
+    }
+    cost.routingQubits = routing; // swap routing borrows no ancillae
+    return cost;
+}
+
+RoutingCost
+teleportRoutingCost(const HTreeEmbedding &emb, unsigned traversals)
+{
+    RoutingCost cost;
+    for (unsigned l = 0; l < emb.m(); ++l) {
+        const std::size_t d = emb.maxEdgeLength(l);
+        if (d > 1) {
+            // EPR prep and all Bell measurements run in parallel along
+            // the path: constant depth per crossing however long.
+            cost.extraDepth += traversals * teleportHopDepth;
+        }
+        const std::size_t nodes = std::size_t(1) << l;
+        for (std::size_t j = 0; j < nodes; ++j)
+            for (int c = 0; c < 2; ++c) {
+                const auto &e = emb.edge(l, j, c);
+                if (e.interiorLength() > 0) {
+                    cost.extraOps += traversals * teleportHopDepth;
+                    cost.routingQubits += e.interiorLength();
+                }
+            }
+    }
+    return cost;
+}
+
+} // namespace qramsim

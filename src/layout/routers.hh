@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Routing cost models on the embedded tree (Secs. 4.1, 4.3 / Fig. 8).
+ *
+ * A logical tree-edge gate (the CSWAPs of a routing step, the CXs of
+ * the compression array) acts on qubits whose embedded cells are
+ * d = |edge path| apart. Two ways to realize it on nearest-neighbor
+ * hardware:
+ *
+ *  - Swap-based: shuttle one operand along the path and back:
+ *    2*(d-1) SWAPs of extra depth per gate, paid on the critical path.
+ *    Root-level edges of the H-tree have d ~ 2^(m/2), so the extra
+ *    depth grows exponentially in m — the upper curve of Fig. 8.
+ *
+ *  - Teleportation-based (Sec. 4.3): the interior cells of the edge
+ *    path are routing qubits carrying no logical state; EPR pairs are
+ *    prepared on them and Bell measurements chain the entanglement
+ *    end-to-end (entanglement swapping). EPR preparation and all BSMs
+ *    happen in parallel, so the extra depth is a constant per gate
+ *    (prepare, measure, Pauli-frame fix, use) independent of d — the
+ *    flat curve of Fig. 8.
+ *
+ * The query critical path crosses each tree level a constant number of
+ * times (address loading is pipelined; retrieval traverses down and
+ * up), so the model charges 'traversals' crossings per level.
+ */
+
+#ifndef QRAMSIM_LAYOUT_ROUTERS_HH
+#define QRAMSIM_LAYOUT_ROUTERS_HH
+
+#include <cstdint>
+
+#include "layout/htree.hh"
+
+namespace qramsim {
+
+/** Extra cost of executing one query on the embedded tree. */
+struct RoutingCost
+{
+    /** Extra operation depth added on the critical path. */
+    std::uint64_t extraDepth = 0;
+
+    /** Total extra operations (SWAPs, or EPR+BSM rounds). */
+    std::uint64_t extraOps = 0;
+
+    /** Ancilla (routing) qubits consumed. */
+    std::uint64_t routingQubits = 0;
+};
+
+/**
+ * Depth a teleportation hop adds per long-range gate. EPR pairs on the
+ * routing qubits are prepared concurrently with the preceding
+ * computation layer, so only the Bell-measurement layer and the
+ * Pauli-frame-corrected gate add critical-path depth.
+ */
+inline constexpr std::uint64_t teleportHopDepth = 2;
+
+/**
+ * Swap-based routing cost for one query on @p emb.
+ * @p traversals = level crossings per query (address load/unload plus
+ * the down/up data traversals; 6 for a bucket-brigade query).
+ */
+RoutingCost swapRoutingCost(const HTreeEmbedding &emb,
+                            unsigned traversals = 6);
+
+/** Teleportation-based routing cost for one query on @p emb. */
+RoutingCost teleportRoutingCost(const HTreeEmbedding &emb,
+                                unsigned traversals = 6);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_LAYOUT_ROUTERS_HH

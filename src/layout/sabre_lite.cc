@@ -1,0 +1,250 @@
+#include "layout/sabre_lite.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace qramsim {
+
+namespace {
+
+/** Mutable logical<->physical mapping with SWAP emission. */
+class Mapping
+{
+  public:
+    Mapping(std::size_t logical, std::size_t physical)
+        : log2phys(physical), phys2log(physical)
+    {
+        QRAMSIM_ASSERT(logical <= physical, "circuit too large");
+        for (std::size_t i = 0; i < physical; ++i) {
+            log2phys[i] = static_cast<Qubit>(i);
+            phys2log[i] = static_cast<Qubit>(i);
+        }
+    }
+
+    Qubit phys(Qubit l) const { return log2phys[l]; }
+    Qubit log(Qubit p) const { return phys2log[p]; }
+
+    /** Emit a physical SWAP into @p out and update the mapping. */
+    void
+    swapPhys(Circuit &out, Qubit pa, Qubit pb, std::size_t &count)
+    {
+        out.swap(pa, pb);
+        ++count;
+        Qubit la = phys2log[pa], lb = phys2log[pb];
+        std::swap(phys2log[pa], phys2log[pb]);
+        log2phys[la] = pb;
+        log2phys[lb] = pa;
+    }
+
+  private:
+    std::vector<Qubit> log2phys;
+    std::vector<Qubit> phys2log;
+};
+
+/** Is the physical operand set a connected subgraph of the device? */
+bool
+clusterConnected(const CouplingGraph &dev,
+                 const std::vector<Qubit> &phys)
+{
+    if (phys.size() <= 1)
+        return true;
+    std::vector<bool> seen(phys.size(), false);
+    std::vector<std::size_t> stack{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+        std::size_t u = stack.back();
+        stack.pop_back();
+        for (std::size_t v = 0; v < phys.size(); ++v) {
+            if (!seen[v] && dev.adjacent(phys[u], phys[v])) {
+                seen[v] = true;
+                ++visited;
+                stack.push_back(v);
+            }
+        }
+    }
+    return visited == phys.size();
+}
+
+/**
+ * Vertices in an order such that each one is a leaf of a spanning
+ * tree of the not-yet-emitted vertices (peel leaves repeatedly), so
+ * the remaining subgraph stays connected at every step.
+ */
+std::vector<Qubit>
+eliminationOrder(const CouplingGraph &dev)
+{
+    const std::size_t n = dev.size();
+    // BFS spanning tree from vertex 0.
+    std::vector<int> parent(n, -1);
+    std::vector<std::size_t> children(n, 0);
+    std::vector<Qubit> bfs{0};
+    std::vector<bool> seen(n, false);
+    seen[0] = true;
+    for (std::size_t i = 0; i < bfs.size(); ++i) {
+        for (Qubit w : dev.neighbors(bfs[i])) {
+            if (!seen[w]) {
+                seen[w] = true;
+                parent[w] = static_cast<int>(bfs[i]);
+                ++children[bfs[i]];
+                bfs.push_back(w);
+            }
+        }
+    }
+    // Peel leaves: reverse BFS order works for a BFS tree only if
+    // every later vertex is a descendant-free leaf at its turn; use a
+    // proper queue of current leaves instead.
+    std::vector<Qubit> order;
+    std::vector<Qubit> leaves;
+    for (Qubit v = 0; v < static_cast<Qubit>(n); ++v)
+        if (children[v] == 0)
+            leaves.push_back(v);
+    while (!leaves.empty()) {
+        Qubit v = leaves.back();
+        leaves.pop_back();
+        order.push_back(v);
+        if (parent[v] >= 0) {
+            Qubit p = static_cast<Qubit>(parent[v]);
+            if (--children[p] == 0)
+                leaves.push_back(p);
+        }
+    }
+    QRAMSIM_ASSERT(order.size() == n, "elimination order incomplete");
+    return order;
+}
+
+/** BFS shortest path avoiding settled vertices (endpoints unsettled). */
+std::vector<Qubit>
+maskedPath(const CouplingGraph &dev, Qubit from, Qubit to,
+           const std::vector<bool> &settled)
+{
+    const std::size_t n = dev.size();
+    std::vector<int> prev(n, -1);
+    std::vector<bool> seen(n, false);
+    std::vector<Qubit> queue{from};
+    seen[from] = true;
+    for (std::size_t i = 0; i < queue.size() && !seen[to]; ++i) {
+        for (Qubit w : dev.neighbors(queue[i])) {
+            if (!seen[w] && !settled[w]) {
+                seen[w] = true;
+                prev[w] = static_cast<int>(queue[i]);
+                queue.push_back(w);
+            }
+        }
+    }
+    QRAMSIM_ASSERT(seen[to], "unsettled subgraph disconnected");
+    std::vector<Qubit> path;
+    for (int v = static_cast<int>(to); v != -1; v = prev[v])
+        path.push_back(static_cast<Qubit>(v));
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace
+
+RoutedCircuit
+routeOntoDevice(const QueryCircuit &qc, const CouplingGraph &device)
+{
+    const std::size_t nl = qc.circuit.numQubits();
+    const std::size_t np = device.size();
+    if (nl > np)
+        QRAMSIM_FATAL("circuit needs ", nl, " qubits but device '",
+                      device.name(), "' has ", np);
+
+    RoutedCircuit out;
+    out.circuit.allocRegister(np, "p");
+    Mapping map(nl, np);
+
+    for (const Gate &g : qc.circuit.gates()) {
+        if (g.kind == GateKind::Barrier) {
+            out.circuit.barrier();
+            continue;
+        }
+        std::vector<Qubit> logical = g.controls;
+        logical.insert(logical.end(), g.targets.begin(),
+                       g.targets.end());
+
+        if (logical.size() >= 2) {
+            // Gather operands into a connected cluster around the
+            // pivot (min total distance to the other operands).
+            auto physOf = [&](const std::vector<Qubit> &ls) {
+                std::vector<Qubit> ps;
+                ps.reserve(ls.size());
+                for (Qubit l : ls)
+                    ps.push_back(map.phys(l));
+                return ps;
+            };
+            for (int guard = 0; guard < 1024; ++guard) {
+                std::vector<Qubit> phys = physOf(logical);
+                if (clusterConnected(device, phys))
+                    break;
+                QRAMSIM_ASSERT(guard + 1 < 1024, "routing diverged");
+
+                // Pivot selection.
+                std::size_t pivot = 0;
+                unsigned best = std::numeric_limits<unsigned>::max();
+                for (std::size_t i = 0; i < phys.size(); ++i) {
+                    unsigned tot = 0;
+                    for (std::size_t j = 0; j < phys.size(); ++j)
+                        tot += device.distance(phys[i], phys[j]);
+                    if (tot < best) {
+                        best = tot;
+                        pivot = i;
+                    }
+                }
+                // Step the farthest unconnected operand one hop toward
+                // the pivot; repeat until connected.
+                std::size_t worst = pivot;
+                unsigned worstD = 0;
+                for (std::size_t i = 0; i < phys.size(); ++i) {
+                    unsigned d = device.distance(phys[i], phys[pivot]);
+                    if (i != pivot && d > 1 && d >= worstD) {
+                        worstD = d;
+                        worst = i;
+                    }
+                }
+                if (worst == pivot)
+                    break; // all adjacent yet not connected: done
+                auto path =
+                    device.shortestPath(phys[worst], phys[pivot]);
+                map.swapPhys(out.circuit, path[0], path[1],
+                             out.swapCount);
+            }
+        }
+
+        Gate routed = g;
+        for (Qubit &q : routed.controls)
+            q = map.phys(q);
+        for (Qubit &q : routed.targets)
+            q = map.phys(q);
+        out.circuit.pushGate(routed);
+    }
+
+    // Restore the initial layout so input and output roles coincide.
+    // Settling a qubit must never disturb already-settled ones, so
+    // positions are settled in a spanning-tree elimination order
+    // (always peel a current leaf) and each token moves along a path
+    // confined to the still-unsettled subgraph — the standard
+    // token-swapping construction.
+    std::vector<bool> settled(np, false);
+    std::vector<Qubit> order = eliminationOrder(device);
+    for (Qubit v : order) {
+        // Move logical v (its token) home to physical v.
+        Qubit cur = 0;
+        for (Qubit p = 0; p < static_cast<Qubit>(np); ++p)
+            if (map.log(p) == v)
+                cur = p;
+        while (cur != v) {
+            auto path = maskedPath(device, cur, v, settled);
+            map.swapPhys(out.circuit, path[0], path[1], out.swapCount);
+            cur = path[1];
+        }
+        settled[v] = true;
+    }
+
+    out.addressQubits = qc.addressQubits; // identity initial layout
+    out.busQubit = qc.busQubit;
+    return out;
+}
+
+} // namespace qramsim

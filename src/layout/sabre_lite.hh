@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SABRE-lite: greedy SWAP-insertion routing for sparse NISQ devices
+ * (the Appendix A transpilation step).
+ *
+ * The paper transpiles its small QRAM circuits with Qiskit's SABRE
+ * pass; we substitute a compact greedy router with the same contract:
+ * given a logical circuit and a device coupling map, emit an equivalent
+ * circuit over physical qubits in which every multi-qubit gate acts on
+ * a connected cluster, inserting SWAP gates as needed and reporting
+ * their count (the number quoted per configuration in Fig. 12).
+ *
+ * Routing policy: operands of each gate are gathered around a pivot
+ * (the operand minimizing total distance) by stepping the others along
+ * shortest paths until the operand set forms a connected subgraph.
+ * After the last gate, SWAPs restore the initial layout so the
+ * input/output qubit roles coincide (required by the path-simulator
+ * fidelity harness, and equivalent to Qiskit's final-permutation
+ * accounting).
+ *
+ * Inserted SWAPs are real reversible gates, so the routed circuit stays
+ * Feynman-path simulable and picks up device noise on every inserted
+ * operation — exactly what the Fig. 12 fidelity sweep needs.
+ */
+
+#ifndef QRAMSIM_LAYOUT_SABRE_LITE_HH
+#define QRAMSIM_LAYOUT_SABRE_LITE_HH
+
+#include "layout/grid.hh"
+#include "qram/architecture.hh"
+
+namespace qramsim {
+
+/** Result of routing a query circuit onto a device. */
+struct RoutedCircuit
+{
+    /** The routed circuit, over physical qubits. */
+    Circuit circuit;
+
+    /** Physical positions of the address register (initial == final). */
+    std::vector<Qubit> addressQubits;
+
+    /** Physical position of the bus. */
+    Qubit busQubit = 0;
+
+    /** Number of inserted SWAP gates. */
+    std::size_t swapCount = 0;
+};
+
+/**
+ * Route @p qc onto @p device with the identity initial layout.
+ * Fails (fatal) if the circuit needs more qubits than the device has.
+ */
+RoutedCircuit routeOntoDevice(const QueryCircuit &qc,
+                              const CouplingGraph &device);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_LAYOUT_SABRE_LITE_HH

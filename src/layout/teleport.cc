@@ -1,0 +1,154 @@
+#include "layout/teleport.hh"
+
+namespace qramsim {
+
+namespace {
+
+/** Apply a named single- or two-qubit gate directly to the state. */
+void
+gate1(DenseStatevector &s, GateKind kind, Qubit t)
+{
+    Gate g;
+    g.kind = kind;
+    g.targets = {t};
+    s.apply(g);
+}
+
+void
+cx(DenseStatevector &s, Qubit c, Qubit t)
+{
+    Gate g;
+    g.kind = GateKind::X;
+    g.controls = {c};
+    g.targets = {t};
+    s.apply(g);
+}
+
+/** Prepare an EPR pair |00>+|11> on (a, b), both assumed |0>. */
+void
+epr(DenseStatevector &s, Qubit a, Qubit b)
+{
+    gate1(s, GateKind::H, a);
+    cx(s, a, b);
+}
+
+/**
+ * Bell measurement of (u, v): returns (x, z) outcome bits. With the
+ * EPR convention above, teleporting through this BSM requires an X on
+ * the far end when x == 1 and a Z when z == 1.
+ */
+std::pair<bool, bool>
+bsm(DenseStatevector &s, Qubit u, Qubit v, Rng &rng)
+{
+    cx(s, u, v);
+    gate1(s, GateKind::H, u);
+    bool x = s.measure(v, rng);
+    bool z = s.measure(u, rng);
+    return {x, z};
+}
+
+} // namespace
+
+TeleportStats
+teleportSwapped(DenseStatevector &state, Qubit src,
+                const std::vector<Qubit> &routing, Qubit dst, Rng &rng)
+{
+    QRAMSIM_ASSERT(routing.size() % 2 == 0,
+                   "routing chain must pair up");
+    TeleportStats stats;
+
+    // Endpoints of the EPR pairs along the chain: (r0,r1), (r2,r3),
+    // ..., with dst paired to the last routing qubit; when the chain
+    // is empty, (srcSide = dst's partner) degenerates to one pair
+    // (a, dst) using no routing qubits -- model that by pairing src's
+    // BSM partner directly with dst.
+    std::vector<std::pair<Qubit, Qubit>> pairs;
+    if (routing.empty()) {
+        QRAMSIM_PANIC("empty routing chain: use a plain SWAP instead");
+    }
+    // Pair consecutive routing qubits; the final pair is
+    // (routing.back(), dst) when the count is even, so re-chunk:
+    // [r0 r1] [r2 r3] ... [r_{2t-2} r_{2t-1}] and then dst pairs with
+    // nothing -- instead we form pairs shifted by one: (r0, r1), ...,
+    // and treat dst as the Bell partner of the last pair through one
+    // more BSM. Simpler: form pairs (r0, r1), (r2, r3), ..., plus an
+    // implicit final hop pair (r_{2t-1}'s partner = dst) by preparing
+    // EPR on (r_{2t-1}... ) -- to keep the standard layout we prepare:
+    //   EPR(r0, r1), EPR(r2, r3), ..., EPR(r_{2t-2}, r_{2t-1}),
+    //   and one more EPR cannot use dst alone; so instead the LAST
+    //   routing qubit pairs with dst: re-chunk as
+    //   (r0, r1), ..., (r_{2t-2}, r_{2t-1}) with dst replacing the
+    //   final right endpoint. To do that cleanly we prepare pairs on
+    //   (r0, r1), ..., (r_{2t-2}, dst) and the odd leftover routing
+    //   qubits become BSM partners.
+    //
+    // Concretely: endpoints e_0..e_{t}: e_0 = src, then EPR pairs
+    // P_i = (a_i, b_i) with a_i = routing[2i], b_i = routing[2i+1]
+    // for i < t-1 and the last pair (routing[2t-2], dst).
+    const std::size_t t = routing.size() / 2;
+    for (std::size_t i = 0; i + 1 < t; ++i)
+        pairs.push_back({routing[2 * i], routing[2 * i + 1]});
+    pairs.push_back({routing[2 * (t - 1)], dst});
+    if (t >= 2) {
+        // The displaced final routing qubit joins the previous pair's
+        // chain as a passthrough endpoint (unused); mark it measured
+        // out below by pairing structure. For simplicity, the qubit
+        // routing[2t-1] is simply left idle in |0>.
+    }
+
+    // Layer 1: all EPR pairs in parallel (depth 2: H then CX).
+    for (auto [a, b] : pairs)
+        epr(state, a, b);
+    stats.eprPairs = pairs.size();
+    stats.depth += 2;
+
+    // Layer 2: all Bell measurements in parallel (depth 2 + readout):
+    // (src, a_0), then (b_i, a_{i+1}) for each link.
+    bool xFix = false, zFix = false;
+    auto absorb = [&](std::pair<bool, bool> xz) {
+        xFix ^= xz.first;
+        zFix ^= xz.second;
+        stats.measurements += 2;
+    };
+    absorb(bsm(state, src, pairs[0].first, rng));
+    for (std::size_t i = 0; i + 1 < pairs.size(); ++i)
+        absorb(bsm(state, pairs[i].second, pairs[i + 1].first, rng));
+    stats.depth += 2;
+
+    // Layer 3: Pauli frame correction on the destination.
+    if (xFix)
+        gate1(state, GateKind::X, dst);
+    if (zFix)
+        gate1(state, GateKind::Z, dst);
+    stats.depth += 1;
+    return stats;
+}
+
+TeleportStats
+teleportSequential(DenseStatevector &state, Qubit src,
+                   const std::vector<Qubit> &routing, Qubit dst,
+                   Rng &rng)
+{
+    QRAMSIM_ASSERT(routing.size() % 2 == 0,
+                   "routing chain must pair up");
+    TeleportStats stats;
+    Qubit cur = src;
+    const std::size_t t = routing.size() / 2;
+    for (std::size_t i = 0; i < t; ++i) {
+        Qubit a = routing[2 * i];
+        Qubit b = i + 1 == t ? dst : routing[2 * i + 1];
+        epr(state, a, b);
+        auto [x, z] = bsm(state, cur, a, rng);
+        if (x)
+            gate1(state, GateKind::X, b);
+        if (z)
+            gate1(state, GateKind::Z, b);
+        ++stats.eprPairs;
+        stats.measurements += 2;
+        stats.depth += 5; // each hop is serialized
+        cur = b;
+    }
+    return stats;
+}
+
+} // namespace qramsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Circuit-level teleportation gadgets (Sec. 4.3).
+ *
+ * The routing cost model (layout/routers.hh) charges a constant depth
+ * per long-range hop; this module backs that constant with the actual
+ * gadget, executable on the dense statevector simulator:
+ *
+ *  - entanglement-swapping teleportation through a chain of routing
+ *    qubits: EPR pairs are prepared on consecutive routing qubits
+ *    (one layer of H+CX, all pairs in parallel), Bell-state
+ *    measurements chain the entanglement end to end (one layer of
+ *    CX+H plus measurements, all in parallel), and a final Pauli
+ *    frame correction lands the state on the destination — constant
+ *    circuit depth regardless of distance;
+ *
+ *  - sequential hop-by-hop teleportation for comparison (depth linear
+ *    in the chain length).
+ *
+ * Both preserve entanglement with spectator qubits, which the tests
+ * verify by teleporting halves of Bell pairs.
+ */
+
+#ifndef QRAMSIM_LAYOUT_TELEPORT_HH
+#define QRAMSIM_LAYOUT_TELEPORT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/dense.hh"
+
+namespace qramsim {
+
+/** Accounting of one teleportation execution. */
+struct TeleportStats
+{
+    std::size_t eprPairs = 0;
+    std::size_t measurements = 0;
+
+    /** Quantum circuit depth consumed (excluding classical fix-up). */
+    std::size_t depth = 0;
+};
+
+/**
+ * Teleport the state of @p src onto @p dst through @p routing via
+ * parallel entanglement swapping. @p routing must have even size
+ * (pairs of routing qubits); size 0 degenerates to a direct
+ * teleport using @p dst... which still needs one EPR partner, so
+ * routing must contain at least 0 qubits and dst is the final EPR
+ * endpoint paired with the last routing qubit (or with a dedicated
+ * ancilla when routing is empty — disallowed here: use swap).
+ *
+ * Preconditions: all routing qubits and @p dst are in |0>.
+ * Postcondition: @p dst holds src's state (entanglement preserved);
+ * @p src and the routing qubits are left in post-measurement
+ * classical states.
+ */
+TeleportStats teleportSwapped(DenseStatevector &state, Qubit src,
+                              const std::vector<Qubit> &routing,
+                              Qubit dst, Rng &rng);
+
+/**
+ * Hop-by-hop teleportation: src hops to each routing position in turn
+ * (each hop consumes one fresh EPR pair formed with the next stop).
+ * Depth grows linearly with the chain — the comparison point showing
+ * why Sec. 4.3 uses entanglement swapping instead.
+ */
+TeleportStats teleportSequential(DenseStatevector &state, Qubit src,
+                                 const std::vector<Qubit> &routing,
+                                 Qubit dst, Rng &rng);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_LAYOUT_TELEPORT_HH

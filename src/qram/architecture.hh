@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Common interface of all quantum query architectures.
+ *
+ * Every architecture — virtual QRAM, SQC+BB, SQC+SS, plain SQC, fanout —
+ * compiles a classical Memory into a QueryCircuit implementing
+ *
+ *   sum_i alpha_i |i>_A |0>_B  ->  sum_i alpha_i |i>_A |x_i>_B
+ *
+ * with all internal qubits returned to |0>. The QueryCircuit exposes the
+ * address register and bus so simulators/benchmarks are architecture
+ * agnostic.
+ */
+
+#ifndef QRAMSIM_QRAM_ARCHITECTURE_HH
+#define QRAMSIM_QRAM_ARCHITECTURE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "qram/memory.hh"
+
+namespace qramsim {
+
+/** A compiled query: circuit plus its external interface qubits. */
+struct QueryCircuit
+{
+    Circuit circuit;
+
+    /** Address register, LSB-first; size == memory address width. */
+    std::vector<Qubit> addressQubits;
+
+    /** The bus qubit receiving x_i. */
+    Qubit busQubit = 0;
+};
+
+/** Abstract quantum query architecture. */
+class QueryArchitecture
+{
+  public:
+    virtual ~QueryArchitecture() = default;
+
+    /** Compile a query circuit for @p mem. */
+    virtual QueryCircuit build(const Memory &mem) const = 0;
+
+    /** Display name (used in benchmark tables). */
+    virtual std::string name() const = 0;
+
+    /** Address width this architecture expects. */
+    virtual unsigned addressWidth() const = 0;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_ARCHITECTURE_HH

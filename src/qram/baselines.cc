@@ -1,0 +1,33 @@
+#include "qram/baselines.hh"
+
+namespace qramsim {
+
+QueryCircuit
+SqcBucketBrigade::build(const Memory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == addressWidth(),
+                   "memory width mismatch");
+    QueryCircuit qc;
+    const unsigned n = addressWidth();
+    qc.addressQubits = qc.circuit.allocRegister(n, "addr");
+    qc.busQubit = qc.circuit.allocQubit("bus");
+
+    RouterTree tree(qc.circuit, qramWidth, treeOpts);
+    std::vector<Qubit> qramBits(qc.addressQubits.begin(),
+                                qc.addressQubits.begin() + qramWidth);
+    std::vector<Qubit> sqcBits(qc.addressQubits.begin() + qramWidth,
+                               qc.addressQubits.end());
+
+    // Load-multiple-times: the whole loading stage repeats per segment.
+    const std::uint64_t pages = std::uint64_t(1) << sqcWidth;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        tree.loadAddress(qramBits);
+        tree.retrieveViaBusRouting(mem.segment(qramWidth, p), sqcBits,
+                                   p, qc.busQubit);
+        tree.unloadAddress(qramBits);
+        tree.roundBarrier();
+    }
+    return qc;
+}
+
+} // namespace qramsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hybrid baseline architectures of the evaluation (Sec. 6.1 / Table 2).
+ *
+ * Baseline B (SQC+BB): the load-multiple-times hybrid from prior work
+ * [Hann et al.]: for every one of the 2^k memory segments, the m QRAM
+ * address bits are loaded into the router tree, the segment is served
+ * through the conventional bus-routing retrieval with the bus copy
+ * conditioned on the k SQC bits, and the address is unloaded again.
+ * The 2^k repetitions of the CSWAP-heavy loading stage are the source
+ * of its O(2^k) T-count/T-depth blowup.
+ *
+ * Baseline S (SQC+SS) is SelectSwapQram (select width k, swap width m);
+ * see select_swap.hh.
+ */
+
+#ifndef QRAMSIM_QRAM_BASELINES_HH
+#define QRAMSIM_QRAM_BASELINES_HH
+
+#include "qram/architecture.hh"
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+/** Baseline B: SQC wrapped around a re-loaded bucket-brigade QRAM. */
+class SqcBucketBrigade : public QueryArchitecture
+{
+  public:
+    SqcBucketBrigade(unsigned qramWidthM, unsigned sqcWidthK,
+                     TreeOptions opts = {})
+        : qramWidth(qramWidthM), sqcWidth(sqcWidthK), treeOpts(opts)
+    {
+        QRAMSIM_ASSERT(qramWidth >= 1, "SQC+BB needs m >= 1");
+    }
+
+    QueryCircuit build(const Memory &mem) const override;
+    std::string name() const override { return "SQC+BB"; }
+
+    unsigned addressWidth() const override
+    {
+        return qramWidth + sqcWidth;
+    }
+
+  private:
+    unsigned qramWidth;
+    unsigned sqcWidth;
+    TreeOptions treeOpts;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_BASELINES_HH

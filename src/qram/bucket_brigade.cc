@@ -1,0 +1,23 @@
+#include "qram/bucket_brigade.hh"
+
+namespace qramsim {
+
+QueryCircuit
+BucketBrigadeQram::build(const Memory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == width,
+                   "memory width mismatch: memory ", mem.addressWidth(),
+                   ", architecture ", width);
+    QueryCircuit qc;
+    qc.addressQubits = qc.circuit.allocRegister(width, "addr");
+    qc.busQubit = qc.circuit.allocQubit("bus");
+
+    RouterTree tree(qc.circuit, width, treeOpts);
+    tree.loadAddress(qc.addressQubits);
+    tree.retrieveViaBusRouting(mem.segment(width, 0), {}, 0,
+                               qc.busQubit);
+    tree.unloadAddress(qc.addressQubits);
+    return qc;
+}
+
+} // namespace qramsim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Standalone bucket-brigade QRAM (Sec. 2.3.2).
+ *
+ * The classic router-based architecture: dual-rail address loading into
+ * the router tree (W-state-like activation) followed by the
+ * conventional bus-routing data retrieval — the bus travels down to the
+ * leaves and back. Serves as the "BB" baseline of Fig. 9 and as the
+ * QRAM stage of the SQC+BB hybrid (baselines.hh).
+ */
+
+#ifndef QRAMSIM_QRAM_BUCKET_BRIGADE_HH
+#define QRAMSIM_QRAM_BUCKET_BRIGADE_HH
+
+#include "qram/architecture.hh"
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+/** Bucket-brigade QRAM over a capacity-2^m memory. */
+class BucketBrigadeQram : public QueryArchitecture
+{
+  public:
+    explicit BucketBrigadeQram(unsigned m, TreeOptions opts = {})
+        : width(m), treeOpts(opts)
+    {
+        QRAMSIM_ASSERT(m >= 1, "bucket brigade needs m >= 1");
+    }
+
+    QueryCircuit build(const Memory &mem) const override;
+    std::string name() const override { return "BB"; }
+    unsigned addressWidth() const override { return width; }
+
+  private:
+    unsigned width;
+    TreeOptions treeOpts;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_BUCKET_BRIGADE_HH

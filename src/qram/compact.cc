@@ -1,0 +1,98 @@
+#include "qram/compact.hh"
+
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+QueryCircuit
+CompactQram::build(const Memory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == addressWidth(),
+                   "memory width mismatch");
+    QueryCircuit qc;
+    Circuit &c = qc.circuit;
+    const unsigned m = qramWidth, k = sqcWidth;
+    qc.addressQubits = c.allocRegister(m + k, "addr");
+    qc.busQubit = c.allocQubit("bus");
+
+    const std::size_t nodes = TreeIndex::nodeCount(m);
+    const std::size_t leaves = TreeIndex::leafCount(m);
+    std::vector<Qubit> router = c.allocRegister(nodes, "r");
+    std::vector<Qubit> carrier = c.allocRegister(nodes, "c");
+    std::vector<Qubit> leaf = c.allocRegister(leaves, "l");
+
+    auto r = [&](unsigned l, std::size_t j) {
+        return router[TreeIndex::node(l, j)];
+    };
+    auto cr = [&](unsigned l, std::size_t j) {
+        return carrier[TreeIndex::node(l, j)];
+    };
+    auto childCells = [&](unsigned v, std::size_t j) {
+        Qubit left = v + 1 == m ? leaf[2 * j] : cr(v + 1, 2 * j);
+        Qubit right =
+            v + 1 == m ? leaf[2 * j + 1] : cr(v + 1, 2 * j + 1);
+        return std::pair<Qubit, Qubit>{left, right};
+    };
+
+    // Active routers move the carrier right on |1> (CSWAP) and left on
+    // |0> (0-CSWAP); inactive routers shuffle empty cells only, which
+    // the matching up/down pair undoes.
+    auto routeDownLevel = [&](unsigned v) {
+        const std::size_t n = std::size_t(1) << v;
+        for (std::size_t j = 0; j < n; ++j) {
+            auto [left, right] = childCells(v, j);
+            c.cswap(r(v, j), cr(v, j), right);
+            c.cswap0(r(v, j), cr(v, j), left);
+        }
+    };
+    auto routeUpLevel = [&](unsigned v) {
+        const std::size_t n = std::size_t(1) << v;
+        for (std::size_t j = 0; j < n; ++j) {
+            auto [left, right] = childCells(v, j);
+            c.cswap0(r(v, j), cr(v, j), left);
+            c.cswap(r(v, j), cr(v, j), right);
+        }
+    };
+
+    std::vector<Qubit> sqcBits(qc.addressQubits.begin() + m,
+                               qc.addressQubits.end());
+
+    // --- Address loading (once per query: load-once) ---
+    std::size_t loadBegin = c.numGates();
+    for (unsigned u = 0; u < m; ++u) {
+        c.swap(qc.addressQubits[m - 1 - u], cr(0, 0));
+        for (unsigned v = 0; v < u; ++v)
+            routeDownLevel(v);
+        const std::size_t n = std::size_t(1) << u;
+        for (std::size_t j = 0; j < n; ++j)
+            c.swap(cr(u, j), r(u, j));
+    }
+    std::size_t loadEnd = c.numGates();
+
+    // --- Per-segment retrieval (classic bucket-brigade sequence) ---
+    const std::uint64_t pages = std::uint64_t(1) << k;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        std::vector<std::uint8_t> seg = mem.segment(m, p);
+        auto writes = [&]() {
+            for (std::size_t i = 0; i < leaves; ++i)
+                c.classicalX(seg[i] != 0, leaf[i]);
+        };
+        // Write the page, pull the addressed bit to the root carrier,
+        // copy it out under the segment pattern, push it back, clear.
+        writes();
+        for (int v = static_cast<int>(m) - 1; v >= 0; --v)
+            routeUpLevel(static_cast<unsigned>(v));
+        std::vector<Qubit> ctrls = sqcBits;
+        ctrls.push_back(cr(0, 0));
+        c.mcx(ctrls, p | (std::uint64_t(1) << k), qc.busQubit);
+        for (unsigned v = 0; v < m; ++v)
+            routeDownLevel(v);
+        writes();
+    }
+
+    // --- Address unloading ---
+    c.appendReversedRange(loadBegin, loadEnd);
+    return qc;
+}
+
+} // namespace qramsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Compact single-rail QRAM for small-scale NISQ experiments
+ * (Appendix A / Fig. 12).
+ *
+ * The dual-rail virtual QRAM needs ~6*2^m qubits — more than the
+ * 7-qubit ibm_perth or 16-qubit ibmq_guadalupe can host even at m = 1.
+ * The paper's hardware study therefore uses the lean bit-encoded
+ * construction; this class is that variant: one qubit per router, one
+ * carrier per node, one data qubit per leaf.
+ *
+ * Routing uses paired CSWAP / 0-CSWAP gates (the paper's 0-controlled
+ * gates, Sec. 2.1): an active router moves the carrier left on |0> and
+ * right on |1>; inactive routers only ever see empty carriers.
+ * Retrieval is the classic bucket-brigade sequence: classically write
+ * the segment into the leaves, route the addressed leaf's bit up to
+ * the root carrier, copy it to the bus under the SQC segment pattern,
+ * then uncompute. Address loading still happens once per query
+ * (load-once), so the hybrid (m, k) configurations of Fig. 12 work
+ * unchanged.
+ *
+ * Qubit count: (m + k) + 1 + 2*(2^m - 1) + 2^m
+ *   (1,0): 6   (1,1): 7   (2,0): 13   (2,1): 14.
+ */
+
+#ifndef QRAMSIM_QRAM_COMPACT_HH
+#define QRAMSIM_QRAM_COMPACT_HH
+
+#include "qram/architecture.hh"
+
+namespace qramsim {
+
+/** Single-rail (bit-encoded) hybrid QRAM. */
+class CompactQram : public QueryArchitecture
+{
+  public:
+    CompactQram(unsigned qramWidthM, unsigned sqcWidthK)
+        : qramWidth(qramWidthM), sqcWidth(sqcWidthK)
+    {
+        QRAMSIM_ASSERT(qramWidth >= 1, "compact QRAM needs m >= 1");
+    }
+
+    QueryCircuit build(const Memory &mem) const override;
+
+    std::string
+    name() const override
+    {
+        return "CompactQRAM(m=" + std::to_string(qramWidth) +
+               ",k=" + std::to_string(sqcWidth) + ")";
+    }
+
+    unsigned addressWidth() const override
+    {
+        return qramWidth + sqcWidth;
+    }
+
+    /** Qubits this configuration needs (for device-fit checks). */
+    static std::size_t
+    qubitCount(unsigned m, unsigned k)
+    {
+        return (m + k) + 1 + 2 * ((std::size_t(1) << m) - 1) +
+               (std::size_t(1) << m);
+    }
+
+  private:
+    unsigned qramWidth;
+    unsigned sqcWidth;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_COMPACT_HH

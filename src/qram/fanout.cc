@@ -1,0 +1,22 @@
+#include "qram/fanout.hh"
+
+namespace qramsim {
+
+QueryCircuit
+FanoutQram::build(const Memory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == width,
+                   "memory width mismatch");
+    QueryCircuit qc;
+    qc.addressQubits = qc.circuit.allocRegister(width, "addr");
+    qc.busQubit = qc.circuit.allocQubit("bus");
+
+    RouterTree tree(qc.circuit, width, TreeOptions{});
+    tree.loadAddressFanout(qc.addressQubits);
+    tree.retrieveViaBusRouting(mem.segment(width, 0), {}, 0,
+                               qc.busQubit);
+    tree.unloadAddressFanout(qc.addressQubits);
+    return qc;
+}
+
+} // namespace qramsim

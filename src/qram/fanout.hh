@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fanout QRAM (Sec. 2.3.2).
+ *
+ * The first O(log N)-latency router architecture: every level-l router
+ * receives a CX-fanned-out copy of address bit l, preparing GHZ-like
+ * states across each level. Retrieval routes the bus down the (fully
+ * active) tree and back. The GHZ structure is maximally entangled, so a
+ * single Pauli error anywhere decoheres every branch — the fragility
+ * that motivated bucket brigade [Hann et al.].
+ */
+
+#ifndef QRAMSIM_QRAM_FANOUT_HH
+#define QRAMSIM_QRAM_FANOUT_HH
+
+#include "qram/architecture.hh"
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+/** Fanout QRAM over a capacity-2^m memory. */
+class FanoutQram : public QueryArchitecture
+{
+  public:
+    explicit FanoutQram(unsigned m) : width(m)
+    {
+        QRAMSIM_ASSERT(m >= 1, "fanout QRAM needs m >= 1");
+    }
+
+    QueryCircuit build(const Memory &mem) const override;
+    std::string name() const override { return "Fanout"; }
+    unsigned addressWidth() const override { return width; }
+
+  private:
+    unsigned width;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_FANOUT_HH

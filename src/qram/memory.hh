@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Classical memory contents queried by a QRAM.
+ *
+ * The paper evaluates single-bit data cells (x_i in {0,1}); Memory
+ * stores one bit per address and provides the segment (page) views the
+ * virtual QRAM swaps through (Sec. 3.1.3): a size-N memory is split into
+ * K = 2^k contiguous segments of M = 2^m cells, segment p covering
+ * addresses [p*M, (p+1)*M).
+ */
+
+#ifndef QRAMSIM_QRAM_MEMORY_HH
+#define QRAMSIM_QRAM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace qramsim {
+
+/** One-bit-per-cell classical memory of capacity 2^addressWidth. */
+class Memory
+{
+  public:
+    /** All-zero memory of capacity 2^n. */
+    explicit Memory(unsigned n)
+        : addrWidth(n), cells(std::size_t(1) << n, 0)
+    {
+        QRAMSIM_ASSERT(n <= 30, "memory too large to materialize");
+    }
+
+    /** Memory with uniformly random cell contents. */
+    static Memory
+    random(unsigned n, Rng &rng)
+    {
+        Memory mem(n);
+        for (auto &c : mem.cells)
+            c = rng.bernoulli(0.5) ? 1 : 0;
+        return mem;
+    }
+
+    /** Memory initialized from explicit bits (size must be a power of 2). */
+    static Memory
+    fromBits(const std::vector<std::uint8_t> &bits)
+    {
+        unsigned n = 0;
+        while ((std::size_t(1) << n) < bits.size())
+            ++n;
+        QRAMSIM_ASSERT((std::size_t(1) << n) == bits.size(),
+                       "memory size must be a power of two");
+        Memory mem(n);
+        mem.cells = bits;
+        return mem;
+    }
+
+    unsigned addressWidth() const { return addrWidth; }
+    std::size_t size() const { return cells.size(); }
+
+    bool
+    bit(std::uint64_t i) const
+    {
+        QRAMSIM_ASSERT(i < cells.size(), "address ", i, " out of range");
+        return cells[i];
+    }
+
+    void
+    setBit(std::uint64_t i, bool v)
+    {
+        QRAMSIM_ASSERT(i < cells.size(), "address ", i, " out of range");
+        cells[i] = v ? 1 : 0;
+    }
+
+    /**
+     * The 2^m bits of segment @p p under a (k, m) split with
+     * k + m == addressWidth.
+     */
+    std::vector<std::uint8_t>
+    segment(unsigned m, std::uint64_t p) const
+    {
+        QRAMSIM_ASSERT(m <= addrWidth, "segment wider than memory");
+        const std::size_t segSize = std::size_t(1) << m;
+        QRAMSIM_ASSERT((p + 1) * segSize <= cells.size(),
+                       "segment index out of range");
+        return {cells.begin() + p * segSize,
+                cells.begin() + (p + 1) * segSize};
+    }
+
+    const std::vector<std::uint8_t> &bits() const { return cells; }
+
+  private:
+    unsigned addrWidth;
+    std::vector<std::uint8_t> cells;
+};
+
+/** XOR delta between two equal-length segments (lazy data swapping). */
+inline std::vector<std::uint8_t>
+segmentDelta(const std::vector<std::uint8_t> &a,
+             const std::vector<std::uint8_t> &b)
+{
+    QRAMSIM_ASSERT(a.size() == b.size(), "segment size mismatch");
+    std::vector<std::uint8_t> d(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d[i] = a[i] ^ b[i];
+    return d;
+}
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_MEMORY_HH

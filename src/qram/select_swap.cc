@@ -1,0 +1,115 @@
+#include "qram/select_swap.hh"
+
+namespace qramsim {
+
+namespace {
+
+/**
+ * Copy @p src onto fan[0..count) via a CX doubling tree (depth
+ * ceil(log2(count)) + 1). The inverse is the reversed gate sequence.
+ */
+void
+fanout(Circuit &c, Qubit src, const std::vector<Qubit> &fan,
+       std::size_t count)
+{
+    if (count == 0)
+        return;
+    QRAMSIM_ASSERT(count <= fan.size(), "fanout register too small");
+    c.cx(src, fan[0]);
+    for (std::size_t span = 1; span < count; span *= 2)
+        for (std::size_t t = 0; t < span && t + span < count; ++t)
+            c.cx(fan[t], fan[t + span]);
+}
+
+} // namespace
+
+QueryCircuit
+SelectSwapQram::build(const Memory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == addressWidth(),
+                   "memory width mismatch");
+    QueryCircuit qc;
+    Circuit &c = qc.circuit;
+    const unsigned m = swapWidth, k = selectWidth;
+    qc.addressQubits = c.allocRegister(m + k, "addr");
+    qc.busQubit = c.allocQubit("bus");
+
+    const std::size_t words = std::size_t(1) << m;
+    std::vector<Qubit> wreg = c.allocRegister(words, "w");
+    const std::size_t fanSize = words / 2;
+    std::vector<Qubit> fan =
+        fanSize ? c.allocRegister(fanSize, "fan") : std::vector<Qubit>{};
+    Qubit flag = c.allocQubit("flag");
+
+    std::vector<Qubit> lowBits(qc.addressQubits.begin(),
+                               qc.addressQubits.begin() + m);
+    std::vector<Qubit> highBits(qc.addressQubits.begin() + m,
+                                qc.addressQubits.end());
+
+    // --- Select stage: page every block in, once. ---
+    std::size_t selBegin = c.numGates();
+    const std::uint64_t blocks = std::uint64_t(1) << k;
+    for (std::uint64_t p = 0; p < blocks; ++p) {
+        std::vector<std::uint8_t> block = mem.segment(m, p);
+        bool any = false;
+        for (auto b : block)
+            any |= b != 0;
+        if (!any)
+            continue;
+        if (k == 0) {
+            // No select bits: the block select is a classical constant.
+            for (std::size_t j = 0; j < words; ++j)
+                c.classicalX(block[j] != 0, wreg[j]);
+            continue;
+        }
+        // One k-controlled flag per block, fanned out so the word
+        // writes are constant depth.
+        c.mcx(highBits, p, flag);
+        const std::size_t copies = std::min(fanSize, words / 2);
+        std::size_t fb = c.numGates();
+        fanout(c, flag, fan, copies);
+        std::size_t fe = c.numGates();
+        for (std::size_t j = 0; j < words; ++j) {
+            if (!block[j])
+                continue;
+            Qubit driver = j < 2 || copies == 0
+                               ? flag
+                               : fan[(j / 2) % copies];
+            c.cx(driver, wreg[j]);
+        }
+        c.appendReversedRange(fb, fe);
+        c.mcx(highBits, p, flag);
+    }
+    std::size_t selEnd = c.numGates();
+
+    // --- Swap network: butterfly the addressed word to w[0]. ---
+    // Each layer's CSWAPs share one address-bit control; the control is
+    // fanned out (O(b) depth) and folded back — the O(m^2) total that
+    // Table 2 charges to SQC+SS.
+    std::size_t swapBegin = c.numGates();
+    for (int b = static_cast<int>(m) - 1; b >= 0; --b) {
+        const std::size_t pairs = std::size_t(1) << b;
+        if (pairs == 1) {
+            c.cswap(lowBits[b], wreg[0], wreg[1]);
+            continue;
+        }
+        const std::size_t copies = pairs - 1;
+        std::size_t fb = c.numGates();
+        fanout(c, lowBits[b], fan, copies);
+        std::size_t fe = c.numGates();
+        for (std::size_t j = 0; j < pairs; ++j) {
+            Qubit driver = j == 0 ? lowBits[b] : fan[j - 1];
+            c.cswap(driver, wreg[j], wreg[j + pairs]);
+        }
+        c.appendReversedRange(fb, fe);
+    }
+    std::size_t swapEnd = c.numGates();
+
+    // Bus copy, then uncompute everything.
+    c.cx(wreg[0], qc.busQubit);
+    c.appendReversedRange(swapBegin, swapEnd);
+    c.appendReversedRange(selBegin, selEnd);
+    return qc;
+}
+
+} // namespace qramsim

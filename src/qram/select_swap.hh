@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Select-Swap QRAM (Sec. 2.3.3) and the SQC+SS baseline of Table 2.
+ *
+ * Two stages: a select stage sequentially writes data blocks into a
+ * 2^m-wide word register conditioned on the k high address bits, then a
+ * CSWAP butterfly routes the addressed word to position 0 using the m
+ * low address bits. The swap network is the architecture's bottleneck:
+ * each butterfly layer's CSWAPs share one address-bit control, so the
+ * control must be fanned out (CX doubling tree into an ancilla
+ * register) and folded back, costing O(m) depth per layer and O(m^2)
+ * in total — the quadratic gap versus the pipelined router tree that
+ * Table 2 reports.
+ *
+ * The select stage uses a flag qubit per block (one k-controlled MCX)
+ * fanned out across flag copies so the per-block writes are O(1) deep;
+ * data is paged in once ("load-once"), then the whole construction is
+ * uncomputed after the bus copy.
+ */
+
+#ifndef QRAMSIM_QRAM_SELECT_SWAP_HH
+#define QRAMSIM_QRAM_SELECT_SWAP_HH
+
+#include "qram/architecture.hh"
+
+namespace qramsim {
+
+/** Select-Swap QRAM with swap width m and select width k. */
+class SelectSwapQram : public QueryArchitecture
+{
+  public:
+    SelectSwapQram(unsigned swapWidthM, unsigned selectWidthK)
+        : swapWidth(swapWidthM), selectWidth(selectWidthK)
+    {
+        QRAMSIM_ASSERT(swapWidth >= 1, "select-swap needs m >= 1");
+    }
+
+    QueryCircuit build(const Memory &mem) const override;
+
+    std::string
+    name() const override
+    {
+        return selectWidth == 0 ? "SS" : "SQC+SS";
+    }
+
+    unsigned addressWidth() const override
+    {
+        return swapWidth + selectWidth;
+    }
+
+  private:
+    unsigned swapWidth;
+    unsigned selectWidth;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_SELECT_SWAP_HH

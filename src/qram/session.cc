@@ -1,0 +1,44 @@
+#include "qram/session.hh"
+
+namespace qramsim {
+
+QuerySession::QuerySession(std::size_t qpuQubits, unsigned m,
+                           unsigned k, VirtualQramOptions opts)
+    : qramWidth(m), sqcWidth(k), options(opts)
+{
+    QRAMSIM_ASSERT(m >= 1, "sessions need a router tree (m >= 1)");
+    qpuReg = circ.allocRegister(qpuQubits, "qpu");
+    bufferAddr = circ.allocRegister(m + k, "buf_addr");
+    bufferBus = circ.allocQubit("buf_bus");
+
+    TreeOptions topts;
+    topts.recycleCarriers = options.recycleCarriers;
+    topts.pipelined = options.pipelined;
+    tree = std::make_unique<RouterTree>(circ, qramWidth, topts);
+}
+
+void
+QuerySession::query(const Memory &mem,
+                    const std::vector<Qubit> &addrOnQpu, Qubit busOnQpu)
+{
+    QRAMSIM_ASSERT(addrOnQpu.size() == bufferAddr.size(),
+                   "QPU address width mismatch");
+
+    // Swap QPU qubits into the buffer (Fig. 3's boundary crossing).
+    for (std::size_t b = 0; b < bufferAddr.size(); ++b)
+        circ.swap(addrOnQpu[b], bufferAddr[b]);
+    circ.swap(busOnQpu, bufferBus);
+
+    // The tree returns to its rest state every query, so one tree
+    // serves the whole session.
+    emitVirtualQramQuery(circ, *tree, bufferAddr, bufferBus, mem,
+                         sqcWidth, options);
+
+    // Swap back.
+    circ.swap(busOnQpu, bufferBus);
+    for (std::size_t b = 0; b < bufferAddr.size(); ++b)
+        circ.swap(addrOnQpu[b], bufferAddr[b]);
+    ++queries;
+}
+
+} // namespace qramsim

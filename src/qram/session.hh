@@ -1,0 +1,78 @@
+/**
+ * @file
+ * QPU-buffer query sessions (Fig. 3).
+ *
+ * In the paper's system picture the QRAM is a peripheral: the QPU
+ * holds the algorithm's registers, and for a query the address (and
+ * bus) qubits are *swapped into a buffer* at the QRAM boundary, the
+ * query executes, and the buffer is swapped back. QuerySession builds
+ * that composition: a circuit in which designated QPU qubits are
+ * shuttled through the buffer for one or more queries — possibly
+ * against different memories and different buses — over a single
+ * shared architecture layout.
+ *
+ * Because register allocation in every architecture is deterministic,
+ * consecutive build() results of one architecture share their qubit
+ * layout; the session allocates the QPU register first and the query
+ * machinery after it, then emits swap-in / query / swap-out per
+ * enqueued query.
+ */
+
+#ifndef QRAMSIM_QRAM_SESSION_HH
+#define QRAMSIM_QRAM_SESSION_HH
+
+#include <memory>
+#include <vector>
+
+#include "qram/architecture.hh"
+#include "qram/tree.hh"
+#include "qram/virtual_qram.hh"
+
+namespace qramsim {
+
+/** A QPU program fragment that performs QRAM queries via a buffer. */
+class QuerySession
+{
+  public:
+    /**
+     * @param qpuQubits  number of algorithm-side qubits to allocate
+     * @param m, k, opts the shared virtual-QRAM configuration serving
+     *                   every query of the session
+     */
+    QuerySession(std::size_t qpuQubits, unsigned m, unsigned k,
+                 VirtualQramOptions opts = {});
+
+    /** The QPU-side register (allocate algorithm state here). */
+    const std::vector<Qubit> &qpu() const { return qpuReg; }
+
+    /** Direct access to the composed circuit (e.g. to add QPU gates). */
+    Circuit &circuit() { return circ; }
+    const Circuit &circuit() const { return circ; }
+
+    /**
+     * Enqueue one query: QPU qubits @p addrOnQpu supply the address,
+     * @p busOnQpu receives the data bit XORed in. Emits buffer
+     * swap-in, the query circuit, and swap-out.
+     */
+    void query(const Memory &mem,
+               const std::vector<Qubit> &addrOnQpu, Qubit busOnQpu);
+
+    /** Number of queries emitted so far. */
+    std::size_t queryCount() const { return queries; }
+
+  private:
+    Circuit circ;
+    std::vector<Qubit> qpuReg;
+    std::vector<Qubit> bufferAddr; ///< QRAM-side address buffer
+    Qubit bufferBus;               ///< QRAM-side bus buffer
+    unsigned qramWidth, sqcWidth;
+    VirtualQramOptions options;
+    std::size_t queries = 0;
+
+    /** The shared router tree; its registers live in circ. */
+    std::unique_ptr<RouterTree> tree;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_SESSION_HH

@@ -1,0 +1,24 @@
+#include "qram/sqc.hh"
+
+namespace qramsim {
+
+QueryCircuit
+SequentialQueryCircuit::build(const Memory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == width,
+                   "memory width mismatch");
+    QueryCircuit qc;
+    qc.addressQubits = qc.circuit.allocRegister(width, "addr");
+    qc.busQubit = qc.circuit.allocQubit("bus");
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        if (!mem.bit(i))
+            continue;
+        if (width == 0)
+            qc.circuit.x(qc.busQubit);
+        else
+            qc.circuit.mcx(qc.addressQubits, i, qc.busQubit);
+    }
+    return qc;
+}
+
+} // namespace qramsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Sequential Query Circuit (SQC / QROM, Sec. 2.3.1).
+ *
+ * The gate-based baseline: one n-controlled MCX per set memory cell,
+ * all sharing the address register, giving O(log N) qubits and O(N)
+ * latency. Also the degenerate m=0 configuration of the virtual QRAM.
+ */
+
+#ifndef QRAMSIM_QRAM_SQC_HH
+#define QRAMSIM_QRAM_SQC_HH
+
+#include "qram/architecture.hh"
+
+namespace qramsim {
+
+/** SQC over a capacity-2^n memory. */
+class SequentialQueryCircuit : public QueryArchitecture
+{
+  public:
+    explicit SequentialQueryCircuit(unsigned n) : width(n) {}
+
+    QueryCircuit build(const Memory &mem) const override;
+    std::string name() const override { return "SQC"; }
+    unsigned addressWidth() const override { return width; }
+
+  private:
+    unsigned width;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_SQC_HH

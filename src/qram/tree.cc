@@ -1,0 +1,254 @@
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+RouterTree::RouterTree(Circuit &circuit, unsigned addressWidthM,
+                       TreeOptions options)
+    : circ(circuit), width(addressWidthM), opts(options)
+{
+    QRAMSIM_ASSERT(width >= 1, "router tree needs address width >= 1");
+    QRAMSIM_ASSERT(width <= 20, "router tree too large");
+
+    const std::size_t nodes = TreeIndex::nodeCount(width);
+    const std::size_t leaves = TreeIndex::leafCount(width);
+
+    routerReg0 = circ.allocRegister(nodes, "r0");
+    routerReg1 = circ.allocRegister(nodes, "r1");
+    carrierReg0 = circ.allocRegister(nodes, "c0");
+    carrierReg1 = circ.allocRegister(nodes, "c1");
+    leafDataReg = circ.allocRegister(leaves, "ld");
+    leafAncReg = circ.allocRegister(leaves, "la");
+
+    if (opts.recycleCarriers) {
+        // Key Optimization 1: the carriers are |00> during the data
+        // retrieval steps, so they double as compression value pairs.
+        valueReg0 = carrierReg0;
+        valueReg1 = carrierReg1;
+    } else {
+        valueReg0 = circ.allocRegister(nodes, "v0");
+        valueReg1 = circ.allocRegister(nodes, "v1");
+    }
+}
+
+void
+RouterTree::roundBarrier()
+{
+    if (!opts.pipelined)
+        circ.barrier();
+}
+
+void
+RouterTree::encodeIntoRootCarrier(Qubit addr)
+{
+    // |a>|0> -> dual rail (NOT a, a) on the root carrier pair.
+    circ.swap(addr, carrier0(0, 0));
+    circ.cx(carrier0(0, 0), carrier1(0, 0));
+    circ.x(carrier0(0, 0));
+}
+
+void
+RouterTree::routeDownLevel(unsigned v, bool intoLeaves)
+{
+    QRAMSIM_ASSERT(intoLeaves == (v + 1 == width),
+                   "only the bottom level routes into leaves");
+    const std::size_t n = std::size_t(1) << v;
+    for (std::size_t j = 0; j < n; ++j) {
+        Qubit l0, l1, r0q, r1q;
+        if (intoLeaves) {
+            l0 = leafData(2 * j);
+            l1 = leafAnc(2 * j);
+            r0q = leafData(2 * j + 1);
+            r1q = leafAnc(2 * j + 1);
+        } else {
+            l0 = carrier0(v + 1, 2 * j);
+            l1 = carrier1(v + 1, 2 * j);
+            r0q = carrier0(v + 1, 2 * j + 1);
+            r1q = carrier1(v + 1, 2 * j + 1);
+        }
+        // L-active routers move the pair left, R-active move it right,
+        // W routers hold it (bucket-brigade wait semantics).
+        circ.cswap(router0(v, j), carrier0(v, j), l0);
+        circ.cswap(router0(v, j), carrier1(v, j), l1);
+        circ.cswap(router1(v, j), carrier0(v, j), r0q);
+        circ.cswap(router1(v, j), carrier1(v, j), r1q);
+    }
+}
+
+void
+RouterTree::absorbAtLevel(unsigned u)
+{
+    const std::size_t n = std::size_t(1) << u;
+    for (std::size_t j = 0; j < n; ++j) {
+        circ.swap(carrier0(u, j), router0(u, j));
+        circ.swap(carrier1(u, j), router1(u, j));
+    }
+}
+
+void
+RouterTree::loadAddress(const std::vector<Qubit> &addrBits)
+{
+    QRAMSIM_ASSERT(addrBits.size() == width,
+                   "address register width mismatch");
+    loadBegin = circ.numGates();
+    for (unsigned u = 0; u < width; ++u) {
+        // Level u routes on address bit (m-1-u): MSB decides at root.
+        encodeIntoRootCarrier(addrBits[width - 1 - u]);
+        for (unsigned v = 0; v < u; ++v)
+            routeDownLevel(v, false);
+        absorbAtLevel(u);
+        roundBarrier();
+    }
+    loadEnd = circ.numGates();
+}
+
+void
+RouterTree::unloadAddress(const std::vector<Qubit> &addrBits)
+{
+    QRAMSIM_ASSERT(addrBits.size() == width,
+                   "address register width mismatch");
+    QRAMSIM_ASSERT(loadEnd > loadBegin, "no recorded address loading");
+    circ.appendReversedRange(loadBegin, loadEnd);
+}
+
+void
+RouterTree::loadAddressFanout(const std::vector<Qubit> &addrBits)
+{
+    QRAMSIM_ASSERT(addrBits.size() == width,
+                   "address register width mismatch");
+    loadBegin = circ.numGates();
+    for (unsigned l = 0; l < width; ++l) {
+        const std::size_t n = std::size_t(1) << l;
+        // GHZ fanout of bit (m-1-l) across the level's r1 rails.
+        circ.cx(addrBits[width - 1 - l], router1(l, 0));
+        for (std::size_t span = 1; span < n; span *= 2)
+            for (std::size_t j = 0; j < span && j + span < n; ++j)
+                circ.cx(router1(l, j), router1(l, j + span));
+        // r0 = NOT r1 so every router is active (no W states).
+        for (std::size_t j = 0; j < n; ++j) {
+            circ.x(router0(l, j));
+            circ.cx(router1(l, j), router0(l, j));
+        }
+        roundBarrier();
+    }
+    loadEnd = circ.numGates();
+}
+
+void
+RouterTree::unloadAddressFanout(const std::vector<Qubit> &addrBits)
+{
+    QRAMSIM_ASSERT(addrBits.size() == width,
+                   "address register width mismatch");
+    QRAMSIM_ASSERT(loadEnd > loadBegin, "no recorded address loading");
+    circ.appendReversedRange(loadBegin, loadEnd);
+}
+
+void
+RouterTree::prepareQueryState()
+{
+    // Bottom routers hold the last routed address bit in dual rail only
+    // on the active path (all other routers are W), so two CX per node
+    // flip exactly the addressed leaf (Fig. 5a).
+    prepBegin = circ.numGates();
+    const std::size_t n = std::size_t(1) << (width - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+        circ.cx(router0(width - 1, j), leafData(2 * j));
+        circ.cx(router1(width - 1, j), leafData(2 * j + 1));
+    }
+    prepEnd = circ.numGates();
+}
+
+void
+RouterTree::unprepareQueryState()
+{
+    QRAMSIM_ASSERT(prepEnd > prepBegin, "no recorded preparation");
+    circ.appendReversedRange(prepBegin, prepEnd);
+}
+
+void
+RouterTree::writeDataDelta(const std::vector<std::uint8_t> &delta)
+{
+    QRAMSIM_ASSERT(delta.size() == leafCount(), "segment size mismatch");
+    for (std::size_t i = 0; i < delta.size(); ++i)
+        circ.classicalSwap(delta[i] != 0, leafData(i), leafAnc(i));
+}
+
+void
+RouterTree::compressToRoot()
+{
+    compressBegin = circ.numGates();
+    for (int l = static_cast<int>(width) - 1; l >= 0; --l) {
+        const std::size_t n = std::size_t(1) << l;
+        for (std::size_t j = 0; j < n; ++j) {
+            Qubit l0, l1, r0q, r1q;
+            if (l == static_cast<int>(width) - 1) {
+                l0 = leafData(2 * j);
+                l1 = leafAnc(2 * j);
+                r0q = leafData(2 * j + 1);
+                r1q = leafAnc(2 * j + 1);
+            } else {
+                l0 = value0(l + 1, 2 * j);
+                l1 = value1(l + 1, 2 * j);
+                r0q = value0(l + 1, 2 * j + 1);
+                r1q = value1(l + 1, 2 * j + 1);
+            }
+            circ.cx(l0, value0(l, j));
+            circ.cx(l1, value1(l, j));
+            circ.cx(r0q, value0(l, j));
+            circ.cx(r1q, value1(l, j));
+        }
+    }
+    compressEnd = circ.numGates();
+}
+
+void
+RouterTree::uncompressFromRoot()
+{
+    QRAMSIM_ASSERT(compressEnd > compressBegin,
+                   "no recorded compression");
+    circ.appendReversedRange(compressBegin, compressEnd);
+}
+
+void
+RouterTree::retrieveViaBusRouting(
+    const std::vector<std::uint8_t> &segData,
+    const std::vector<Qubit> &mcxControls, std::uint64_t pattern,
+    Qubit bus)
+{
+    QRAMSIM_ASSERT(segData.size() == leafCount(),
+                   "segment size mismatch");
+
+    auto classicalWrites = [&]() {
+        for (std::size_t i = 0; i < segData.size(); ++i)
+            circ.classicalCx(segData[i] != 0, leafData(i), leafAnc(i));
+    };
+
+    // Inject the presence flag: root carrier = (1, 0); rail 1 is the
+    // travelling bus line.
+    circ.x(carrier0(0, 0));
+
+    // Route the pair to the leaves, write, route back.
+    std::size_t downBegin = circ.numGates();
+    for (unsigned v = 0; v < width; ++v)
+        routeDownLevel(v, v + 1 == width);
+    std::size_t downEnd = circ.numGates();
+    classicalWrites();
+    circ.appendReversedRange(downBegin, downEnd);
+
+    // Copy the retrieved bit out under the segment-select pattern.
+    std::vector<Qubit> ctrls = mcxControls;
+    ctrls.push_back(carrier1(0, 0));
+    std::uint64_t fullPattern =
+        pattern | (std::uint64_t(1) << mcxControls.size());
+    circ.mcx(ctrls, fullPattern, bus);
+
+    // Uncompute the traversal and remove the flag.
+    std::size_t down2Begin = circ.numGates();
+    for (unsigned v = 0; v < width; ++v)
+        routeDownLevel(v, v + 1 == width);
+    std::size_t down2End = circ.numGates();
+    classicalWrites();
+    circ.appendReversedRange(down2Begin, down2End);
+    circ.x(carrier0(0, 0));
+}
+
+} // namespace qramsim

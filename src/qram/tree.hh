@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Dual-rail quantum router tree (Secs. 3.1, Fig. 5).
+ *
+ * The substrate shared by every router-based architecture. A complete
+ * binary tree of address width m has internal nodes (l, j) for
+ * l in [0, m), j in [0, 2^l) and 2^m leaf slots. Each internal node
+ * carries:
+ *
+ *  - a router pair (r0, r1): |00> = W (inactive / wait),
+ *    |10> = L (route left, address bit 0), |01> = R (route right, bit 1)
+ *    — Fig. 5(e);
+ *  - a carrier pair (c0, c1): the dual-rail wire through which address
+ *    bits (and, for bus-routing retrieval, the bus) travel. This is
+ *    Algorithm 1's per-layer data qubit q^(d); after address loading the
+ *    carriers are back in |00> and are recycled as the CX-compression
+ *    intermediaries (Key Optimization 1).
+ *
+ * Each leaf slot i carries a data node (d, a): the data qubit plus its
+ * ancilla, holding classical data in dual-rail (x=0 -> |10>,
+ * x=1 -> |01>, Fig. 5d).
+ *
+ * Address bit convention: tree level l routes on address bit (m-1-l)
+ * (the MSB decides at the root), so leaf slot i corresponds to in-page
+ * address i under LSB-first register numbering.
+ *
+ * The builder emits gates into a caller-owned Circuit. All primitives
+ * are self-inverse sections, so uncomputation is a recorded-range
+ * reversal.
+ */
+
+#ifndef QRAMSIM_QRAM_TREE_HH
+#define QRAMSIM_QRAM_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/logging.hh"
+
+namespace qramsim {
+
+/** Index helpers for a complete binary tree stored level-contiguous. */
+struct TreeIndex
+{
+    /** Flat id of node (level, j): nodes 0 .. 2^m-2. */
+    static std::size_t
+    node(unsigned level, std::size_t j)
+    {
+        return (std::size_t(1) << level) - 1 + j;
+    }
+
+    static std::size_t nodeCount(unsigned m)
+    {
+        return (std::size_t(1) << m) - 1;
+    }
+
+    static std::size_t leafCount(unsigned m)
+    {
+        return std::size_t(1) << m;
+    }
+};
+
+/** Configuration of the router tree builder. */
+struct TreeOptions
+{
+    /**
+     * Key Optimization 1 (address qubit recycling): reuse the idle
+     * carrier pairs as the CX-compression intermediaries. When false,
+     * a fresh data pair is allocated at every internal node (the RAW
+     * configuration of Table 1).
+     */
+    bool recycleCarriers = true;
+
+    /**
+     * Key Optimization 3 (address pipelining): when false, a scheduling
+     * barrier is placed between address-loading rounds, forcing the
+     * naive sequential O(m^2) schedule; when true rounds overlap and
+     * ASAP scheduling yields O(m) depth.
+     */
+    bool pipelined = true;
+};
+
+/**
+ * Qubit registers and gate-emission primitives of one dual-rail router
+ * tree inside a Circuit.
+ */
+class RouterTree
+{
+  public:
+    /** Allocate the tree's registers in @p circuit. */
+    RouterTree(Circuit &circuit, unsigned addressWidthM,
+               TreeOptions options);
+
+    unsigned m() const { return width; }
+    std::size_t leafCount() const { return TreeIndex::leafCount(width); }
+    const TreeOptions &options() const { return opts; }
+
+    /// @name Register accessors
+    /// @{
+    Qubit router0(unsigned l, std::size_t j) const
+    {
+        return routerReg0[TreeIndex::node(l, j)];
+    }
+    Qubit router1(unsigned l, std::size_t j) const
+    {
+        return routerReg1[TreeIndex::node(l, j)];
+    }
+    Qubit carrier0(unsigned l, std::size_t j) const
+    {
+        return carrierReg0[TreeIndex::node(l, j)];
+    }
+    Qubit carrier1(unsigned l, std::size_t j) const
+    {
+        return carrierReg1[TreeIndex::node(l, j)];
+    }
+    Qubit leafData(std::size_t i) const { return leafDataReg[i]; }
+    Qubit leafAnc(std::size_t i) const { return leafAncReg[i]; }
+
+    /** Compression-value rails of internal node (l, j). */
+    Qubit value0(unsigned l, std::size_t j) const
+    {
+        return valueReg0[TreeIndex::node(l, j)];
+    }
+    Qubit value1(unsigned l, std::size_t j) const
+    {
+        return valueReg1[TreeIndex::node(l, j)];
+    }
+
+    /** The rail holding x_i after compression (MCX control). */
+    Qubit rootValueRail() const { return value1(0, 0); }
+    /// @}
+
+    /// @name Address loading (bucket-brigade style, Sec. 3.1.1)
+    /// @{
+
+    /**
+     * Load the m address qubits into the routers. @p addrBits is
+     * LSB-first; bit (m-1-l) is routed at level l. Leaves the address
+     * register and all carriers in |0>.
+     */
+    void loadAddress(const std::vector<Qubit> &addrBits);
+
+    /** Exact inverse of loadAddress (reversed recorded section). */
+    void unloadAddress(const std::vector<Qubit> &addrBits);
+    /// @}
+
+    /// @name Fanout-style address loading (Sec. 2.3.2)
+    /// @{
+
+    /**
+     * GHZ-style loading: every level-l router receives a copy of
+     * address bit (m-1-l) via a CX doubling tree — all routers active,
+     * maximal entanglement (the fanout QRAM's fragility).
+     */
+    void loadAddressFanout(const std::vector<Qubit> &addrBits);
+
+    void unloadAddressFanout(const std::vector<Qubit> &addrBits);
+    /// @}
+
+    /// @name Compression-based data retrieval (Sec. 3.1.2)
+    /// @{
+
+    /** Flip the addressed leaf's data qubit (query state preparation). */
+    void prepareQueryState();
+
+    void unprepareQueryState();
+
+    /**
+     * Classically-controlled SWAP on every leaf data node whose
+     * @p delta bit is 1 (loads, unloads, or lazily toggles data).
+     */
+    void writeDataDelta(const std::vector<std::uint8_t> &delta);
+
+    /** CX array: XOR leaf data nodes up into the root value pair. */
+    void compressToRoot();
+
+    /** Exact inverse of compressToRoot. */
+    void uncompressFromRoot();
+    /// @}
+
+    /// @name Bus-routing data retrieval (original bucket-brigade)
+    /// @{
+
+    /**
+     * The conventional retrieval used by the BB and fanout baselines:
+     * a presence flag + bus rail pair is routed from the root carrier
+     * down to the leaves, classically-controlled CX writes the segment
+     * data onto the bus rail, the pair is routed back up, and the bus
+     * rail is copied out under @p mcxControls/@p pattern before the
+     * traversal is uncomputed.
+     *
+     * @param segData     2^m data bits of the segment being served
+     * @param mcxControls extra MCX controls (the k SQC address bits);
+     *                    may be empty
+     * @param pattern     firing pattern for mcxControls
+     * @param bus         the output bus qubit
+     */
+    void retrieveViaBusRouting(const std::vector<std::uint8_t> &segData,
+                               const std::vector<Qubit> &mcxControls,
+                               std::uint64_t pattern, Qubit bus);
+    /// @}
+
+    /** Barrier if the sequential (non-pipelined) schedule is selected. */
+    void roundBarrier();
+
+  private:
+    /** Dual-rail encode an address qubit into the root carrier. */
+    void encodeIntoRootCarrier(Qubit addr);
+
+    /**
+     * One routing step at level @p v: move carrier pairs of level v
+     * into the carriers (or leaf nodes, at the bottom) of level v+1,
+     * conditioned on the routers.
+     */
+    void routeDownLevel(unsigned v, bool intoLeaves);
+
+    /** Absorb level-u carrier pairs into level-u routers. */
+    void absorbAtLevel(unsigned u);
+
+    Circuit &circ;
+    unsigned width;
+    TreeOptions opts;
+
+    std::vector<Qubit> routerReg0, routerReg1;
+    std::vector<Qubit> carrierReg0, carrierReg1;
+    std::vector<Qubit> valueReg0, valueReg1; ///< alias carriers if OPT1
+    std::vector<Qubit> leafDataReg, leafAncReg;
+
+    /** Recorded gate ranges for uncomputation. */
+    std::size_t loadBegin = 0, loadEnd = 0;
+    std::size_t prepBegin = 0, prepEnd = 0;
+    std::size_t compressBegin = 0, compressEnd = 0;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_TREE_HH

@@ -1,0 +1,105 @@
+#include "qram/virtual_qram.hh"
+
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+void
+emitVirtualQramQuery(Circuit &circuit, RouterTree &tree,
+                     const std::vector<Qubit> &addressQubits,
+                     Qubit busQubit, const Memory &mem,
+                     unsigned sqcWidthK, const VirtualQramOptions &opts)
+{
+    const unsigned m = tree.m();
+    QRAMSIM_ASSERT(addressQubits.size() == m + sqcWidthK,
+                   "address register width mismatch");
+    QRAMSIM_ASSERT(mem.addressWidth() == m + sqcWidthK,
+                   "memory width mismatch");
+
+    // The m least-significant address bits feed the tree; the k
+    // most-significant bits stay in the register as SQC controls.
+    std::vector<Qubit> qramBits(addressQubits.begin(),
+                                addressQubits.begin() + m);
+    std::vector<Qubit> sqcBits(addressQubits.begin() + m,
+                               addressQubits.end());
+
+    // (a) load once; (b) mark the addressed leaf.
+    tree.loadAddress(qramBits);
+    tree.prepareQueryState();
+
+    const std::uint64_t pages = std::uint64_t(1) << sqcWidthK;
+    std::vector<std::uint8_t> prev;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        std::vector<std::uint8_t> seg = mem.segment(m, p);
+
+        // (c) page-in. Lazy data swapping toggles only the cells that
+        // differ from the page already resident (Sec. 3.2.2).
+        if (opts.lazyDataSwapping && p > 0)
+            tree.writeDataDelta(segmentDelta(prev, seg));
+        else
+            tree.writeDataDelta(seg);
+
+        // (d) compress; (e) conditional bus copy; (f) uncompute.
+        tree.compressToRoot();
+        std::vector<Qubit> ctrls = sqcBits;
+        ctrls.push_back(tree.rootValueRail());
+        std::uint64_t pattern = p | (std::uint64_t(1) << sqcWidthK);
+        circuit.mcx(ctrls, pattern, busQubit);
+        tree.uncompressFromRoot();
+
+        if (opts.lazyDataSwapping)
+            prev = std::move(seg);
+        else
+            tree.writeDataDelta(seg); // page-out immediately
+        tree.roundBarrier();
+    }
+    if (opts.lazyDataSwapping)
+        tree.writeDataDelta(prev); // final page-out
+
+    // (g) restore the tree and the address register.
+    tree.unprepareQueryState();
+    tree.unloadAddress(qramBits);
+}
+
+QueryCircuit
+VirtualQram::buildPureSqc(const Memory &mem) const
+{
+    QueryCircuit qc;
+    qc.addressQubits = qc.circuit.allocRegister(sqcWidth, "addr");
+    qc.busQubit = qc.circuit.allocQubit("bus");
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        if (!mem.bit(i))
+            continue;
+        if (sqcWidth == 0)
+            qc.circuit.x(qc.busQubit);
+        else
+            qc.circuit.mcx(qc.addressQubits, i, qc.busQubit);
+    }
+    return qc;
+}
+
+QueryCircuit
+VirtualQram::build(const Memory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == addressWidth(),
+                   "memory width mismatch: memory ", mem.addressWidth(),
+                   ", architecture ", addressWidth());
+    if (qramWidth == 0)
+        return buildPureSqc(mem);
+
+    QueryCircuit qc;
+    const unsigned n = addressWidth();
+    qc.addressQubits = qc.circuit.allocRegister(n, "addr");
+    qc.busQubit = qc.circuit.allocQubit("bus");
+
+    TreeOptions topts;
+    topts.recycleCarriers = options.recycleCarriers;
+    topts.pipelined = options.pipelined;
+    RouterTree tree(qc.circuit, qramWidth, topts);
+
+    emitVirtualQramQuery(qc.circuit, tree, qc.addressQubits,
+                         qc.busQubit, mem, sqcWidth, options);
+    return qc;
+}
+
+} // namespace qramsim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Virtual QRAM — the paper's core contribution (Sec. 3).
+ *
+ * A hybrid SQC(k) + router-QRAM(m) architecture querying a virtual
+ * address space of N = 2^(m+k) cells with only O(2^m) qubits. The n-bit
+ * address splits into the most-significant k bits (the SQC width,
+ * selecting the memory segment/page) and the least-significant m bits
+ * (the QRAM width, resolved by the router tree). One query:
+ *
+ *   (a) load the m QRAM address bits into the tree       — ONCE
+ *   (b) prepare the addressed leaf's data qubit
+ *   for each segment p of the 2^k pages:
+ *     (c) classically-controlled dual-rail write of page p
+ *     (d) CX-compress the leaf data nodes to the root
+ *     (e) MCX: copy the root rail onto the bus, conditioned on the
+ *         k SQC address bits matching p
+ *     (f) uncompute (d); unload (or lazily retain) the page
+ *   (g) unprepare; unload the address                    — ONCE
+ *
+ * The "load-once" property — (a)/(g) happen once rather than 2^k times
+ * — is the main source of savings over the SQC+BB baseline.
+ *
+ * Key Optimizations (Sec. 3.2), independently toggleable for the
+ * Table 1 ablation:
+ *   1. address-qubit recycling  (TreeOptions::recycleCarriers)
+ *   2. lazy data swapping       (XOR-delta page loading)
+ *   3. address pipelining       (TreeOptions::pipelined)
+ */
+
+#ifndef QRAMSIM_QRAM_VIRTUAL_QRAM_HH
+#define QRAMSIM_QRAM_VIRTUAL_QRAM_HH
+
+#include "qram/architecture.hh"
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+/** Optimization switches of the virtual QRAM (Sec. 3.2 / Table 1). */
+struct VirtualQramOptions
+{
+    bool recycleCarriers = true;  ///< Key Optimization 1
+    bool lazyDataSwapping = true; ///< Key Optimization 2
+    bool pipelined = true;        ///< Key Optimization 3
+
+    static VirtualQramOptions
+    raw()
+    {
+        return {false, false, false};
+    }
+
+    static VirtualQramOptions all() { return {}; }
+};
+
+class RouterTree;
+
+/**
+ * Emit one full virtual-QRAM query into an existing circuit, using an
+ * already-constructed tree whose registers live in that circuit. The
+ * tree must be in its rest state (all |0>) and is returned to it, so
+ * one tree serves arbitrarily many queries (see qram/session.hh).
+ */
+void emitVirtualQramQuery(Circuit &circuit, RouterTree &tree,
+                          const std::vector<Qubit> &addressQubits,
+                          Qubit busQubit, const Memory &mem,
+                          unsigned sqcWidthK,
+                          const VirtualQramOptions &opts);
+
+/** The virtual QRAM architecture with QRAM width m and SQC width k. */
+class VirtualQram : public QueryArchitecture
+{
+  public:
+    VirtualQram(unsigned qramWidthM, unsigned sqcWidthK,
+                VirtualQramOptions opts = {})
+        : qramWidth(qramWidthM), sqcWidth(sqcWidthK), options(opts)
+    {
+        QRAMSIM_ASSERT(qramWidth + sqcWidth >= 1,
+                       "empty address space");
+        QRAMSIM_ASSERT(sqcWidth <= 62, "SQC width too large");
+    }
+
+    QueryCircuit build(const Memory &mem) const override;
+
+    std::string
+    name() const override
+    {
+        return "VirtualQRAM(m=" + std::to_string(qramWidth) +
+               ",k=" + std::to_string(sqcWidth) + ")";
+    }
+
+    unsigned addressWidth() const override
+    {
+        return qramWidth + sqcWidth;
+    }
+
+    unsigned m() const { return qramWidth; }
+    unsigned k() const { return sqcWidth; }
+    const VirtualQramOptions &opts() const { return options; }
+
+  private:
+    /** Degenerate m == 0 case: a pure sequential query circuit. */
+    QueryCircuit buildPureSqc(const Memory &mem) const;
+
+    unsigned qramWidth;
+    unsigned sqcWidth;
+    VirtualQramOptions options;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_VIRTUAL_QRAM_HH

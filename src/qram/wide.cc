@@ -1,0 +1,70 @@
+#include "qram/wide.hh"
+
+#include "qram/tree.hh"
+
+namespace qramsim {
+
+WideQueryCircuit
+WideVirtualQram::build(const WideMemory &mem) const
+{
+    QRAMSIM_ASSERT(mem.addressWidth() == addressWidth(),
+                   "memory width mismatch");
+    QRAMSIM_ASSERT(mem.wordWidth() == wWidth, "word width mismatch");
+
+    WideQueryCircuit qc;
+    const unsigned n = addressWidth();
+    qc.addressQubits = qc.circuit.allocRegister(n, "addr");
+    qc.busQubits = qc.circuit.allocRegister(wWidth, "bus");
+
+    TreeOptions topts;
+    topts.recycleCarriers = options.recycleCarriers;
+    topts.pipelined = options.pipelined;
+    RouterTree tree(qc.circuit, qramWidth, topts);
+
+    std::vector<Qubit> qramBits(qc.addressQubits.begin(),
+                                qc.addressQubits.begin() + qramWidth);
+    std::vector<Qubit> sqcBits(qc.addressQubits.begin() + qramWidth,
+                               qc.addressQubits.end());
+
+    // Load-once across every page AND every bit plane.
+    tree.loadAddress(qramBits);
+    tree.prepareQueryState();
+
+    const std::uint64_t pages = std::uint64_t(1) << sqcWidth;
+    std::vector<std::uint8_t> prev;
+    bool havePrev = false;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        for (unsigned b = 0; b < wWidth; ++b) {
+            std::vector<std::uint8_t> plane =
+                mem.segmentPlane(qramWidth, p, b);
+            if (options.lazyDataSwapping && havePrev)
+                tree.writeDataDelta(segmentDelta(prev, plane));
+            else
+                tree.writeDataDelta(plane);
+
+            tree.compressToRoot();
+            std::vector<Qubit> ctrls = sqcBits;
+            ctrls.push_back(tree.rootValueRail());
+            std::uint64_t pattern =
+                p | (std::uint64_t(1) << sqcWidth);
+            qc.circuit.mcx(ctrls, pattern, qc.busQubits[b]);
+            tree.uncompressFromRoot();
+
+            if (options.lazyDataSwapping) {
+                prev = std::move(plane);
+                havePrev = true;
+            } else {
+                tree.writeDataDelta(plane);
+            }
+        }
+        tree.roundBarrier();
+    }
+    if (options.lazyDataSwapping && havePrev)
+        tree.writeDataDelta(prev);
+
+    tree.unprepareQueryState();
+    tree.unloadAddress(qramBits);
+    return qc;
+}
+
+} // namespace qramsim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Multi-bit data width support (Sec. 8).
+ *
+ * The paper's evaluation uses 1-bit cells, but its related-work
+ * discussion (Chen et al.) covers data widths w > 1 and states the
+ * virtual QRAM "is compatible with a data width larger than 1 by
+ * repeatedly querying memory cells one bit at a time". WideVirtualQram
+ * implements exactly that: the address is loaded ONCE (the load-once
+ * property extends across bit planes), then for every page and every
+ * bit plane the data-retrieval stage runs against a w-qubit bus
+ * register:
+ *
+ *   sum_i a_i |i>_A |0...0>_B  ->  sum_i a_i |i>_A |x_i[w-1..0]>_B
+ *
+ * Lazy data swapping chains across consecutive (page, plane) loads, so
+ * the classically-controlled gate count stays proportional to the
+ * Hamming distance of the plane sequence.
+ */
+
+#ifndef QRAMSIM_QRAM_WIDE_HH
+#define QRAMSIM_QRAM_WIDE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "qram/virtual_qram.hh"
+
+namespace qramsim {
+
+/** Classical memory with w-bit words. */
+class WideMemory
+{
+  public:
+    WideMemory(unsigned addressWidth, unsigned wordWidth)
+        : addrWidth(addressWidth), wWidth(wordWidth),
+          words(std::size_t(1) << addressWidth, 0)
+    {
+        QRAMSIM_ASSERT(wordWidth >= 1 && wordWidth <= 64,
+                       "unsupported word width");
+        QRAMSIM_ASSERT(addressWidth <= 30, "memory too large");
+    }
+
+    static WideMemory
+    random(unsigned addressWidth, unsigned wordWidth, Rng &rng)
+    {
+        WideMemory m(addressWidth, wordWidth);
+        const std::uint64_t mask =
+            wordWidth == 64 ? ~0ull
+                            : (std::uint64_t(1) << wordWidth) - 1;
+        for (auto &w : m.words)
+            w = rng.bits() & mask;
+        return m;
+    }
+
+    unsigned addressWidth() const { return addrWidth; }
+    unsigned wordWidth() const { return wWidth; }
+    std::size_t size() const { return words.size(); }
+
+    std::uint64_t
+    word(std::uint64_t i) const
+    {
+        QRAMSIM_ASSERT(i < words.size(), "address out of range");
+        return words[i];
+    }
+
+    void
+    setWord(std::uint64_t i, std::uint64_t v)
+    {
+        QRAMSIM_ASSERT(i < words.size(), "address out of range");
+        QRAMSIM_ASSERT(wWidth == 64 ||
+                       v < (std::uint64_t(1) << wWidth),
+                       "word too wide");
+        words[i] = v;
+    }
+
+    /** Bit plane @p b of segment @p p under a (k, m) split. */
+    std::vector<std::uint8_t>
+    segmentPlane(unsigned m, std::uint64_t p, unsigned b) const
+    {
+        const std::size_t segSize = std::size_t(1) << m;
+        std::vector<std::uint8_t> out(segSize);
+        for (std::size_t j = 0; j < segSize; ++j)
+            out[j] = (words[p * segSize + j] >> b) & 1;
+        return out;
+    }
+
+  private:
+    unsigned addrWidth;
+    unsigned wWidth;
+    std::vector<std::uint64_t> words;
+};
+
+/** A compiled wide query: circuit plus interface registers. */
+struct WideQueryCircuit
+{
+    Circuit circuit;
+    std::vector<Qubit> addressQubits;
+    std::vector<Qubit> busQubits; ///< LSB-first, size == word width
+};
+
+/** Virtual QRAM over w-bit words. */
+class WideVirtualQram
+{
+  public:
+    WideVirtualQram(unsigned qramWidthM, unsigned sqcWidthK,
+                    unsigned wordWidth, VirtualQramOptions opts = {})
+        : qramWidth(qramWidthM), sqcWidth(sqcWidthK),
+          wWidth(wordWidth), options(opts)
+    {
+        QRAMSIM_ASSERT(qramWidth >= 1, "wide QRAM needs m >= 1");
+        QRAMSIM_ASSERT(wordWidth >= 1, "word width must be positive");
+    }
+
+    WideQueryCircuit build(const WideMemory &mem) const;
+
+    std::string
+    name() const
+    {
+        return "WideVirtualQRAM(m=" + std::to_string(qramWidth) +
+               ",k=" + std::to_string(sqcWidth) +
+               ",w=" + std::to_string(wWidth) + ")";
+    }
+
+    unsigned addressWidth() const { return qramWidth + sqcWidth; }
+    unsigned wordWidth() const { return wWidth; }
+
+  private:
+    unsigned qramWidth;
+    unsigned sqcWidth;
+    unsigned wWidth;
+    VirtualQramOptions options;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_QRAM_WIDE_HH

@@ -1,0 +1,172 @@
+#include "sim/dense.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace qramsim {
+
+DenseStatevector::DenseStatevector(std::size_t nqubits)
+    : n(nqubits), amps(std::size_t(1) << nqubits, {0.0, 0.0})
+{
+    QRAMSIM_ASSERT(nqubits <= 20,
+                   "dense simulation capped at 20 qubits; use the "
+                   "Feynman-path simulator for QRAM-scale circuits");
+    amps[0] = {1.0, 0.0};
+}
+
+void
+DenseStatevector::setBasis(std::uint64_t s)
+{
+    QRAMSIM_ASSERT(s < amps.size(), "basis state out of range");
+    for (auto &a : amps)
+        a = {0.0, 0.0};
+    amps[s] = {1.0, 0.0};
+}
+
+bool
+DenseStatevector::controlsFire(const Gate &g, std::uint64_t s) const
+{
+    for (std::size_t i = 0; i < g.controls.size(); ++i) {
+        bool want = !g.negControl(i);
+        if (bool((s >> g.controls[i]) & 1) != want)
+            return false;
+    }
+    return true;
+}
+
+void
+DenseStatevector::applySingle(Qubit t,
+                              const std::complex<double> u[2][2],
+                              const Gate &g)
+{
+    const std::uint64_t bit = std::uint64_t(1) << t;
+    for (std::uint64_t s = 0; s < amps.size(); ++s) {
+        if (s & bit)
+            continue; // visit each pair once, from its |0> member
+        if (!controlsFire(g, s) || !controlsFire(g, s | bit)) {
+            // Controls never involve the target, so both pair members
+            // agree on them; a single check suffices, but keep both
+            // for safety against degenerate gates.
+            if (!controlsFire(g, s))
+                continue;
+        }
+        std::complex<double> a0 = amps[s];
+        std::complex<double> a1 = amps[s | bit];
+        amps[s] = u[0][0] * a0 + u[0][1] * a1;
+        amps[s | bit] = u[1][0] * a0 + u[1][1] * a1;
+    }
+}
+
+void
+DenseStatevector::apply(const Gate &g)
+{
+    using C = std::complex<double>;
+    constexpr double r = std::numbers::sqrt2 / 2.0;
+
+    switch (g.kind) {
+      case GateKind::Barrier:
+        return;
+      case GateKind::X: {
+        const C u[2][2] = {{{0, 0}, {1, 0}}, {{1, 0}, {0, 0}}};
+        applySingle(g.targets[0], u, g);
+        return;
+      }
+      case GateKind::Z: {
+        const C u[2][2] = {{{1, 0}, {0, 0}}, {{0, 0}, {-1, 0}}};
+        applySingle(g.targets[0], u, g);
+        return;
+      }
+      case GateKind::S: {
+        const C u[2][2] = {{{1, 0}, {0, 0}}, {{0, 0}, {0, 1}}};
+        applySingle(g.targets[0], u, g);
+        return;
+      }
+      case GateKind::T: {
+        const C u[2][2] = {{{1, 0}, {0, 0}}, {{0, 0}, {r, r}}};
+        applySingle(g.targets[0], u, g);
+        return;
+      }
+      case GateKind::Tdg: {
+        const C u[2][2] = {{{1, 0}, {0, 0}}, {{0, 0}, {r, -r}}};
+        applySingle(g.targets[0], u, g);
+        return;
+      }
+      case GateKind::H: {
+        const C u[2][2] = {{{r, 0}, {r, 0}}, {{r, 0}, {-r, 0}}};
+        applySingle(g.targets[0], u, g);
+        return;
+      }
+      case GateKind::Swap: {
+        const std::uint64_t b0 = std::uint64_t(1) << g.targets[0];
+        const std::uint64_t b1 = std::uint64_t(1) << g.targets[1];
+        for (std::uint64_t s = 0; s < amps.size(); ++s) {
+            // Visit only (t0=1, t1=0) members; partner has them
+            // swapped.
+            if (!(s & b0) || (s & b1))
+                continue;
+            if (!controlsFire(g, s))
+                continue;
+            std::swap(amps[s], amps[(s ^ b0) | b1]);
+        }
+        return;
+      }
+    }
+}
+
+void
+DenseStatevector::apply(const Circuit &c)
+{
+    QRAMSIM_ASSERT(c.numQubits() <= n, "circuit wider than state");
+    for (const Gate &g : c.gates())
+        apply(g);
+}
+
+double
+DenseStatevector::probabilityOne(Qubit q) const
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    double p = 0.0;
+    for (std::uint64_t s = 0; s < amps.size(); ++s)
+        if (s & bit)
+            p += std::norm(amps[s]);
+    return p;
+}
+
+bool
+DenseStatevector::measure(Qubit q, Rng &rng)
+{
+    const double p1 = probabilityOne(q);
+    const bool outcome = rng.uniform() < p1;
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    const double keep = outcome ? p1 : 1.0 - p1;
+    QRAMSIM_ASSERT(keep > 1e-15, "measurement of impossible outcome");
+    const double scale = 1.0 / std::sqrt(keep);
+    for (std::uint64_t s = 0; s < amps.size(); ++s) {
+        if (bool(s & bit) == outcome)
+            amps[s] *= scale;
+        else
+            amps[s] = {0.0, 0.0};
+    }
+    return outcome;
+}
+
+double
+DenseStatevector::fidelityWith(const DenseStatevector &other) const
+{
+    QRAMSIM_ASSERT(n == other.n, "dimension mismatch");
+    std::complex<double> overlap{0.0, 0.0};
+    for (std::uint64_t s = 0; s < amps.size(); ++s)
+        overlap += std::conj(other.amps[s]) * amps[s];
+    return std::norm(overlap);
+}
+
+double
+DenseStatevector::norm() const
+{
+    double p = 0.0;
+    for (const auto &a : amps)
+        p += std::norm(a);
+    return std::sqrt(p);
+}
+
+} // namespace qramsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * The Feynman-path simulator (sim/feynman.hh) is the workhorse for
+ * QRAM-scale circuits but is restricted to basis-preserving gates.
+ * This module is its complement: a conventional 2^n-amplitude
+ * simulator supporting the full gate set including H, plus projective
+ * measurement with collapse — enough to verify the teleportation
+ * gadgets of Sec. 4.3 at the circuit level and to cross-check the
+ * path simulator on small instances (tests/test_properties.cc).
+ *
+ * Capacity is deliberately capped at 20 qubits; QRAM-scale circuits
+ * must use the path simulator.
+ */
+
+#ifndef QRAMSIM_SIM_DENSE_HH
+#define QRAMSIM_SIM_DENSE_HH
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
+
+namespace qramsim {
+
+/** Dense 2^n statevector with gate application and measurement. */
+class DenseStatevector
+{
+  public:
+    /** Initialize to |0...0>. */
+    explicit DenseStatevector(std::size_t nqubits);
+
+    std::size_t numQubits() const { return n; }
+
+    /** Reset to the computational basis state @p s. */
+    void setBasis(std::uint64_t s);
+
+    /** Apply one gate (any kind except Barrier is significant). */
+    void apply(const Gate &g);
+
+    /** Apply every gate of @p c in program order. */
+    void apply(const Circuit &c);
+
+    /**
+     * Measure qubit @p q in the computational basis: samples an
+     * outcome with the Born rule, collapses and renormalizes.
+     */
+    bool measure(Qubit q, Rng &rng);
+
+    /** Probability of qubit @p q being |1>. */
+    double probabilityOne(Qubit q) const;
+
+    /** Amplitude of basis state @p s. */
+    std::complex<double> amplitude(std::uint64_t s) const
+    {
+        return amps.at(s);
+    }
+
+    /** |<other|this>|^2. */
+    double fidelityWith(const DenseStatevector &other) const;
+
+    /** L2 norm (should stay 1 up to rounding). */
+    double norm() const;
+
+  private:
+    void applySingle(Qubit t, const std::complex<double> u[2][2],
+                     const Gate &g);
+
+    /** True iff all controls of @p g fire for basis index s. */
+    bool controlsFire(const Gate &g, std::uint64_t s) const;
+
+    std::size_t n;
+    std::vector<std::complex<double>> amps;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_SIM_DENSE_HH

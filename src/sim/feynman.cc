@@ -1,0 +1,134 @@
+#include "sim/feynman.hh"
+
+#include <numbers>
+
+namespace qramsim {
+
+namespace {
+
+/** True iff every control of @p g matches its required polarity. */
+bool
+controlsFire(const Gate &g, const BitVec &bits)
+{
+    for (std::size_t i = 0; i < g.controls.size(); ++i) {
+        bool want = !g.negControl(i);
+        if (bits.get(g.controls[i]) != want)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+applyGate(const Gate &g, PathState &path)
+{
+    switch (g.kind) {
+      case GateKind::Barrier:
+        return;
+      case GateKind::H:
+        QRAMSIM_PANIC("H gate is not basis-preserving; teleportation "
+                      "gadgets must not reach the path simulator");
+      default:
+        break;
+    }
+
+    if (!controlsFire(g, path.bits))
+        return;
+
+    switch (g.kind) {
+      case GateKind::X:
+        path.bits.flip(g.targets[0]);
+        break;
+      case GateKind::Z:
+        if (path.bits.get(g.targets[0]))
+            path.phase = -path.phase;
+        break;
+      case GateKind::S:
+        if (path.bits.get(g.targets[0]))
+            path.phase *= std::complex<double>(0.0, 1.0);
+        break;
+      case GateKind::T:
+        if (path.bits.get(g.targets[0])) {
+            constexpr double r = std::numbers::sqrt2 / 2.0;
+            path.phase *= std::complex<double>(r, r);
+        }
+        break;
+      case GateKind::Tdg:
+        if (path.bits.get(g.targets[0])) {
+            constexpr double r = std::numbers::sqrt2 / 2.0;
+            path.phase *= std::complex<double>(r, -r);
+        }
+        break;
+      case GateKind::Swap:
+        path.bits.swapBits(g.targets[0], g.targets[1]);
+        break;
+      default:
+        QRAMSIM_PANIC("unhandled gate kind");
+    }
+}
+
+void
+applyError(const ErrorEvent &e, PathState &path)
+{
+    switch (e.pauli) {
+      case PauliKind::X:
+        path.bits.flip(e.qubit);
+        break;
+      case PauliKind::Z:
+        if (path.bits.get(e.qubit))
+            path.phase = -path.phase;
+        break;
+      case PauliKind::Y:
+        // Y = i X Z: sign from Z on |1>, then flip, global i.
+        if (path.bits.get(e.qubit))
+            path.phase = -path.phase;
+        path.bits.flip(e.qubit);
+        path.phase *= std::complex<double>(0.0, 1.0);
+        break;
+    }
+}
+
+FeynmanExecutor::FeynmanExecutor(const Circuit &c)
+    : circ(c), sched(scheduleAsap(c))
+{
+    order.reserve(circ.numGates());
+    momentEnd.reserve(sched.moments.size());
+    for (const auto &layer : sched.moments) {
+        for (std::size_t gi : layer)
+            order.push_back(gi);
+        momentEnd.push_back(order.size());
+    }
+}
+
+PathState
+FeynmanExecutor::runIdeal(const PathState &input) const
+{
+    PathState p = input;
+    for (std::size_t gi : order)
+        applyGate(circ.gates()[gi], p);
+    return p;
+}
+
+PathState
+FeynmanExecutor::runNoisy(const PathState &input,
+                          const ErrorRealization &errors) const
+{
+    PathState p = input;
+    std::size_t oi = 0;
+    for (std::size_t t = 0; t < momentEnd.size(); ++t) {
+        for (; oi < momentEnd[t]; ++oi) {
+            std::size_t gi = order[oi];
+            applyGate(circ.gates()[gi], p);
+            if (gi < errors.afterGate.size())
+                for (const ErrorEvent &e : errors.afterGate[gi])
+                    applyError(e, p);
+        }
+        if (t < errors.afterMoment.size())
+            for (const ErrorEvent &e : errors.afterMoment[t])
+                applyError(e, p);
+    }
+    return p;
+}
+
+} // namespace qramsim

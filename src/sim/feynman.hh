@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Feynman-path simulation (Sec. 6.2).
+ *
+ * QRAM circuits are built from classical-reversible gates, so a
+ * computational basis state is mapped to exactly one computational basis
+ * state — no path ever branches into a superposition. Each memory
+ * address in the query superposition is therefore one path, represented
+ * by a bit vector plus a complex phase, and the storage per path stays
+ * constant in the circuit depth. Pauli noise preserves the property:
+ * an X event flips a bit, a Z event flips the sign when the bit is 1,
+ * a Y event does both (with a global i). This is what makes noisy
+ * simulation of ~200-qubit QRAM circuits cheap.
+ *
+ * H gates (used only inside teleportation gadgets, which are analyzed
+ * for depth rather than simulated) are rejected with panic().
+ */
+
+#ifndef QRAMSIM_SIM_FEYNMAN_HH
+#define QRAMSIM_SIM_FEYNMAN_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "circuit/schedule.hh"
+#include "common/bitvec.hh"
+
+namespace qramsim {
+
+/** One Feynman path: basis state plus accumulated phase. */
+struct PathState
+{
+    BitVec bits;
+    std::complex<double> phase{1.0, 0.0};
+
+    PathState() = default;
+    explicit PathState(std::size_t nqubits) : bits(nqubits) {}
+};
+
+/** A Pauli error applied to one qubit at one point in the circuit. */
+enum class PauliKind : std::uint8_t { X, Y, Z };
+
+/**
+ * One sampled error event. Events are anchored either after a gate
+ * (gate-based channel) or after a schedule moment (qubit-based channel);
+ * the executor interleaves them accordingly.
+ */
+struct ErrorEvent
+{
+    std::uint32_t qubit;
+    PauliKind pauli;
+};
+
+/** A full error realization for one Monte Carlo shot. */
+struct ErrorRealization
+{
+    /** afterGate[g] = events applied right after gate g executes. */
+    std::vector<std::vector<ErrorEvent>> afterGate;
+
+    /** afterMoment[t] = events applied after schedule moment t. */
+    std::vector<std::vector<ErrorEvent>> afterMoment;
+
+    bool
+    empty() const
+    {
+        for (const auto &v : afterGate)
+            if (!v.empty())
+                return false;
+        for (const auto &v : afterMoment)
+            if (!v.empty())
+                return false;
+        return true;
+    }
+};
+
+/** Apply a single gate to a path in place. Panics on H. */
+void applyGate(const Gate &g, PathState &path);
+
+/** Apply a single Pauli error event to a path in place. */
+void applyError(const ErrorEvent &e, PathState &path);
+
+/**
+ * Path executor: propagates basis states through a circuit, optionally
+ * interleaving a sampled error realization. The schedule is computed
+ * once and reused across paths and shots.
+ */
+class FeynmanExecutor
+{
+  public:
+    explicit FeynmanExecutor(const Circuit &c);
+
+    const Circuit &circuit() const { return circ; }
+    const Schedule &schedule() const { return sched; }
+
+    /** Noiseless propagation of one path. */
+    PathState runIdeal(const PathState &input) const;
+
+    /**
+     * Propagation under an error realization. Gates execute in moment
+     * order; after each gate its afterGate events fire, after each
+     * moment its afterMoment events fire.
+     */
+    PathState runNoisy(const PathState &input,
+                       const ErrorRealization &errors) const;
+
+  private:
+    const Circuit &circ;
+    Schedule sched;
+
+    /** Gate indices in execution (moment) order. */
+    std::vector<std::size_t> order;
+
+    /** momentEnd[t] = index into 'order' one past moment t's gates. */
+    std::vector<std::size_t> momentEnd;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_SIM_FEYNMAN_HH

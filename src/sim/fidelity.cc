@@ -1,0 +1,198 @@
+#include "sim/fidelity.hh"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace qramsim {
+
+AddressSuperposition
+AddressSuperposition::uniform(unsigned addressWidth)
+{
+    AddressSuperposition s;
+    const std::uint64_t n = std::uint64_t(1) << addressWidth;
+    const double a = 1.0 / std::sqrt(static_cast<double>(n));
+    s.addresses.reserve(n);
+    s.amps.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        s.addresses.push_back(i);
+        s.amps.emplace_back(a, 0.0);
+    }
+    return s;
+}
+
+AddressSuperposition
+AddressSuperposition::single(std::uint64_t address, unsigned addressWidth)
+{
+    QRAMSIM_ASSERT(address < (std::uint64_t(1) << addressWidth),
+                   "address out of range");
+    AddressSuperposition s;
+    s.addresses.push_back(address);
+    s.amps.emplace_back(1.0, 0.0);
+    return s;
+}
+
+AddressSuperposition
+AddressSuperposition::random(unsigned addressWidth, Rng &rng)
+{
+    AddressSuperposition s;
+    const std::uint64_t n = std::uint64_t(1) << addressWidth;
+    double norm = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double re = rng.uniform() - 0.5;
+        double im = rng.uniform() - 0.5;
+        s.addresses.push_back(i);
+        s.amps.emplace_back(re, im);
+        norm += re * re + im * im;
+    }
+    norm = std::sqrt(norm);
+    for (auto &a : s.amps)
+        a /= norm;
+    return s;
+}
+
+FidelityEstimator::FidelityEstimator(
+    const Circuit &circuit, const std::vector<Qubit> &addressQubits,
+    Qubit busQubit, const AddressSuperposition &input_)
+    : exec(circuit), addrQubits(addressQubits), bus(busQubit),
+      input(input_)
+{
+    QRAMSIM_ASSERT(addrQubits.size() + 1 <= 64,
+                   "visible register too wide to pack");
+    inputs.reserve(input.size());
+    ideals.reserve(input.size());
+    for (std::size_t k = 0; k < input.size(); ++k) {
+        PathState p(circuit.numQubits());
+        for (std::size_t b = 0; b < addrQubits.size(); ++b)
+            p.bits.set(addrQubits[b], (input.addresses[k] >> b) & 1);
+        inputs.push_back(p);
+        PathState ideal = exec.runIdeal(p);
+        QRAMSIM_ASSERT(std::abs(ideal.phase.real() - 1.0) < 1e-12 &&
+                       std::abs(ideal.phase.imag()) < 1e-12,
+                       "ideal path acquired a phase; circuit contains "
+                       "non-classical diagonal gates");
+        ideals.push_back(std::move(ideal));
+        idealVisible.push_back(visibleKey(ideals.back().bits));
+    }
+}
+
+std::uint64_t
+FidelityEstimator::visibleKey(const BitVec &bits) const
+{
+    std::uint64_t key = 0;
+    for (std::size_t b = 0; b < addrQubits.size(); ++b)
+        key |= std::uint64_t(bits.get(addrQubits[b])) << b;
+    key |= std::uint64_t(bits.get(bus)) << addrQubits.size();
+    return key;
+}
+
+BitVec
+FidelityEstimator::ancillaPart(const BitVec &bits) const
+{
+    BitVec a = bits;
+    for (Qubit q : addrQubits)
+        a.set(q, false);
+    a.set(bus, false);
+    return a;
+}
+
+bool
+FidelityEstimator::idealBus(std::size_t k) const
+{
+    return ideals.at(k).bits.get(bus);
+}
+
+void
+FidelityEstimator::shotFidelity(const ErrorRealization &errors,
+                                double &fullOut, double &reducedOut) const
+{
+    // Map ideal visible key -> conj(amplitude) for the reduced overlap.
+    // Built lazily per shot would be wasteful; the key set is fixed, so
+    // build a local map once per call (cheap relative to propagation).
+    std::unordered_map<std::uint64_t, std::complex<double>> visAmp;
+    visAmp.reserve(input.size());
+    for (std::size_t k = 0; k < input.size(); ++k)
+        visAmp[idealVisible[k]] = std::conj(input.amps[k]);
+
+    std::complex<double> fullOverlap{0.0, 0.0};
+
+    struct Group { std::complex<double> sum{0.0, 0.0}; };
+    struct BitVecHash
+    {
+        std::size_t operator()(const BitVec &b) const { return b.hash(); }
+    };
+    std::unordered_map<BitVec, Group, BitVecHash> groups;
+    groups.reserve(8);
+
+    for (std::size_t k = 0; k < input.size(); ++k) {
+        PathState out = exec.runNoisy(inputs[k], errors);
+
+        // Full-state overlap: the noisy output contributes iff it lands
+        // exactly on this path's ideal output (distinct addresses give
+        // orthogonal ideal outputs, and the circuit is a permutation, so
+        // landing on another path's ideal output means that i' term of
+        // psi_noisy overlaps psi_ideal's i' component).
+        if (out.bits == ideals[k].bits) {
+            fullOverlap += std::conj(input.amps[k]) * input.amps[k]
+                           * out.phase;
+        } else {
+            // Check collision with any other ideal output via the
+            // visible key first (cheap), then exact bits.
+            auto it = visAmp.find(visibleKey(out.bits));
+            if (it != visAmp.end()) {
+                for (std::size_t j = 0; j < input.size(); ++j) {
+                    if (ideals[j].bits == out.bits) {
+                        fullOverlap += std::conj(input.amps[j])
+                                       * input.amps[k] * out.phase;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Reduced overlap: group by ancilla configuration; within a
+        // group, the visible component projects onto psi_ideal.
+        auto it = visAmp.find(visibleKey(out.bits));
+        if (it != visAmp.end()) {
+            groups[ancillaPart(out.bits)].sum +=
+                it->second * input.amps[k] * out.phase;
+        }
+    }
+
+    fullOut = std::norm(fullOverlap);
+    double red = 0.0;
+    for (const auto &[anc, g] : groups)
+        red += std::norm(g.sum);
+    reducedOut = red;
+}
+
+FidelityResult
+FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
+                            std::uint64_t seed) const
+{
+    Rng rng(seed);
+    double sumF = 0.0, sumF2 = 0.0, sumR = 0.0, sumR2 = 0.0;
+    for (std::size_t s = 0; s < shots; ++s) {
+        ErrorRealization errors = noise.sample(exec, rng);
+        double f = 0.0, r = 0.0;
+        shotFidelity(errors, f, r);
+        sumF += f;
+        sumF2 += f * f;
+        sumR += r;
+        sumR2 += r * r;
+    }
+    FidelityResult res;
+    res.shots = shots;
+    const double n = static_cast<double>(shots);
+    res.full = sumF / n;
+    res.reduced = sumR / n;
+    if (shots > 1) {
+        double varF = std::max(0.0, sumF2 / n - res.full * res.full);
+        double varR =
+            std::max(0.0, sumR2 / n - res.reduced * res.reduced);
+        res.fullStderr = std::sqrt(varF / (n - 1));
+        res.reducedStderr = std::sqrt(varR / (n - 1));
+    }
+    return res;
+}
+
+} // namespace qramsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Monte Carlo query-fidelity estimation (Secs. 5-7).
+ *
+ * A query takes sum_i alpha_i |i>_A |0>_B to sum_i alpha_i |i>_A |x_i>_B
+ * with every internal qubit (router, carrier, data node) restored to
+ * |0>. Per shot, one error realization is sampled and every address path
+ * is propagated through the same noisy circuit; because all gates are
+ * classical-reversible, the shot output is sum_i alpha_i phi_i |out_i>
+ * for basis states out_i.
+ *
+ * Two fidelity metrics are reported:
+ *
+ *  - full:    F = |<psi_ideal | psi_noisy>|^2 over the entire register,
+ *             the paper's Sec. 5 definition;
+ *  - reduced: F = <psi_ideal| Tr_ancilla(rho_noisy) |psi_ideal> on the
+ *             address+bus subsystem, the operational figure when
+ *             internal qubits are discarded or reused after the query.
+ *
+ * Z-error experiments give identical values under both metrics (Z never
+ * moves a basis state); they differ only when X errors strand internal
+ * qubits away from |0>.
+ */
+
+#ifndef QRAMSIM_SIM_FIDELITY_HH
+#define QRAMSIM_SIM_FIDELITY_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "sim/feynman.hh"
+#include "sim/noise.hh"
+
+namespace qramsim {
+
+/** Input superposition over classical addresses. */
+struct AddressSuperposition
+{
+    std::vector<std::uint64_t> addresses;
+    std::vector<std::complex<double>> amps;
+
+    /** Uniform superposition over all 2^n addresses. */
+    static AddressSuperposition uniform(unsigned addressWidth);
+
+    /** A single classical address. */
+    static AddressSuperposition single(std::uint64_t address,
+                                       unsigned addressWidth);
+
+    /** Random-amplitude superposition over all addresses. */
+    static AddressSuperposition random(unsigned addressWidth, Rng &rng);
+
+    std::size_t size() const { return addresses.size(); }
+};
+
+/** Fidelity estimate with sampling error. */
+struct FidelityResult
+{
+    double full = 0.0;       ///< mean full-state fidelity
+    double reduced = 0.0;    ///< mean reduced (address+bus) fidelity
+    double fullStderr = 0.0;
+    double reducedStderr = 0.0;
+    std::size_t shots = 0;
+};
+
+/**
+ * Reusable estimator: schedules the circuit once, caches ideal outputs,
+ * then evaluates shots under any noise model.
+ */
+class FidelityEstimator
+{
+  public:
+    /**
+     * @param circuit      the query circuit (all non-address qubits
+     *                     assumed initialized |0>)
+     * @param addressQubits address register, LSB-first
+     * @param busQubit     the output bus
+     * @param input        address superposition to query with
+     */
+    FidelityEstimator(const Circuit &circuit,
+                      const std::vector<Qubit> &addressQubits,
+                      Qubit busQubit,
+                      const AddressSuperposition &input);
+
+    /** Fidelities of a single error realization. */
+    void shotFidelity(const ErrorRealization &errors,
+                      double &fullOut, double &reducedOut) const;
+
+    /** Average fidelity over @p shots Monte Carlo realizations. */
+    FidelityResult estimate(const NoiseModel &noise, std::size_t shots,
+                            std::uint64_t seed) const;
+
+    const FeynmanExecutor &executor() const { return exec; }
+
+    /** The ideal (noiseless) bus value for input path @p k. */
+    bool idealBus(std::size_t k) const;
+
+  private:
+    /** Pack address+bus bits of a basis state into one word. */
+    std::uint64_t visibleKey(const BitVec &bits) const;
+
+    /** Copy of @p bits with address+bus positions cleared. */
+    BitVec ancillaPart(const BitVec &bits) const;
+
+    FeynmanExecutor exec;
+    std::vector<Qubit> addrQubits;
+    Qubit bus;
+    AddressSuperposition input;
+
+    std::vector<PathState> inputs;       ///< prepared input paths
+    std::vector<PathState> ideals;       ///< cached ideal outputs
+
+    /** ideal full output hash -> path index (for full overlap). */
+    std::vector<std::size_t> idealLookup;
+
+    /** ideal visible key -> amplitude (for reduced overlap). */
+    std::vector<std::uint64_t> idealVisible;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_SIM_FIDELITY_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the circuit IR, scheduler and cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+#include "circuit/cost_model.hh"
+#include "circuit/schedule.hh"
+
+namespace qramsim {
+namespace {
+
+TEST(Circuit, AllocationAndNames)
+{
+    Circuit c;
+    Qubit a = c.allocQubit("alpha");
+    auto reg = c.allocRegister(3, "r");
+    EXPECT_EQ(c.numQubits(), 4u);
+    EXPECT_EQ(c.qubitName(a), "alpha");
+    EXPECT_EQ(c.qubitName(reg[2]), "r[2]");
+}
+
+TEST(Circuit, GateEmission)
+{
+    Circuit c;
+    auto q = c.allocRegister(4, "q");
+    c.x(q[0]);
+    c.cx(q[0], q[1]);
+    c.ccx(q[0], q[1], q[2]);
+    c.cswap(q[0], q[1], q[2]);
+    c.cswap0(q[0], q[1], q[2]);
+    c.mcx({q[0], q[1], q[2]}, 0b101, q[3]);
+    EXPECT_EQ(c.numGates(), 6u);
+    const Gate &mcx = c.gates().back();
+    EXPECT_EQ(mcx.controls.size(), 3u);
+    EXPECT_FALSE(mcx.negControl(0)); // pattern bit 0 == 1 -> positive
+    EXPECT_TRUE(mcx.negControl(1));  // pattern bit 1 == 0 -> negative
+    EXPECT_FALSE(mcx.negControl(2));
+}
+
+TEST(Circuit, ClassicalGatesOnlyEmittedWhenConditionTrue)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.classicalX(false, q[0]);
+    c.classicalSwap(false, q[0], q[1]);
+    EXPECT_EQ(c.numGates(), 0u);
+    c.classicalX(true, q[0]);
+    c.classicalSwap(true, q[0], q[1]);
+    EXPECT_EQ(c.numGates(), 2u);
+    EXPECT_EQ(c.countClassical(), 2u);
+}
+
+TEST(Circuit, ReversedRangeUndoesItself)
+{
+    Circuit c;
+    auto q = c.allocRegister(3, "q");
+    std::size_t b = c.numGates();
+    c.x(q[0]);
+    c.cx(q[0], q[1]);
+    c.cswap(q[0], q[1], q[2]);
+    std::size_t e = c.numGates();
+    c.appendReversedRange(b, e);
+    EXPECT_EQ(c.numGates(), 6u);
+    // Last gate mirrors the first of the section in reverse order.
+    EXPECT_EQ(c.gates()[5].kind, GateKind::X);
+    EXPECT_EQ(c.gates()[3].kind, GateKind::Swap);
+}
+
+TEST(Schedule, ParallelGatesShareMoment)
+{
+    Circuit c;
+    auto q = c.allocRegister(4, "q");
+    c.x(q[0]);
+    c.x(q[1]); // disjoint -> same moment
+    c.cx(q[0], q[1]); // depends on both
+    c.x(q[2]); // independent -> moment 0
+    Schedule s = scheduleAsap(c);
+    EXPECT_EQ(s.moment[0], 0);
+    EXPECT_EQ(s.moment[1], 0);
+    EXPECT_EQ(s.moment[2], 1);
+    EXPECT_EQ(s.moment[3], 0);
+    EXPECT_EQ(s.depth(), 2u);
+}
+
+TEST(Schedule, BarrierSynchronizes)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.x(q[0]);
+    c.barrier();
+    c.x(q[1]); // would be moment 0 without the barrier
+    Schedule s = scheduleAsap(c);
+    EXPECT_EQ(s.moment[0], 0);
+    EXPECT_EQ(s.moment[2], 1);
+    EXPECT_EQ(s.depth(), 2u);
+}
+
+TEST(Schedule, SharedControlSerializes)
+{
+    Circuit c;
+    auto q = c.allocRegister(3, "q");
+    c.cx(q[0], q[1]);
+    c.cx(q[0], q[2]); // same control -> must wait
+    Schedule s = scheduleAsap(c);
+    EXPECT_EQ(s.depth(), 2u);
+}
+
+TEST(CostModel, SingleGates)
+{
+    Gate x;
+    x.kind = GateKind::X;
+    x.targets = {0};
+    Cost cx = gateCost(x);
+    EXPECT_EQ(cx.tCount, 0u);
+    EXPECT_EQ(cx.totalDepth, 1u);
+
+    Gate t;
+    t.kind = GateKind::T;
+    t.targets = {0};
+    EXPECT_EQ(gateCost(t).tCount, 1u);
+}
+
+TEST(CostModel, ToffoliConstants)
+{
+    Gate g;
+    g.kind = GateKind::X;
+    g.controls = {0, 1};
+    g.targets = {2};
+    Cost c = gateCost(g);
+    EXPECT_EQ(c.tCount, 7u);
+    EXPECT_EQ(c.tDepth, 3u);
+    EXPECT_EQ(c.ancillae, 0u);
+}
+
+TEST(CostModel, CswapMatchesPaperQuote)
+{
+    // Sec. 2.2.1: CSWAP decomposes to depth 12, T depth 3, no ancillae.
+    Gate g;
+    g.kind = GateKind::Swap;
+    g.controls = {0};
+    g.targets = {1, 2};
+    Cost c = gateCost(g);
+    EXPECT_EQ(c.tCount, 7u);
+    EXPECT_EQ(c.tDepth, 3u);
+    EXPECT_EQ(c.totalDepth, 13u); // CX + depth-11 CCX + CX
+    EXPECT_EQ(c.ancillae, 0u);
+}
+
+TEST(CostModel, McxLadderScaling)
+{
+    Gate g;
+    g.kind = GateKind::X;
+    g.controls = {0, 1, 2, 3, 4};
+    g.targets = {5};
+    Cost c = gateCost(g);
+    // 2c-3 = 7 Toffolis for c = 5 controls.
+    EXPECT_EQ(c.tCount, 7u * 7u);
+    EXPECT_EQ(c.ancillae, 3u);
+}
+
+TEST(CostModel, CircuitAggregates)
+{
+    Circuit c;
+    auto q = c.allocRegister(4, "q");
+    c.ccx(q[0], q[1], q[2]);
+    c.ccx(q[0], q[1], q[3]); // serialized on shared controls
+    CircuitResources r = measureResources(c);
+    EXPECT_EQ(r.qubits, 4u);
+    EXPECT_EQ(r.gateCount, 2u);
+    EXPECT_EQ(r.logicalDepth, 2u);
+    EXPECT_EQ(r.tCount, 14u);
+    EXPECT_EQ(r.tDepth, 6u); // two layers of T-depth 3
+    EXPECT_EQ(r.mcxCount, 2u);
+}
+
+TEST(CostModel, ParallelLayerTDepthIsMax)
+{
+    Circuit c;
+    auto q = c.allocRegister(6, "q");
+    c.ccx(q[0], q[1], q[2]);
+    c.ccx(q[3], q[4], q[5]); // disjoint: same moment
+    CircuitResources r = measureResources(c);
+    EXPECT_EQ(r.logicalDepth, 1u);
+    EXPECT_EQ(r.tDepth, 3u); // layer cost is the max, not the sum
+    EXPECT_EQ(r.tCount, 14u); // counts still add
+}
+
+} // namespace
+} // namespace qramsim

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the common substrate: BitVec, Rng, Table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace qramsim {
+namespace {
+
+TEST(BitVec, StartsAllZero)
+{
+    BitVec b(130);
+    EXPECT_EQ(b.size(), 130u);
+    EXPECT_TRUE(b.none());
+    EXPECT_EQ(b.popcount(), 0u);
+    for (std::size_t i = 0; i < 130; ++i)
+        EXPECT_FALSE(b.get(i));
+}
+
+TEST(BitVec, SetGetFlipAcrossWordBoundary)
+{
+    BitVec b(130);
+    for (std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+        b.set(i, true);
+        EXPECT_TRUE(b.get(i));
+        b.flip(i);
+        EXPECT_FALSE(b.get(i));
+        b.flip(i);
+        EXPECT_TRUE(b.get(i));
+    }
+    EXPECT_EQ(b.popcount(), 7u);
+}
+
+TEST(BitVec, SwapBits)
+{
+    BitVec b(70);
+    b.set(3, true);
+    b.swapBits(3, 69);
+    EXPECT_FALSE(b.get(3));
+    EXPECT_TRUE(b.get(69));
+    b.swapBits(3, 69);
+    EXPECT_TRUE(b.get(3));
+    EXPECT_FALSE(b.get(69));
+    // Swapping equal bits is a no-op.
+    b.swapBits(10, 11);
+    EXPECT_FALSE(b.get(10));
+    EXPECT_FALSE(b.get(11));
+}
+
+TEST(BitVec, ExtractDeposit)
+{
+    BitVec b(100);
+    b.deposit(60, 10, 0x2ABu);
+    EXPECT_EQ(b.extract(60, 10), 0x2ABu);
+    EXPECT_EQ(b.extract(0, 60), 0u);
+    b.deposit(60, 10, 0);
+    EXPECT_TRUE(b.none());
+}
+
+TEST(BitVec, EqualityAndHash)
+{
+    BitVec a(80), b(80);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.set(79, true);
+    EXPECT_NE(a, b);
+    b.set(79, false);
+    EXPECT_EQ(a, b);
+    BitVec c(81);
+    EXPECT_NE(a, c); // different widths differ
+}
+
+TEST(BitVec, ValueConstructor)
+{
+    BitVec b(16, 0xA5);
+    EXPECT_EQ(b.extract(0, 16), 0xA5u);
+    EXPECT_TRUE(b.get(0));
+    EXPECT_FALSE(b.get(1));
+    EXPECT_TRUE(b.get(2));
+}
+
+TEST(BitVec, ToString)
+{
+    BitVec b(4);
+    b.set(1, true);
+    EXPECT_EQ(b.toString(), "0100");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    Rng r(1);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(7);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / double(trials), 0.3, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowBound)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(5);
+    Rng b = a.fork();
+    // Forked stream differs from the parent's continuation.
+    EXPECT_NE(a.bits(), b.bits());
+}
+
+TEST(Table, RowsAndCsv)
+{
+    Table t("demo", {"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({Table::fmt(3.14159, 2), Table::fmt(std::uint64_t(7))});
+    EXPECT_EQ(t.data().size(), 2u);
+    EXPECT_EQ(t.data()[1][0], "3.14");
+    EXPECT_EQ(t.data()[1][1], "7");
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t("demo", {"x", "y"});
+    t.addRow({"1", "hello"});
+    t.addRow({"2", "world"});
+    const std::string path = ::testing::TempDir() + "/qramsim_t.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+    std::ifstream f(path);
+    std::string line;
+    std::getline(f, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(f, line);
+    EXPECT_EQ(line, "1,hello");
+    std::getline(f, line);
+    EXPECT_EQ(line, "2,world");
+}
+
+TEST(Table, CsvFailsOnBadPath)
+{
+    Table t("demo", {"x"});
+    EXPECT_FALSE(t.writeCsv("/nonexistent-dir-xyz/t.csv"));
+}
+
+} // namespace
+} // namespace qramsim

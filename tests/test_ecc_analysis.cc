@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the surface-code model (Sec. 5.2 / Eq. 7), the analytic
+ * fidelity bounds (Sec. 5.1 / Eqs. 3, 5, 6), and the Table 1/2
+ * closed-form resource formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hh"
+#include "analysis/resources.hh"
+#include "ecc/surface_code.hh"
+
+namespace qramsim {
+namespace {
+
+// --- Surface code -----------------------------------------------------
+
+TEST(SurfaceCode, LogicalRateDropsWithDistance)
+{
+    double p = 1e-3, pth = 1e-2;
+    double d3 = surfaceLogicalRate(p, pth, 3);
+    double d5 = surfaceLogicalRate(p, pth, 5);
+    double d7 = surfaceLogicalRate(p, pth, 7);
+    EXPECT_GT(d3, d5);
+    EXPECT_GT(d5, d7);
+    // Each distance step of 2 suppresses by p/pth.
+    EXPECT_NEAR(d5 / d3, p / pth, 1e-12);
+}
+
+TEST(SurfaceCode, RectangularRatioMatchesFormula)
+{
+    double p = 1e-3, pth = 1e-2;
+    // dx - dz = 2 suppresses X relative to Z by (p/pth)^2.
+    EXPECT_NEAR(rectangularRatio(p, pth, 7, 5), 0.01, 1e-12);
+    EXPECT_NEAR(rectangularRatio(p, pth, 5, 7), 100.0, 1e-7);
+    EXPECT_DOUBLE_EQ(rectangularRatio(p, pth, 5, 5), 1.0);
+}
+
+TEST(SurfaceCode, Eq7GapIsPositiveAndGrowsWithM)
+{
+    // The QRAM tolerates Z better, so dx - dz > 0 (more X protection),
+    // and the gap widens as the X bound worsens exponentially in m.
+    double p = 1e-3, pth = 1e-2;
+    double prev = 0.0;
+    for (unsigned m = 2; m <= 8; ++m) {
+        double gap = balancedDistanceGap(m, 2, p, pth);
+        EXPECT_GT(gap, prev) << "m=" << m;
+        prev = gap;
+    }
+}
+
+TEST(SurfaceCode, ChooseCodeRespectsTarget)
+{
+    double p = 1e-3, pth = 1e-2;
+    RectangularCode code = chooseRectangularCode(4, 2, p, pth, 1e-10);
+    EXPECT_LE(surfaceLogicalRate(p, pth, code.dx), 1e-10);
+    EXPECT_GE(code.dx, code.dz); // more X protection
+}
+
+TEST(SurfaceCode, PhysicalFootprint)
+{
+    RectangularCode code{5, 3};
+    EXPECT_EQ(code.physicalQubits(), 29u);
+    std::uint64_t total = virtualQramPhysicalQubits(3, 2, code, 7);
+    // 4*8 + 3 + 1 = 36 tree qubits * 29 + 2 * 97 SQC.
+    EXPECT_EQ(total, 36u * 29 + 2u * 97);
+}
+
+// --- Analytic bounds ---------------------------------------------------
+
+TEST(Bounds, Eq3Values)
+{
+    EXPECT_DOUBLE_EQ(boundQramZ(0.0, 5), 1.0);
+    EXPECT_DOUBLE_EQ(boundQramZ(1e-3, 5), 1.0 - 4e-3 * 25);
+    EXPECT_DOUBLE_EQ(boundQramZDualRail(1e-3, 5), 1.0 - 8e-3 * 25);
+    EXPECT_DOUBLE_EQ(boundQramZ(1.0, 10), 0.0); // clamped
+}
+
+TEST(Bounds, ZBoundPolynomialXBoundExponential)
+{
+    // At fixed eps, the X bound collapses far faster in m than Z.
+    double eps = 1e-4;
+    for (unsigned m = 1; m <= 10; ++m)
+        EXPECT_GE(boundVirtualZ(eps, m, 0), boundVirtualX(eps, m, 0));
+    // Z bound still meaningful at m=10 where X is fully clamped:
+    // 1 - 8e-4*11*1024 < 0.
+    EXPECT_GT(boundVirtualZ(eps, 10, 0), 0.9);
+    EXPECT_DOUBLE_EQ(boundVirtualX(eps, 10, 0), 0.0);
+}
+
+TEST(Bounds, SqcWidthDegradesExponentially)
+{
+    double eps = 1e-5;
+    double prev = 1.0;
+    for (unsigned k = 0; k <= 8; ++k) {
+        double b = boundVirtualZ(eps, 3, k);
+        EXPECT_LE(b, prev);
+        prev = b;
+    }
+    EXPECT_LT(boundVirtualZ(eps, 3, 8),
+              boundVirtualZ(eps, 8, 3)); // k hurts more than m
+}
+
+TEST(Bounds, ExpectedFidelityMatchesSmallEpsExpansion)
+{
+    double eps = 1e-5;
+    unsigned m = 4;
+    // E[F] ~ 1 - 4 eps m^2 for small eps (the Eq. 3/4 derivation).
+    EXPECT_NEAR(expectedFidelityZ(eps, m), 1.0 - 4 * eps * m * m,
+                1e-6);
+    EXPECT_GE(expectedFidelityZ(eps, m), boundQramZ(eps, m) - 1e-12);
+}
+
+// --- Resource formulas --------------------------------------------------
+
+TEST(Resources, Table1RawColumn)
+{
+    Table1Formula f = paperTable1(4, 3, false, false, false);
+    EXPECT_EQ(f.qubits, 6u * 16 + 3);
+    EXPECT_EQ(f.circuitDepth, 16u + 5 * 8);
+    EXPECT_EQ(f.classicalGates, 1u << 6); // 2^(m+k-1)
+}
+
+TEST(Resources, Table1AllColumn)
+{
+    Table1Formula f = paperTable1(4, 3, true, true, true);
+    EXPECT_EQ(f.qubits, 4u * 16 + 3);
+    EXPECT_EQ(f.circuitDepth, 4u + 5 * 8);
+    EXPECT_EQ(f.classicalGates, 1u << 5); // 2^(m+k-2)
+}
+
+TEST(Resources, Table1SingleOptColumns)
+{
+    // Each optimization improves exactly its own row.
+    auto raw = paperTable1(5, 2, false, false, false);
+    auto o1 = paperTable1(5, 2, true, false, false);
+    auto o2 = paperTable1(5, 2, false, true, false);
+    auto o3 = paperTable1(5, 2, false, false, true);
+    EXPECT_LT(o1.qubits, raw.qubits);
+    EXPECT_EQ(o1.circuitDepth, raw.circuitDepth);
+    EXPECT_EQ(o2.qubits, raw.qubits);
+    EXPECT_LT(o2.classicalGates, raw.classicalGates);
+    EXPECT_LT(o3.circuitDepth, raw.circuitDepth);
+    EXPECT_EQ(o3.classicalGates, raw.classicalGates);
+}
+
+TEST(Resources, Table2Ordering)
+{
+    // The headline claims: ours matches SQC+BB depth but beats its
+    // T count by ~2^k; SQC+SS depth is ~m^2/m worse than ours.
+    unsigned m = 6, k = 4;
+    auto bb = paperTable2("SQC+BB", m, k);
+    auto ss = paperTable2("SQC+SS", m, k);
+    auto ours = paperTable2("Ours", m, k);
+    EXPECT_EQ(ours.circuitDepth, bb.circuitDepth);
+    EXPECT_LT(ours.tCount, bb.tCount);
+    EXPECT_GT(ss.circuitDepth, ours.circuitDepth);
+    EXPECT_EQ(ours.tCount, ss.tCount);
+    EXPECT_LE(ours.cliffordDepth, ss.cliffordDepth);
+}
+
+} // namespace
+} // namespace qramsim

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the Feynman-path simulator and noise models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/feynman.hh"
+#include "sim/fidelity.hh"
+#include "sim/noise.hh"
+
+namespace qramsim {
+namespace {
+
+PathState
+makePath(std::size_t n, std::uint64_t value)
+{
+    PathState p(n);
+    p.bits.deposit(0, n, value);
+    return p;
+}
+
+TEST(Feynman, XFlipsBit)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.x(q[0]);
+    FeynmanExecutor ex(c);
+    PathState out = ex.runIdeal(makePath(2, 0b00));
+    EXPECT_EQ(out.bits.extract(0, 2), 0b01u);
+}
+
+TEST(Feynman, CxRespectsControl)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.cx(q[0], q[1]);
+    FeynmanExecutor ex(c);
+    EXPECT_EQ(ex.runIdeal(makePath(2, 0b01)).bits.extract(0, 2), 0b11u);
+    EXPECT_EQ(ex.runIdeal(makePath(2, 0b00)).bits.extract(0, 2), 0b00u);
+}
+
+TEST(Feynman, NegativeControlFiresOnZero)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.cx0(q[0], q[1]);
+    FeynmanExecutor ex(c);
+    EXPECT_EQ(ex.runIdeal(makePath(2, 0b00)).bits.extract(0, 2), 0b10u);
+    EXPECT_EQ(ex.runIdeal(makePath(2, 0b01)).bits.extract(0, 2), 0b01u);
+}
+
+TEST(Feynman, McxPattern)
+{
+    Circuit c;
+    auto q = c.allocRegister(4, "q");
+    c.mcx({q[0], q[1], q[2]}, 0b010, q[3]);
+    FeynmanExecutor ex(c);
+    EXPECT_EQ(ex.runIdeal(makePath(4, 0b0010)).bits.extract(0, 4),
+              0b1010u);
+    EXPECT_EQ(ex.runIdeal(makePath(4, 0b0011)).bits.extract(0, 4),
+              0b0011u);
+}
+
+TEST(Feynman, SwapAndCswap)
+{
+    Circuit c;
+    auto q = c.allocRegister(3, "q");
+    c.cswap(q[0], q[1], q[2]);
+    FeynmanExecutor ex(c);
+    EXPECT_EQ(ex.runIdeal(makePath(3, 0b011)).bits.extract(0, 3),
+              0b101u);
+    EXPECT_EQ(ex.runIdeal(makePath(3, 0b010)).bits.extract(0, 3),
+              0b010u);
+}
+
+TEST(Feynman, ZPhaseOnOne)
+{
+    Circuit c;
+    auto q = c.allocRegister(1, "q");
+    c.z(q[0]);
+    FeynmanExecutor ex(c);
+    EXPECT_DOUBLE_EQ(ex.runIdeal(makePath(1, 1)).phase.real(), -1.0);
+    EXPECT_DOUBLE_EQ(ex.runIdeal(makePath(1, 0)).phase.real(), 1.0);
+}
+
+TEST(Feynman, ErrorEvents)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.x(q[0]); // one gate so there's a slot to attach errors to
+    FeynmanExecutor ex(c);
+
+    ErrorRealization errs;
+    errs.afterGate.resize(1);
+    errs.afterGate[0].push_back({q[1], PauliKind::X});
+    PathState out = ex.runNoisy(makePath(2, 0b00), errs);
+    EXPECT_EQ(out.bits.extract(0, 2), 0b11u);
+
+    ErrorRealization zerr;
+    zerr.afterGate.resize(1);
+    zerr.afterGate[0].push_back({q[0], PauliKind::Z});
+    out = ex.runNoisy(makePath(2, 0b00), zerr);
+    EXPECT_DOUBLE_EQ(out.phase.real(), -1.0); // X made the bit 1 first
+}
+
+TEST(Feynman, YErrorIsIXZ)
+{
+    Circuit c;
+    auto q = c.allocRegister(1, "q");
+    c.x(q[0]);
+    FeynmanExecutor ex(c);
+    ErrorRealization errs;
+    errs.afterGate.resize(1);
+    errs.afterGate[0].push_back({q[0], PauliKind::Y});
+    PathState out = ex.runNoisy(makePath(1, 0), errs);
+    // Y|1> = -i|0>.
+    EXPECT_EQ(out.bits.extract(0, 1), 0u);
+    EXPECT_NEAR(out.phase.imag(), -1.0, 1e-12);
+}
+
+TEST(Noise, ZeroRateGivesEmptyRealization)
+{
+    Circuit c;
+    auto q = c.allocRegister(3, "q");
+    c.cx(q[0], q[1]);
+    c.cx(q[1], q[2]);
+    FeynmanExecutor ex(c);
+    Rng rng(3);
+    EXPECT_TRUE(QubitChannelNoise(PauliRates{}).sample(ex, rng).empty());
+    EXPECT_TRUE(GateNoise(PauliRates{}).sample(ex, rng).empty());
+}
+
+TEST(Noise, RatesProduceExpectedCounts)
+{
+    Circuit c;
+    auto q = c.allocRegister(10, "q");
+    for (int i = 0; i < 9; ++i)
+        c.cx(q[i], q[i + 1]);
+    FeynmanExecutor ex(c);
+    Rng rng(17);
+    QubitChannelNoise noise(PauliRates::phaseFlip(0.1));
+    std::size_t events = 0, samples = 200;
+    for (std::size_t s = 0; s < samples; ++s) {
+        auto real = noise.sample(ex, rng);
+        for (const auto &v : real.afterMoment)
+            events += v.size();
+    }
+    // depth 9 moments * 10 qubits * 0.1 = 9 expected per sample.
+    double mean = events / double(samples);
+    EXPECT_NEAR(mean, 9.0, 1.0);
+}
+
+TEST(Fidelity, NoiselessIsUnity)
+{
+    Circuit c;
+    auto q = c.allocRegister(3, "q");
+    Qubit bus = c.allocQubit("bus");
+    c.cx(q[0], bus); // a trivial "query": bus = addr bit 0
+    FidelityEstimator est(c, {q[0], q[1], q[2]}, bus,
+                          AddressSuperposition::uniform(3));
+    QubitChannelNoise none(PauliRates{});
+    FidelityResult r = est.estimate(none, 4, 1);
+    EXPECT_DOUBLE_EQ(r.full, 1.0);
+    EXPECT_DOUBLE_EQ(r.reduced, 1.0);
+}
+
+TEST(Fidelity, DeterministicXOnBusKillsFidelity)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    Qubit bus = c.allocQubit("bus");
+    c.cx(q[0], bus);
+    FidelityEstimator est(c, {q[0], q[1]}, bus,
+                          AddressSuperposition::uniform(2));
+    ErrorRealization errs;
+    errs.afterGate.resize(1);
+    errs.afterGate[0].push_back({bus, PauliKind::X});
+    double full = 0.0, red = 0.0;
+    est.shotFidelity(errs, full, red);
+    EXPECT_DOUBLE_EQ(full, 0.0);
+    EXPECT_DOUBLE_EQ(red, 0.0);
+}
+
+TEST(Fidelity, StrandedAncillaDistinguishesMetrics)
+{
+    // An X error on an idle ancilla wrecks the full-state overlap but
+    // leaves the reduced (address+bus) fidelity at 1.
+    Circuit c;
+    auto q = c.allocRegister(1, "q");
+    Qubit bus = c.allocQubit("bus");
+    Qubit anc = c.allocQubit("anc");
+    c.cx(q[0], bus);
+    FidelityEstimator est(c, {q[0]}, bus,
+                          AddressSuperposition::uniform(1));
+    ErrorRealization errs;
+    errs.afterGate.resize(1);
+    errs.afterGate[0].push_back({anc, PauliKind::X});
+    double full = 0.0, red = 0.0;
+    est.shotFidelity(errs, full, red);
+    EXPECT_DOUBLE_EQ(full, 0.0);
+    EXPECT_DOUBLE_EQ(red, 1.0);
+}
+
+TEST(Fidelity, ZOnAddressDampsSuperposition)
+{
+    // Z on an address qubit flips the sign of half the branches:
+    // overlap = 0 for the uniform 1-qubit superposition.
+    Circuit c;
+    auto q = c.allocRegister(1, "q");
+    Qubit bus = c.allocQubit("bus");
+    c.cx(q[0], bus);
+    FidelityEstimator est(c, {q[0]}, bus,
+                          AddressSuperposition::uniform(1));
+    ErrorRealization errs;
+    errs.afterGate.resize(1);
+    errs.afterGate[0].push_back({q[0], PauliKind::Z});
+    double full = 0.0, red = 0.0;
+    est.shotFidelity(errs, full, red);
+    EXPECT_NEAR(full, 0.0, 1e-12);
+    EXPECT_NEAR(red, 0.0, 1e-12);
+}
+
+TEST(Fidelity, SingleAddressInput)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    Qubit bus = c.allocQubit("bus");
+    c.cx(q[1], bus);
+    FidelityEstimator est(c, {q[0], q[1]}, bus,
+                          AddressSuperposition::single(0b10, 2));
+    QubitChannelNoise none(PauliRates{});
+    FidelityResult r = est.estimate(none, 2, 5);
+    EXPECT_DOUBLE_EQ(r.full, 1.0);
+    EXPECT_TRUE(est.idealBus(0));
+}
+
+} // namespace
+} // namespace qramsim

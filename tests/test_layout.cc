@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the 2D layout subsystem: grid/coupling graphs, H-tree
+ * embedding validity, routing cost models, SABRE-lite transpilation,
+ * and the compact NISQ QRAM that rides on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/devices.hh"
+#include "layout/htree.hh"
+#include "layout/routers.hh"
+#include "layout/sabre_lite.hh"
+#include "qram/compact.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/feynman.hh"
+
+namespace qramsim {
+namespace {
+
+TEST(CouplingGraph, PerthTopology)
+{
+    Device d = makeIbmPerth();
+    EXPECT_EQ(d.coupling.size(), 7u);
+    EXPECT_TRUE(d.coupling.adjacent(1, 3));
+    EXPECT_FALSE(d.coupling.adjacent(0, 6));
+    EXPECT_EQ(d.coupling.distance(0, 6), 4u); // 0-1-3-5-6
+}
+
+TEST(CouplingGraph, GuadalupeTopology)
+{
+    Device d = makeIbmGuadalupe();
+    EXPECT_EQ(d.coupling.size(), 16u);
+    EXPECT_TRUE(d.coupling.adjacent(12, 15));
+    EXPECT_EQ(d.coupling.distance(0, 15), 6u); // 0-1-4-7-10-12-15
+}
+
+TEST(CouplingGraph, ShortestPathEndsMatch)
+{
+    Device d = makeIbmGuadalupe();
+    auto p = d.coupling.shortestPath(0, 14);
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 14u);
+    EXPECT_EQ(p.size(), d.coupling.distance(0, 14) + 1);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        EXPECT_TRUE(d.coupling.adjacent(p[i], p[i + 1]));
+}
+
+TEST(CouplingGraph, GridDeviceDistancesAreManhattan)
+{
+    Device d = makeGridDevice(5, 4, {1e-4, 1e-3});
+    EXPECT_EQ(d.coupling.size(), 20u);
+    // (0,0) -> (4,3): 4 + 3 hops.
+    EXPECT_EQ(d.coupling.distance(0, 19), 7u);
+}
+
+class HTreeParam : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(HTreeParam, EmbeddingIsTopologicalMinor)
+{
+    HTreeEmbedding e = HTreeEmbedding::build(GetParam());
+    EXPECT_TRUE(e.validate()) << "m=" << GetParam() << "\n"
+                              << (GetParam() <= 6 ? e.toAscii() : "");
+}
+
+TEST_P(HTreeParam, GridSideMatchesRecursion)
+{
+    unsigned m = GetParam();
+    HTreeEmbedding e = HTreeEmbedding::build(m);
+    if (m >= 2 && m % 2 == 0) {
+        EXPECT_EQ(e.gridWidth(), (1 << (m / 2 + 1)) - 1);
+        EXPECT_EQ(e.gridHeight(), e.gridWidth());
+    }
+    // Grid must hold all sites comfortably.
+    EXPECT_GE(std::size_t(e.gridWidth()) * e.gridHeight(),
+              TreeIndex::nodeCount(m) + TreeIndex::leafCount(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HTreeParam,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u, 9u, 10u));
+
+TEST(HTree, BaseCaseMatchesFig6a)
+{
+    HTreeEmbedding e = HTreeEmbedding::build(2);
+    // Root at the center, children on the middle row, leaves in the
+    // corners (Fig. 6a).
+    EXPECT_EQ(e.routerCell(0, 0), (Coord{1, 1}));
+    EXPECT_EQ(e.routerCell(1, 0), (Coord{0, 1}));
+    EXPECT_EQ(e.routerCell(1, 1), (Coord{2, 1}));
+    EXPECT_EQ(e.leafCell(0), (Coord{0, 0}));
+    EXPECT_EQ(e.leafCell(3), (Coord{2, 2}));
+}
+
+TEST(HTree, UnusedFractionApproachesQuarter)
+{
+    // Paper Sec. 7.2: unused qubits occupy ~25% of an even embedding.
+    HTreeEmbedding e = HTreeEmbedding::build(8);
+    EXPECT_GT(e.unusedFraction(), 0.15);
+    EXPECT_LT(e.unusedFraction(), 0.45);
+}
+
+TEST(HTree, RootEdgeLengthGrowsExponentially)
+{
+    std::size_t prev = 0;
+    for (unsigned m = 2; m <= 10; m += 2) {
+        HTreeEmbedding e = HTreeEmbedding::build(m);
+        std::size_t len = e.maxEdgeLength(0);
+        EXPECT_GT(len, prev);
+        prev = len;
+    }
+    // Root arm of T_10: about a quarter of a 63-wide grid.
+    EXPECT_GE(prev, 8u);
+}
+
+TEST(Routing, SwapCostExplodesTeleportStaysFlat)
+{
+    std::uint64_t lastSwap = 0, lastTp = 0;
+    for (unsigned m = 1; m <= 9; ++m) {
+        HTreeEmbedding e = HTreeEmbedding::build(m);
+        RoutingCost sw = swapRoutingCost(e);
+        RoutingCost tp = teleportRoutingCost(e);
+        EXPECT_GE(sw.extraDepth, lastSwap);
+        lastSwap = sw.extraDepth;
+        lastTp = tp.extraDepth;
+        // Teleportation never exceeds linear-in-m depth.
+        EXPECT_LE(tp.extraDepth, teleportHopDepth * 6ull * m);
+    }
+    // Exponential vs linear separation at m = 9 (Fig. 8's gap).
+    EXPECT_GT(lastSwap, 4 * lastTp);
+}
+
+TEST(Routing, TeleportUsesRoutingQubits)
+{
+    HTreeEmbedding e = HTreeEmbedding::build(6);
+    RoutingCost tp = teleportRoutingCost(e);
+    EXPECT_GT(tp.routingQubits, 0u);
+}
+
+// --- Compact QRAM correctness (same contract as the big variants) ---
+
+struct CompactParam
+{
+    unsigned m, k;
+};
+
+class CompactCorrectness : public ::testing::TestWithParam<CompactParam>
+{};
+
+TEST_P(CompactCorrectness, QueriesAllAddresses)
+{
+    const auto [m, k] = GetParam();
+    CompactQram arch(m, k);
+    Rng rng(70 + m * 8 + k);
+    for (int trial = 0; trial < 4; ++trial) {
+        Memory mem = Memory::random(m + k, rng);
+        QueryCircuit qc = arch.build(mem);
+        FeynmanExecutor exec(qc.circuit);
+        for (std::uint64_t i = 0; i < mem.size(); ++i) {
+            PathState in(qc.circuit.numQubits());
+            for (unsigned b = 0; b < m + k; ++b)
+                in.bits.set(qc.addressQubits[b], (i >> b) & 1);
+            PathState out = exec.runIdeal(in);
+            EXPECT_EQ(out.bits.get(qc.busQubit), mem.bit(i))
+                << "address " << i;
+            BitVec expected(qc.circuit.numQubits());
+            for (unsigned b = 0; b < m + k; ++b)
+                expected.set(qc.addressQubits[b], (i >> b) & 1);
+            expected.set(qc.busQubit, mem.bit(i));
+            EXPECT_EQ(out.bits, expected) << "address " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompactCorrectness,
+    ::testing::Values(CompactParam{1, 0}, CompactParam{1, 1},
+                      CompactParam{2, 0}, CompactParam{2, 1},
+                      CompactParam{3, 0}, CompactParam{3, 2},
+                      CompactParam{4, 1}),
+    [](const ::testing::TestParamInfo<CompactParam> &info) {
+        return "m" + std::to_string(info.param.m) + "k" +
+               std::to_string(info.param.k);
+    });
+
+TEST(CompactQram, FitsTheAppendixDevices)
+{
+    EXPECT_LE(CompactQram::qubitCount(1, 0), 7u);  // ibm_perth
+    EXPECT_LE(CompactQram::qubitCount(1, 1), 7u);
+    EXPECT_LE(CompactQram::qubitCount(2, 0), 16u); // ibmq_guadalupe
+    EXPECT_LE(CompactQram::qubitCount(2, 1), 16u);
+}
+
+// --- SABRE-lite: routed circuits stay semantically correct ----------
+
+void
+expectRoutedCorrect(const QueryArchitecture &arch, const Memory &mem,
+                    const CouplingGraph &device)
+{
+    QueryCircuit qc = arch.build(mem);
+    RoutedCircuit routed = routeOntoDevice(qc, device);
+    FeynmanExecutor exec(routed.circuit);
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        PathState in(routed.circuit.numQubits());
+        for (unsigned b = 0; b < arch.addressWidth(); ++b)
+            in.bits.set(routed.addressQubits[b], (i >> b) & 1);
+        PathState out = exec.runIdeal(in);
+        EXPECT_EQ(out.bits.get(routed.busQubit), mem.bit(i))
+            << "address " << i;
+        BitVec expected(routed.circuit.numQubits());
+        for (unsigned b = 0; b < arch.addressWidth(); ++b)
+            expected.set(routed.addressQubits[b], (i >> b) & 1);
+        expected.set(routed.busQubit, mem.bit(i));
+        EXPECT_EQ(out.bits, expected) << "address " << i;
+    }
+}
+
+TEST(SabreLite, PerthM1Configs)
+{
+    Device perth = makeIbmPerth();
+    Rng rng(11);
+    expectRoutedCorrect(CompactQram(1, 0), Memory::random(1, rng),
+                        perth.coupling);
+    expectRoutedCorrect(CompactQram(1, 1), Memory::random(2, rng),
+                        perth.coupling);
+}
+
+TEST(SabreLite, GuadalupeM2Configs)
+{
+    Device g = makeIbmGuadalupe();
+    Rng rng(13);
+    expectRoutedCorrect(CompactQram(2, 0), Memory::random(2, rng),
+                        g.coupling);
+    expectRoutedCorrect(CompactQram(2, 1), Memory::random(3, rng),
+                        g.coupling);
+}
+
+TEST(SabreLite, InsertsSwapsOnSparseDevice)
+{
+    Device g = makeIbmGuadalupe();
+    Rng rng(17);
+    Memory mem = Memory::random(2, rng);
+    QueryCircuit qc = CompactQram(2, 0).build(mem);
+    RoutedCircuit routed = routeOntoDevice(qc, g.coupling);
+    EXPECT_GT(routed.swapCount, 0u);
+}
+
+TEST(SabreLite, AdjacentGatesNeedNoSwapsOnDenseGrid)
+{
+    // A big grid with identity layout: a 2-qubit circuit on neighbors.
+    Device grid = makeGridDevice(4, 4, {0, 0});
+    QueryCircuit qc;
+    qc.addressQubits = qc.circuit.allocRegister(1, "addr");
+    qc.busQubit = qc.circuit.allocQubit("bus");
+    qc.circuit.cx(qc.addressQubits[0], qc.busQubit);
+    RoutedCircuit routed = routeOntoDevice(qc, grid.coupling);
+    EXPECT_EQ(routed.swapCount, 0u);
+}
+
+TEST(SabreLite, RoutesDualRailQramOnGridDevice)
+{
+    // Full dual-rail virtual QRAM with k = 2: its page-select MCX has
+    // 3 controls + target = 4 operands, stressing the connected-
+    // cluster routing path; 8x8 grid comfortably fits the 52 qubits.
+    Device grid = makeGridDevice(8, 8, {1e-4, 1e-3});
+    Rng rng(23);
+    Memory mem = Memory::random(4, rng);
+    expectRoutedCorrect(VirtualQram(2, 2), mem, grid.coupling);
+}
+
+TEST(SabreLite, SwapCountGrowsWithSparsity)
+{
+    // The same compact circuit needs more SWAPs on the sparse
+    // heavy-hex map than on a dense grid of equal size.
+    Rng rng(29);
+    Memory mem = Memory::random(2, rng);
+    QueryCircuit qc = CompactQram(2, 0).build(mem);
+    Device hex = makeIbmGuadalupe();
+    Device grid = makeGridDevice(4, 4, {1e-4, 1e-3});
+    RoutedCircuit onHex = routeOntoDevice(qc, hex.coupling);
+    RoutedCircuit onGrid = routeOntoDevice(qc, grid.coupling);
+    EXPECT_GT(onHex.swapCount, onGrid.swapCount);
+}
+
+TEST(SabreLite, RejectsOversizedCircuits)
+{
+    Device perth = makeIbmPerth();
+    Rng rng(19);
+    Memory mem = Memory::random(2, rng);
+    QueryCircuit qc = CompactQram(2, 0).build(mem); // 13 qubits > 7
+    EXPECT_DEATH(
+        { routeOntoDevice(qc, perth.coupling); }, "circuit needs");
+}
+
+} // namespace
+} // namespace qramsim

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Query-semantics tests for every architecture.
+ *
+ * The defining contract (Eq. 2): for every basis address i the circuit
+ * maps |i>_A |0>_B |0...0> to |i>_A |x_i>_B |0...0> — address restored,
+ * bus holding the data bit, every internal qubit back to |0>. The
+ * Feynman-path simulator checks this exactly (no sampling).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qram/baselines.hh"
+#include "qram/bucket_brigade.hh"
+#include "qram/fanout.hh"
+#include "qram/select_swap.hh"
+#include "qram/sqc.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/feynman.hh"
+
+namespace qramsim {
+namespace {
+
+/** Verify Eq. 2 for every address of @p mem. */
+void
+expectCorrectQuery(const QueryArchitecture &arch, const Memory &mem)
+{
+    QueryCircuit qc = arch.build(mem);
+    FeynmanExecutor exec(qc.circuit);
+    const unsigned n = arch.addressWidth();
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        PathState in(qc.circuit.numQubits());
+        for (unsigned b = 0; b < n; ++b)
+            in.bits.set(qc.addressQubits[b], (i >> b) & 1);
+        PathState out = exec.runIdeal(in);
+
+        // Bus = x_i.
+        EXPECT_EQ(out.bits.get(qc.busQubit), mem.bit(i))
+            << arch.name() << ": wrong data at address " << i;
+
+        // Address restored; all internals |0>.
+        BitVec expected(qc.circuit.numQubits());
+        for (unsigned b = 0; b < n; ++b)
+            expected.set(qc.addressQubits[b], (i >> b) & 1);
+        expected.set(qc.busQubit, mem.bit(i));
+        EXPECT_EQ(out.bits, expected)
+            << arch.name() << ": residual entanglement at address " << i
+            << "\n got " << out.bits.toString()
+            << "\n want " << expected.toString();
+
+        // Classical-reversible circuits acquire no phase.
+        EXPECT_DOUBLE_EQ(out.phase.real(), 1.0);
+        EXPECT_DOUBLE_EQ(out.phase.imag(), 0.0);
+    }
+}
+
+/** Deterministic memory patterns worth probing. */
+std::vector<Memory>
+memoriesFor(unsigned n, std::uint64_t seed)
+{
+    std::vector<Memory> mems;
+    Rng rng(seed);
+    mems.push_back(Memory(n));                     // all zero
+    Memory ones(n);
+    for (std::uint64_t i = 0; i < ones.size(); ++i)
+        ones.setBit(i, true);                      // all one
+    mems.push_back(ones);
+    Memory alt(n);
+    for (std::uint64_t i = 0; i < alt.size(); ++i)
+        alt.setBit(i, i & 1);                      // alternating
+    mems.push_back(alt);
+    mems.push_back(Memory::random(n, rng));        // random x3
+    mems.push_back(Memory::random(n, rng));
+    mems.push_back(Memory::random(n, rng));
+    return mems;
+}
+
+// --- Virtual QRAM across the (m, k) plane and option combinations ---
+
+struct VqParam
+{
+    unsigned m, k;
+    bool opt1, opt2, opt3;
+};
+
+class VirtualQramCorrectness
+    : public ::testing::TestWithParam<VqParam>
+{};
+
+TEST_P(VirtualQramCorrectness, QueriesAllAddresses)
+{
+    const VqParam p = GetParam();
+    VirtualQramOptions opts;
+    opts.recycleCarriers = p.opt1;
+    opts.lazyDataSwapping = p.opt2;
+    opts.pipelined = p.opt3;
+    VirtualQram arch(p.m, p.k, opts);
+    for (const Memory &mem :
+         memoriesFor(p.m + p.k, 1000 + p.m * 64 + p.k))
+        expectCorrectQuery(arch, mem);
+}
+
+std::vector<VqParam>
+vqGrid()
+{
+    std::vector<VqParam> ps;
+    // Option ablation on a fixed mid-size config.
+    for (int mask = 0; mask < 8; ++mask)
+        ps.push_back({3, 2, bool(mask & 1), bool(mask & 2),
+                      bool(mask & 4)});
+    // (m, k) sweep with all optimizations on.
+    for (unsigned m = 1; m <= 5; ++m)
+        for (unsigned k = 0; k <= 3; ++k)
+            ps.push_back({m, k, true, true, true});
+    // Degenerate pure-SQC configurations.
+    ps.push_back({0, 1, true, true, true});
+    ps.push_back({0, 3, true, true, true});
+    return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VirtualQramCorrectness, ::testing::ValuesIn(vqGrid()),
+    [](const ::testing::TestParamInfo<VqParam> &info) {
+        const VqParam &p = info.param;
+        return "i" + std::to_string(info.index) + "m" +
+               std::to_string(p.m) + "k" + std::to_string(p.k) + "o" +
+               std::to_string(p.opt1) + std::to_string(p.opt2) +
+               std::to_string(p.opt3);
+    });
+
+// --- Baselines and classic architectures ---
+
+class WidthParam : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(WidthParam, BucketBrigade)
+{
+    BucketBrigadeQram arch(GetParam());
+    for (const Memory &mem : memoriesFor(GetParam(), 2000 + GetParam()))
+        expectCorrectQuery(arch, mem);
+}
+
+TEST_P(WidthParam, Fanout)
+{
+    FanoutQram arch(GetParam());
+    for (const Memory &mem : memoriesFor(GetParam(), 3000 + GetParam()))
+        expectCorrectQuery(arch, mem);
+}
+
+TEST_P(WidthParam, Sqc)
+{
+    SequentialQueryCircuit arch(GetParam());
+    for (const Memory &mem : memoriesFor(GetParam(), 4000 + GetParam()))
+        expectCorrectQuery(arch, mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthParam,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+struct HybridParam
+{
+    unsigned m, k;
+};
+
+class HybridCorrectness : public ::testing::TestWithParam<HybridParam>
+{};
+
+TEST_P(HybridCorrectness, SqcBucketBrigade)
+{
+    SqcBucketBrigade arch(GetParam().m, GetParam().k);
+    for (const Memory &mem :
+         memoriesFor(GetParam().m + GetParam().k,
+                     5000 + GetParam().m * 8 + GetParam().k))
+        expectCorrectQuery(arch, mem);
+}
+
+TEST_P(HybridCorrectness, SqcSelectSwap)
+{
+    SelectSwapQram arch(GetParam().m, GetParam().k);
+    for (const Memory &mem :
+         memoriesFor(GetParam().m + GetParam().k,
+                     6000 + GetParam().m * 8 + GetParam().k))
+        expectCorrectQuery(arch, mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HybridCorrectness,
+    ::testing::Values(HybridParam{1, 0}, HybridParam{1, 1},
+                      HybridParam{2, 0}, HybridParam{2, 1},
+                      HybridParam{2, 2}, HybridParam{3, 1},
+                      HybridParam{3, 2}, HybridParam{4, 1},
+                      HybridParam{4, 2}, HybridParam{5, 2}),
+    [](const ::testing::TestParamInfo<HybridParam> &info) {
+        return "m" + std::to_string(info.param.m) + "k" +
+               std::to_string(info.param.k);
+    });
+
+// --- Optimization semantics preservation -----------------------------
+
+TEST(Optimizations, AllVariantsAgreeOnOutputs)
+{
+    Rng rng(99);
+    Memory mem = Memory::random(5, rng); // m=3, k=2
+    for (int mask = 0; mask < 8; ++mask) {
+        VirtualQramOptions opts;
+        opts.recycleCarriers = mask & 1;
+        opts.lazyDataSwapping = mask & 2;
+        opts.pipelined = mask & 4;
+        VirtualQram arch(3, 2, opts);
+        expectCorrectQuery(arch, mem);
+    }
+}
+
+TEST(Optimizations, LazySwappingReducesClassicalGates)
+{
+    Rng rng(123);
+    Memory mem = Memory::random(6, rng); // m=3, k=3 -> 8 segments
+    VirtualQramOptions lazy, eager;
+    eager.lazyDataSwapping = false;
+    QueryCircuit lazyQc = VirtualQram(3, 3, lazy).build(mem);
+    QueryCircuit eagerQc = VirtualQram(3, 3, eager).build(mem);
+    EXPECT_LT(lazyQc.circuit.countClassical(),
+              eagerQc.circuit.countClassical());
+}
+
+TEST(Optimizations, RecyclingSavesQubits)
+{
+    Memory mem(5);
+    VirtualQramOptions on, off;
+    off.recycleCarriers = false;
+    QueryCircuit qOn = VirtualQram(4, 1, on).build(mem);
+    QueryCircuit qOff = VirtualQram(4, 1, off).build(mem);
+    // Saving = one pair per internal node = 2 * (2^m - 1).
+    EXPECT_EQ(qOff.circuit.numQubits() - qOn.circuit.numQubits(),
+              2u * ((1u << 4) - 1));
+}
+
+} // namespace
+} // namespace qramsim

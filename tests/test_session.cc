@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for QuerySession (the Fig. 3 QPU-buffer composition) and the
+ * shared-tree emitVirtualQramQuery path, plus a fuzz suite routing
+ * random circuits onto random connected devices (SABRE-lite safety
+ * net: routing must never change semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/sabre_lite.hh"
+#include "qram/session.hh"
+#include "sim/feynman.hh"
+
+namespace qramsim {
+namespace {
+
+TEST(QuerySession, SingleQueryThroughBuffer)
+{
+    Rng rng(61);
+    Memory mem = Memory::random(3, rng); // m=2, k=1
+    QuerySession session(/*qpuQubits=*/4, 2, 1);
+    std::vector<Qubit> addr{session.qpu()[0], session.qpu()[1],
+                            session.qpu()[2]};
+    Qubit bus = session.qpu()[3];
+    session.query(mem, addr, bus);
+    EXPECT_EQ(session.queryCount(), 1u);
+
+    FeynmanExecutor exec(session.circuit());
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        PathState in(session.circuit().numQubits());
+        for (unsigned b = 0; b < 3; ++b)
+            in.bits.set(addr[b], (i >> b) & 1);
+        PathState out = exec.runIdeal(in);
+        EXPECT_EQ(out.bits.get(bus), mem.bit(i)) << "address " << i;
+        // Buffer and tree fully restored.
+        for (unsigned b = 0; b < 3; ++b)
+            EXPECT_EQ(out.bits.get(addr[b]), bool((i >> b) & 1));
+        BitVec expected(session.circuit().numQubits());
+        for (unsigned b = 0; b < 3; ++b)
+            expected.set(addr[b], (i >> b) & 1);
+        expected.set(bus, mem.bit(i));
+        EXPECT_EQ(out.bits, expected);
+    }
+}
+
+TEST(QuerySession, TwoTablesTwoBusesSharedTree)
+{
+    // Two queries against different memories, landing on different
+    // QPU bus qubits — one router tree serves both.
+    Rng rng(62);
+    Memory table1 = Memory::random(3, rng);
+    Memory table2 = Memory::random(3, rng);
+    QuerySession session(/*qpuQubits=*/5, 2, 1);
+    std::vector<Qubit> addr{session.qpu()[0], session.qpu()[1],
+                            session.qpu()[2]};
+    Qubit bus1 = session.qpu()[3];
+    Qubit bus2 = session.qpu()[4];
+    session.query(table1, addr, bus1);
+    session.query(table2, addr, bus2);
+
+    FeynmanExecutor exec(session.circuit());
+    for (std::uint64_t i = 0; i < table1.size(); ++i) {
+        PathState in(session.circuit().numQubits());
+        for (unsigned b = 0; b < 3; ++b)
+            in.bits.set(addr[b], (i >> b) & 1);
+        PathState out = exec.runIdeal(in);
+        EXPECT_EQ(out.bits.get(bus1), table1.bit(i));
+        EXPECT_EQ(out.bits.get(bus2), table2.bit(i));
+    }
+}
+
+TEST(QuerySession, RepeatedQueryCancels)
+{
+    // Same table twice onto the same bus: XOR cancellation.
+    Rng rng(63);
+    Memory mem = Memory::random(2, rng);
+    QuerySession session(3, 1, 1);
+    std::vector<Qubit> addr{session.qpu()[0], session.qpu()[1]};
+    Qubit bus = session.qpu()[2];
+    session.query(mem, addr, bus);
+    session.query(mem, addr, bus);
+    FeynmanExecutor exec(session.circuit());
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        PathState in(session.circuit().numQubits());
+        for (unsigned b = 0; b < 2; ++b)
+            in.bits.set(addr[b], (i >> b) & 1);
+        PathState out = exec.runIdeal(in);
+        EXPECT_FALSE(out.bits.get(bus));
+    }
+}
+
+// --- SABRE-lite fuzzing ------------------------------------------------
+
+/** Random connected device: a random spanning tree plus extra edges. */
+CouplingGraph
+randomDevice(std::size_t n, double extraEdgeProb, Rng &rng)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::uint32_t v = 1; v < n; ++v)
+        edges.push_back(
+            {static_cast<std::uint32_t>(rng.below(v)), v});
+    for (std::uint32_t a = 0; a < n; ++a)
+        for (std::uint32_t b = a + 1; b < n; ++b)
+            if (rng.bernoulli(extraEdgeProb))
+                edges.push_back({a, b});
+    return CouplingGraph(n, std::move(edges), "fuzz");
+}
+
+/** Random reversible circuit shaped like a QueryCircuit. */
+QueryCircuit
+randomQuery(std::size_t n, std::size_t gates, Rng &rng)
+{
+    QueryCircuit qc;
+    auto q = qc.circuit.allocRegister(n, "q");
+    qc.addressQubits = {q[0], q[1]};
+    qc.busQubit = q[2];
+    for (std::size_t g = 0; g < gates; ++g) {
+        Qubit a = q[rng.below(n)];
+        Qubit b = q[rng.below(n)];
+        while (b == a)
+            b = q[rng.below(n)];
+        Qubit c = q[rng.below(n)];
+        while (c == a || c == b)
+            c = q[rng.below(n)];
+        switch (rng.below(5)) {
+          case 0: qc.circuit.x(a); break;
+          case 1: qc.circuit.cx(a, b); break;
+          case 2: qc.circuit.swap(a, b); break;
+          case 3: qc.circuit.cswap(a, b, c); break;
+          default: qc.circuit.ccx(a, b, c); break;
+        }
+    }
+    return qc;
+}
+
+TEST(SabreFuzz, RoutingPreservesSemanticsOnRandomDevices)
+{
+    Rng rng(7777);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t nq = 5 + rng.below(6);   // 5..10 logical
+        const std::size_t np = nq + rng.below(4);  // device >= circuit
+        CouplingGraph dev = randomDevice(np, 0.15, rng);
+        QueryCircuit qc = randomQuery(nq, 30, rng);
+        RoutedCircuit routed = routeOntoDevice(qc, dev);
+
+        FeynmanExecutor orig(qc.circuit);
+        FeynmanExecutor after(routed.circuit);
+        for (int probe = 0; probe < 6; ++probe) {
+            std::uint64_t s = rng.below(std::uint64_t(1) << nq);
+            PathState inO(qc.circuit.numQubits());
+            PathState inR(routed.circuit.numQubits());
+            inO.bits.deposit(0, nq, s);
+            inR.bits.deposit(0, nq, s);
+            PathState outO = orig.runIdeal(inO);
+            PathState outR = after.runIdeal(inR);
+            // Routed circuit restores the identity layout, so the
+            // first nq qubits must agree bit for bit.
+            for (std::size_t b = 0; b < nq; ++b)
+                EXPECT_EQ(outR.bits.get(b), outO.bits.get(b))
+                    << "trial " << trial << " probe " << probe
+                    << " qubit " << b;
+        }
+    }
+}
+
+TEST(SabreFuzz, RoutedGatesRespectConnectivityForTwoQubitGates)
+{
+    Rng rng(8888);
+    CouplingGraph dev = randomDevice(9, 0.1, rng);
+    QueryCircuit qc = randomQuery(7, 40, rng);
+    RoutedCircuit routed = routeOntoDevice(qc, dev);
+    for (const Gate &g : routed.circuit.gates()) {
+        if (g.kind == GateKind::Barrier)
+            continue;
+        std::vector<Qubit> ops = g.controls;
+        ops.insert(ops.end(), g.targets.begin(), g.targets.end());
+        if (ops.size() == 2) {
+            EXPECT_TRUE(dev.adjacent(ops[0], ops[1]))
+                << g.toString();
+        }
+    }
+}
+
+} // namespace
+} // namespace qramsim

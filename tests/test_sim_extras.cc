@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the dense statevector simulator, the circuit-level
+ * teleportation gadgets (Sec. 4.3), the Pauli lightcone analysis
+ * (Fig. 7), and OpenQASM export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/lightcone.hh"
+#include "circuit/qasm.hh"
+#include "layout/teleport.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/dense.hh"
+#include "sim/feynman.hh"
+
+namespace qramsim {
+namespace {
+
+// --- Dense statevector ------------------------------------------------
+
+TEST(Dense, HadamardMakesUniform)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.h(q[0]);
+    c.h(q[1]);
+    DenseStatevector sv(2);
+    sv.apply(c);
+    for (std::uint64_t s = 0; s < 4; ++s)
+        EXPECT_NEAR(std::norm(sv.amplitude(s)), 0.25, 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Dense, BellPairProbabilities)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.h(q[0]);
+    c.cx(q[0], q[1]);
+    DenseStatevector sv(2);
+    sv.apply(c);
+    EXPECT_NEAR(std::norm(sv.amplitude(0b00)), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitude(0b01)), 0.0, 1e-12);
+    EXPECT_NEAR(sv.probabilityOne(1), 0.5, 1e-12);
+}
+
+TEST(Dense, MeasurementCollapsesAndCorrelates)
+{
+    Rng rng(1);
+    int ones = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        DenseStatevector sv(2);
+        Circuit c;
+        auto q = c.allocRegister(2, "q");
+        c.h(q[0]);
+        c.cx(q[0], q[1]);
+        sv.apply(c);
+        bool m0 = sv.measure(0, rng);
+        bool m1 = sv.measure(1, rng);
+        EXPECT_EQ(m0, m1); // Bell correlations
+        ones += m0;
+        EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+    }
+    EXPECT_GT(ones, 60);
+    EXPECT_LT(ones, 140);
+}
+
+TEST(Dense, AgreesWithFeynmanOnReversibleCircuit)
+{
+    Rng rng(9);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = VirtualQram(2, 1).build(mem);
+    if (qc.circuit.numQubits() <= 20) {
+        DenseStatevector sv(qc.circuit.numQubits());
+        FeynmanExecutor exec(qc.circuit);
+        for (std::uint64_t i = 0; i < 8; ++i) {
+            std::uint64_t basis = 0;
+            for (unsigned b = 0; b < 3; ++b)
+                if ((i >> b) & 1)
+                    basis |= std::uint64_t(1) << qc.addressQubits[b];
+            sv.setBasis(basis);
+            sv.apply(qc.circuit);
+
+            PathState in(qc.circuit.numQubits());
+            for (unsigned b = 0; b < 3; ++b)
+                in.bits.set(qc.addressQubits[b], (i >> b) & 1);
+            PathState out = exec.runIdeal(in);
+            std::uint64_t packed = 0;
+            for (std::size_t q = 0; q < qc.circuit.numQubits(); ++q)
+                if (out.bits.get(q))
+                    packed |= std::uint64_t(1) << q;
+            EXPECT_NEAR(std::norm(sv.amplitude(packed)), 1.0, 1e-9);
+        }
+    }
+}
+
+// --- Teleportation gadgets --------------------------------------------
+
+/** Prepare a nontrivial state on @p q: H then T then H. */
+void
+prepare(DenseStatevector &sv, Qubit q)
+{
+    Gate h;
+    h.kind = GateKind::H;
+    h.targets = {q};
+    Gate t;
+    t.kind = GateKind::T;
+    t.targets = {q};
+    sv.apply(h);
+    sv.apply(t);
+    sv.apply(h);
+}
+
+class TeleportChain : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TeleportChain, SwappedPreservesEntanglement)
+{
+    const int hops = GetParam(); // routing qubits = 2 * hops
+    const std::size_t n = 3 + 2 * hops;
+    // Layout: 0 = spectator, 1 = src, 2..2+2h-1 = routing, last = dst.
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        Rng rng(seed);
+        DenseStatevector sv(n);
+        // Entangle spectator with a nontrivial src state.
+        prepare(sv, 1);
+        Gate cx01;
+        cx01.kind = GateKind::X;
+        cx01.controls = {1};
+        cx01.targets = {0};
+        sv.apply(cx01);
+
+        // Reference: the same state with src relabeled to dst.
+        DenseStatevector ref(n);
+        prepare(ref, static_cast<Qubit>(n - 1));
+        Gate cxRef;
+        cxRef.kind = GateKind::X;
+        cxRef.controls = {static_cast<Qubit>(n - 1)};
+        cxRef.targets = {0};
+        ref.apply(cxRef);
+
+        std::vector<Qubit> routing;
+        for (int i = 0; i < 2 * hops; ++i)
+            routing.push_back(static_cast<Qubit>(2 + i));
+        TeleportStats stats = teleportSwapped(
+            sv, 1, routing, static_cast<Qubit>(n - 1), rng);
+
+        // Project the reference onto the measured src/routing values
+        // is unnecessary: those qubits are classical after
+        // measurement; compare the reduced state via dst/spectator
+        // marginals and Bell correlation instead.
+        EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+        EXPECT_NEAR(sv.probabilityOne(static_cast<Qubit>(n - 1)),
+                    ref.probabilityOne(static_cast<Qubit>(n - 1)),
+                    1e-9);
+        // Entanglement check: measuring dst must determine spectator.
+        DenseStatevector copy = sv;
+        bool md = copy.measure(static_cast<Qubit>(n - 1), rng);
+        bool ms = copy.measure(0, rng);
+        EXPECT_EQ(md, ms);
+        // Constant depth regardless of chain length.
+        EXPECT_EQ(stats.depth, 5u);
+        EXPECT_EQ(stats.eprPairs, std::size_t(hops));
+    }
+}
+
+TEST_P(TeleportChain, SequentialAlsoWorksButDepthGrows)
+{
+    const int hops = GetParam();
+    const std::size_t n = 3 + 2 * hops;
+    Rng rng(77 + hops);
+    DenseStatevector sv(n);
+    prepare(sv, 1);
+    Gate cx01;
+    cx01.kind = GateKind::X;
+    cx01.controls = {1};
+    cx01.targets = {0};
+    sv.apply(cx01);
+
+    std::vector<Qubit> routing;
+    for (int i = 0; i < 2 * hops; ++i)
+        routing.push_back(static_cast<Qubit>(2 + i));
+    TeleportStats stats = teleportSequential(
+        sv, 1, routing, static_cast<Qubit>(n - 1), rng);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+    DenseStatevector copy = sv;
+    bool md = copy.measure(static_cast<Qubit>(n - 1), rng);
+    bool ms = copy.measure(0, rng);
+    EXPECT_EQ(md, ms);
+    // Depth linear in hops: the contrast with the swapped gadget.
+    EXPECT_EQ(stats.depth, 5u * hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, TeleportChain,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --- Lightcones (Fig. 7) ----------------------------------------------
+
+TEST(Lightcone, CxRules)
+{
+    Circuit c;
+    auto q = c.allocRegister(2, "q");
+    c.cx(q[0], q[1]);
+    // Z on the control commutes (the Fig. 7 identity).
+    Lightcone z = propagatePauli(c, SIZE_MAX, q[0], PauliKind::Z);
+    EXPECT_EQ(z.zSize(), 1u);
+    EXPECT_FALSE(z.touches(q[1]));
+    // X on the control spreads to the target.
+    Lightcone x = propagatePauli(c, SIZE_MAX, q[0], PauliKind::X);
+    EXPECT_TRUE(x.canFlip(q[1]));
+    // Z on the target spreads Z (not X) to the control.
+    Lightcone zt = propagatePauli(c, SIZE_MAX, q[1], PauliKind::Z);
+    EXPECT_TRUE(zt.touches(q[0]));
+    EXPECT_FALSE(zt.canFlip(q[0]));
+}
+
+TEST(Lightcone, CswapControlRules)
+{
+    Circuit c;
+    auto q = c.allocRegister(3, "q");
+    c.cswap(q[0], q[1], q[2]);
+    // Z on the CSWAP control commutes.
+    Lightcone z = propagatePauli(c, SIZE_MAX, q[0], PauliKind::Z);
+    EXPECT_EQ(z.zSize(), 1u);
+    EXPECT_EQ(z.xSize(), 0u);
+    // X on the control corrupts both targets.
+    Lightcone x = propagatePauli(c, SIZE_MAX, q[0], PauliKind::X);
+    EXPECT_TRUE(x.canFlip(q[1]));
+    EXPECT_TRUE(x.canFlip(q[2]));
+}
+
+TEST(Lightcone, SoundAgainstSimulation)
+{
+    // Over-approximation check: if the analysis says an error cannot
+    // flip the bus, no simulated realization of that error does.
+    Rng rng(5);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = VirtualQram(2, 1).build(mem);
+    FeynmanExecutor exec(qc.circuit);
+    const auto &gates = qc.circuit.gates();
+    for (std::size_t gi = 0; gi < gates.size(); gi += 3) {
+        if (gates[gi].kind == GateKind::Barrier ||
+            gates[gi].targets.empty())
+            continue;
+        Qubit q = gates[gi].targets[0];
+        Lightcone lc = propagatePauli(qc.circuit, gi, q, PauliKind::Z);
+        if (lc.canFlip(qc.busQubit))
+            continue; // claim is only one-directional
+        // Simulate the injected Z on every address: bus value must
+        // equal the ideal one.
+        ErrorRealization errs;
+        errs.afterGate.resize(gates.size());
+        errs.afterGate[gi].push_back({q, PauliKind::Z});
+        for (std::uint64_t i = 0; i < mem.size(); ++i) {
+            PathState in(qc.circuit.numQubits());
+            for (unsigned b = 0; b < 3; ++b)
+                in.bits.set(qc.addressQubits[b], (i >> b) & 1);
+            PathState out = exec.runNoisy(in, errs);
+            EXPECT_EQ(out.bits.get(qc.busQubit), mem.bit(i));
+        }
+    }
+}
+
+TEST(Lightcone, VirtualQramZNeverFlipsBusXCan)
+{
+    Rng rng(6);
+    Memory mem = Memory::random(4, rng);
+    QueryCircuit qc = VirtualQram(3, 1).build(mem);
+    LightconeStats z = sweepLightcones(qc.circuit, qc.busQubit,
+                                       PauliKind::Z);
+    LightconeStats x = sweepLightcones(qc.circuit, qc.busQubit,
+                                       PauliKind::X);
+    // The Sec. 5 dichotomy: Z errors never produce a bus bit-flip; a
+    // large share of X injection points can.
+    EXPECT_EQ(z.busFlips, 0u);
+    EXPECT_GT(x.busFlips, x.injections / 10);
+    EXPECT_LT(z.meanSize, x.meanSize);
+}
+
+// --- QASM export -------------------------------------------------------
+
+TEST(Qasm, EmitsValidHeaderAndGates)
+{
+    Circuit c;
+    auto q = c.allocRegister(3, "q");
+    c.x(q[0]);
+    c.cx(q[0], q[1]);
+    c.cswap(q[0], q[1], q[2]);
+    c.cx0(q[2], q[0]);
+    std::string s = toQasm(c);
+    EXPECT_NE(s.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(s.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(s.find("cswap q[0], q[1], q[2];"), std::string::npos);
+    // Negative control conjugated by x.
+    EXPECT_NE(s.find("x q[2];\ncx q[2], q[0];\nx q[2];"),
+              std::string::npos);
+}
+
+TEST(Qasm, McxAllocatesAncillas)
+{
+    Circuit c;
+    auto q = c.allocRegister(5, "q");
+    c.mcx({q[0], q[1], q[2], q[3]}, 0b1111, q[4]);
+    std::string s = toQasm(c);
+    // 4 controls -> 2 ancillas appended.
+    EXPECT_NE(s.find("qreg q[7];"), std::string::npos);
+    // V-chain: 2*(c-2)+1 = 5 Toffolis.
+    std::size_t count = 0, pos = 0;
+    while ((pos = s.find("ccx", pos)) != std::string::npos) {
+        ++count;
+        pos += 3;
+    }
+    EXPECT_EQ(count, 5u);
+}
+
+TEST(Qasm, WholeQramCircuitExports)
+{
+    Rng rng(3);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = VirtualQram(2, 1).build(mem);
+    std::string s = toQasm(qc.circuit);
+    EXPECT_GT(s.size(), 500u);
+    EXPECT_NE(s.find("include \"qelib1.inc\";"), std::string::npos);
+}
+
+} // namespace
+} // namespace qramsim

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * White-box tests of the dual-rail router tree (Sec. 3.1 / Fig. 5):
+ * the intermediate states the architecture-level tests can't see —
+ * router activation patterns after address loading, query-state
+ * preparation marking exactly the addressed leaf, compression landing
+ * the dual-rail word on the root value pair, and carrier cleanliness
+ * (the fact Key Optimization 1 relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "qram/tree.hh"
+#include "circuit/schedule.hh"
+#include "sim/feynman.hh"
+
+namespace qramsim {
+namespace {
+
+/** Run the circuit built so far on basis address @p addr. */
+PathState
+runOn(const Circuit &c, const std::vector<Qubit> &addrBits,
+      std::uint64_t addr)
+{
+    FeynmanExecutor exec(c);
+    PathState in(c.numQubits());
+    for (std::size_t b = 0; b < addrBits.size(); ++b)
+        in.bits.set(addrBits[b], (addr >> b) & 1);
+    return exec.runIdeal(in);
+}
+
+TEST(RouterTree, LoadAddressActivatesExactlyThePath)
+{
+    const unsigned m = 3;
+    for (std::uint64_t addr = 0; addr < (1u << m); ++addr) {
+        Circuit c;
+        auto addrBits = c.allocRegister(m, "addr");
+        RouterTree tree(c, m, TreeOptions{});
+        tree.loadAddress(addrBits);
+        PathState out = runOn(c, addrBits, addr);
+
+        // Walk the tree: on-path routers are L (bit 0) or R (bit 1),
+        // everything else is W = |00>.
+        std::size_t active = 0;
+        std::size_t j = 0;
+        for (unsigned l = 0; l < m; ++l) {
+            const bool bit = (addr >> (m - 1 - l)) & 1;
+            for (std::size_t node = 0; node < (std::size_t(1) << l);
+                 ++node) {
+                bool r0 = out.bits.get(tree.router0(l, node));
+                bool r1 = out.bits.get(tree.router1(l, node));
+                if (node == j) {
+                    EXPECT_EQ(r0, !bit) << "l=" << l << " addr=" << addr;
+                    EXPECT_EQ(r1, bit);
+                    ++active;
+                } else {
+                    EXPECT_FALSE(r0) << "W violated at l=" << l;
+                    EXPECT_FALSE(r1);
+                }
+            }
+            j = 2 * j + bit;
+        }
+        EXPECT_EQ(active, m);
+
+        // Address register drained; carriers clean (Opt. 1 premise).
+        for (Qubit a : addrBits)
+            EXPECT_FALSE(out.bits.get(a));
+        for (unsigned l = 0; l < m; ++l)
+            for (std::size_t node = 0; node < (std::size_t(1) << l);
+                 ++node) {
+                EXPECT_FALSE(out.bits.get(tree.carrier0(l, node)));
+                EXPECT_FALSE(out.bits.get(tree.carrier1(l, node)));
+            }
+    }
+}
+
+TEST(RouterTree, PrepareMarksExactlyTheAddressedLeaf)
+{
+    const unsigned m = 3;
+    for (std::uint64_t addr = 0; addr < (1u << m); ++addr) {
+        Circuit c;
+        auto addrBits = c.allocRegister(m, "addr");
+        RouterTree tree(c, m, TreeOptions{});
+        tree.loadAddress(addrBits);
+        tree.prepareQueryState();
+        PathState out = runOn(c, addrBits, addr);
+        for (std::size_t i = 0; i < tree.leafCount(); ++i) {
+            EXPECT_EQ(out.bits.get(tree.leafData(i)), i == addr)
+                << "addr=" << addr << " leaf=" << i;
+            EXPECT_FALSE(out.bits.get(tree.leafAnc(i)));
+        }
+    }
+}
+
+TEST(RouterTree, CompressionLandsDualRailWordAtRoot)
+{
+    const unsigned m = 2;
+    const std::vector<std::uint8_t> data{1, 0, 1, 1};
+    for (std::uint64_t addr = 0; addr < 4; ++addr) {
+        Circuit c;
+        auto addrBits = c.allocRegister(m, "addr");
+        RouterTree tree(c, m, TreeOptions{});
+        tree.loadAddress(addrBits);
+        tree.prepareQueryState();
+        tree.writeDataDelta(data);
+        tree.compressToRoot();
+        PathState out = runOn(c, addrBits, addr);
+        const bool x = data[addr];
+        // Root value pair = (NOT x, x): Fig. 5(d)'s dual rail.
+        EXPECT_EQ(out.bits.get(tree.value0(0, 0)), !x)
+            << "addr=" << addr;
+        EXPECT_EQ(out.bits.get(tree.rootValueRail()), x);
+    }
+}
+
+TEST(RouterTree, CompressionUncomputesExactly)
+{
+    const unsigned m = 3;
+    Rng rng(12);
+    std::vector<std::uint8_t> data(8);
+    for (auto &d : data)
+        d = rng.bernoulli(0.5);
+    Circuit c;
+    auto addrBits = c.allocRegister(m, "addr");
+    RouterTree tree(c, m, TreeOptions{});
+    tree.loadAddress(addrBits);
+    tree.prepareQueryState();
+    tree.writeDataDelta(data);
+    tree.compressToRoot();
+    tree.uncompressFromRoot();
+    tree.writeDataDelta(data);
+    tree.unprepareQueryState();
+    tree.unloadAddress(addrBits);
+    for (std::uint64_t addr = 0; addr < 8; ++addr) {
+        PathState out = runOn(c, addrBits, addr);
+        BitVec expected(c.numQubits());
+        for (unsigned b = 0; b < m; ++b)
+            expected.set(addrBits[b], (addr >> b) & 1);
+        EXPECT_EQ(out.bits, expected) << "addr=" << addr;
+    }
+}
+
+TEST(RouterTree, FanoutLoadingActivatesEveryRouter)
+{
+    const unsigned m = 3;
+    const std::uint64_t addr = 0b101;
+    Circuit c;
+    auto addrBits = c.allocRegister(m, "addr");
+    RouterTree tree(c, m, TreeOptions{});
+    tree.loadAddressFanout(addrBits);
+    PathState out = runOn(c, addrBits, addr);
+    // GHZ-style loading: ALL routers at level l hold bit (m-1-l) —
+    // the maximal-entanglement structure that makes fanout fragile.
+    for (unsigned l = 0; l < m; ++l) {
+        const bool bit = (addr >> (m - 1 - l)) & 1;
+        for (std::size_t node = 0; node < (std::size_t(1) << l);
+             ++node) {
+            EXPECT_EQ(out.bits.get(tree.router1(l, node)), bit);
+            EXPECT_EQ(out.bits.get(tree.router0(l, node)), !bit);
+        }
+    }
+}
+
+TEST(RouterTree, SequentialModeInsertsBarriers)
+{
+    Circuit cSeq, cPip;
+    auto aSeq = cSeq.allocRegister(4, "addr");
+    auto aPip = cPip.allocRegister(4, "addr");
+    TreeOptions seq;
+    seq.pipelined = false;
+    RouterTree tSeq(cSeq, 4, seq);
+    RouterTree tPip(cPip, 4, TreeOptions{});
+    tSeq.loadAddress(aSeq);
+    tPip.loadAddress(aPip);
+    EXPECT_GT(cSeq.countKind(GateKind::Barrier, 0), 0u);
+    EXPECT_EQ(cPip.countKind(GateKind::Barrier, 0), 0u);
+    // Same gates, different schedule: pipelining strictly shallower.
+    EXPECT_GT(circuitDepth(cSeq), circuitDepth(cPip));
+}
+
+TEST(RouterTree, Opt1AliasesValuePairsOntoCarriers)
+{
+    Circuit c1, c2;
+    c1.allocRegister(3, "addr");
+    c2.allocRegister(3, "addr");
+    TreeOptions raw;
+    raw.recycleCarriers = false;
+    RouterTree recycled(c1, 3, TreeOptions{});
+    RouterTree fresh(c2, 3, raw);
+    EXPECT_EQ(recycled.value0(1, 1), recycled.carrier0(1, 1));
+    EXPECT_NE(fresh.value0(1, 1), fresh.carrier0(1, 1));
+    EXPECT_EQ(c2.numQubits(), c1.numQubits() + 2 * 7); // 2*(2^3-1)
+}
+
+TEST(RouterTree, RejectsBadWidths)
+{
+    Circuit c;
+    EXPECT_DEATH({ RouterTree t(c, 0, TreeOptions{}); },
+                 "address width");
+}
+
+} // namespace
+} // namespace qramsim

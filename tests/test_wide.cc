@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the multi-bit data-width extension (Sec. 8): WideMemory
+ * bit-plane views and WideVirtualQram query semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qram/wide.hh"
+#include "sim/feynman.hh"
+
+namespace qramsim {
+namespace {
+
+TEST(WideMemory, WordsAndPlanes)
+{
+    WideMemory mem(2, 4);
+    mem.setWord(0, 0b1010);
+    mem.setWord(1, 0b0110);
+    mem.setWord(2, 0b1111);
+    mem.setWord(3, 0b0001);
+    // Plane 1 of the single m=2 segment: bit 1 of each word.
+    auto plane = mem.segmentPlane(2, 0, 1);
+    EXPECT_EQ(plane, (std::vector<std::uint8_t>{1, 1, 1, 0}));
+    // Plane 3: the MSBs.
+    plane = mem.segmentPlane(2, 0, 3);
+    EXPECT_EQ(plane, (std::vector<std::uint8_t>{1, 0, 1, 0}));
+}
+
+TEST(WideMemory, SegmentedPlanes)
+{
+    WideMemory mem(3, 2);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        mem.setWord(i, i % 4);
+    // (m=2, k=1): segment 1 covers addresses 4..7.
+    auto plane0 = mem.segmentPlane(2, 1, 0);
+    EXPECT_EQ(plane0, (std::vector<std::uint8_t>{0, 1, 0, 1}));
+}
+
+struct WideParam
+{
+    unsigned m, k, w;
+    bool lazy;
+};
+
+class WideCorrectness : public ::testing::TestWithParam<WideParam>
+{};
+
+TEST_P(WideCorrectness, QueriesAllAddressesAllBits)
+{
+    const WideParam p = GetParam();
+    Rng rng(900 + p.m * 32 + p.k * 8 + p.w);
+    WideMemory mem = WideMemory::random(p.m + p.k, p.w, rng);
+    VirtualQramOptions opts;
+    opts.lazyDataSwapping = p.lazy;
+    WideVirtualQram arch(p.m, p.k, p.w, opts);
+    WideQueryCircuit qc = arch.build(mem);
+    ASSERT_EQ(qc.busQubits.size(), p.w);
+
+    FeynmanExecutor exec(qc.circuit);
+    for (std::uint64_t i = 0; i < mem.size(); ++i) {
+        PathState in(qc.circuit.numQubits());
+        for (unsigned b = 0; b < p.m + p.k; ++b)
+            in.bits.set(qc.addressQubits[b], (i >> b) & 1);
+        PathState out = exec.runIdeal(in);
+
+        std::uint64_t bus = 0;
+        for (unsigned b = 0; b < p.w; ++b)
+            bus |= std::uint64_t(out.bits.get(qc.busQubits[b])) << b;
+        EXPECT_EQ(bus, mem.word(i)) << "address " << i;
+
+        // Everything else restored.
+        BitVec expected(qc.circuit.numQubits());
+        for (unsigned b = 0; b < p.m + p.k; ++b)
+            expected.set(qc.addressQubits[b], (i >> b) & 1);
+        for (unsigned b = 0; b < p.w; ++b)
+            expected.set(qc.busQubits[b], (mem.word(i) >> b) & 1);
+        EXPECT_EQ(out.bits, expected) << "address " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WideCorrectness,
+    ::testing::Values(WideParam{1, 0, 2, true}, WideParam{2, 1, 3, true},
+                      WideParam{2, 1, 3, false},
+                      WideParam{3, 1, 4, true}, WideParam{3, 2, 2, true},
+                      WideParam{2, 2, 8, true}),
+    [](const ::testing::TestParamInfo<WideParam> &info) {
+        const WideParam &p = info.param;
+        return "m" + std::to_string(p.m) + "k" + std::to_string(p.k) +
+               "w" + std::to_string(p.w) + (p.lazy ? "lazy" : "eager");
+    });
+
+TEST(Wide, LoadOnceAcrossPlanes)
+{
+    // Address loading cost must not scale with the word width: the
+    // CSWAP count (loading) of w=8 equals that of w=1.
+    Rng rng(31);
+    WideMemory mem1 = WideMemory::random(4, 1, rng);
+    WideMemory mem8 = WideMemory::random(4, 8, rng);
+    WideQueryCircuit q1 = WideVirtualQram(3, 1, 1).build(mem1);
+    WideQueryCircuit q8 = WideVirtualQram(3, 1, 8).build(mem8);
+    auto cswaps = [](const Circuit &c) {
+        return c.countKind(GateKind::Swap, 1);
+    };
+    EXPECT_EQ(cswaps(q1.circuit), cswaps(q8.circuit));
+}
+
+TEST(Wide, LazyChainsAcrossPlanes)
+{
+    Rng rng(33);
+    WideMemory mem = WideMemory::random(5, 4, rng); // m=3, k=2, w=4
+    VirtualQramOptions lazy, eager;
+    eager.lazyDataSwapping = false;
+    auto cl = WideVirtualQram(3, 2, 4, lazy)
+                  .build(mem)
+                  .circuit.countClassical();
+    auto ce = WideVirtualQram(3, 2, 4, eager)
+                  .build(mem)
+                  .circuit.countClassical();
+    EXPECT_LT(cl, ce);
+}
+
+} // namespace
+} // namespace qramsim
