@@ -1,20 +1,304 @@
 /**
  * @file
- * Simulator micro-benchmarks (google-benchmark): Feynman-path
- * throughput for circuit construction, ideal propagation, and noisy
- * Monte Carlo shots across QRAM widths — the "efficient simulation of
- * noisy QRAM circuits at larger scale than previously possible"
- * claim of Sec. 6.2 (the paper's largest runs used 1.5 MB of RAM on a
- * single core; these numbers document our cost per shot).
+ * Simulator micro-benchmarks and the perf-trajectory record.
+ *
+ * Two modes:
+ *
+ *  - `bench_simulator --json FILE [--m M] [--budget-ms T] [--threads N]`
+ *    runs the Fig. 10-style workload (bucket-brigade QRAM, uniform
+ *    address superposition, Z-biased gate noise) through both the seed
+ *    engine (per-Gate interpreter + per-shot linear collision scan)
+ *    and the compiled engine (flat op stream + error-sparse replay),
+ *    cross-checks them bit for bit, and writes a paths·gates/sec
+ *    record to FILE — the number the ROADMAP perf trajectory tracks.
+ *
+ *  - without --json, the google-benchmark registrations run (when the
+ *    library was available at configure time): Feynman-path throughput
+ *    for circuit construction, ideal propagation, and noisy Monte
+ *    Carlo shots — the "efficient simulation of noisy QRAM circuits
+ *    at larger scale than previously possible" claim of Sec. 6.2.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "qram/bucket_brigade.hh"
 #include "qram/virtual_qram.hh"
 #include "sim/fidelity.hh"
 
+#ifdef QRAMSIM_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+#endif
+
 using namespace qramsim;
 
+namespace {
+
+/**
+ * The seed estimator, kept verbatim as the perf baseline: heap-walked
+ * Gate objects, bit-at-a-time control checks, per-shot visible-key map
+ * construction, and an O(paths^2)-worst-case collision scan.
+ */
+class SeedEstimator
+{
+  public:
+    SeedEstimator(const QueryCircuit &qc,
+                  const AddressSuperposition &input_)
+        : exec(qc.circuit), addr(qc.addressQubits), bus(qc.busQubit),
+          input(input_)
+    {
+        for (std::size_t k = 0; k < input.size(); ++k) {
+            PathState p(qc.circuit.numQubits());
+            for (std::size_t b = 0; b < addr.size(); ++b)
+                p.bits.set(addr[b], (input.addresses[k] >> b) & 1);
+            inputs.push_back(p);
+            ideals.push_back(exec.runIdealReference(p));
+            idealVisible.push_back(visibleKey(ideals.back().bits));
+        }
+    }
+
+    const FeynmanExecutor &executor() const { return exec; }
+
+    void
+    shotFidelity(const ErrorRealization &errors, double &fullOut,
+                 double &reducedOut) const
+    {
+        std::unordered_map<std::uint64_t, std::complex<double>> visAmp;
+        visAmp.reserve(input.size());
+        for (std::size_t k = 0; k < input.size(); ++k)
+            visAmp[idealVisible[k]] = std::conj(input.amps[k]);
+
+        std::complex<double> fullOverlap{0.0, 0.0};
+        struct Group { std::complex<double> sum{0.0, 0.0}; };
+        struct BitVecHash
+        {
+            std::size_t
+            operator()(const BitVec &b) const
+            {
+                return b.hash();
+            }
+        };
+        std::unordered_map<BitVec, Group, BitVecHash> groups;
+        groups.reserve(8);
+
+        for (std::size_t k = 0; k < input.size(); ++k) {
+            PathState out = exec.runNoisyReference(inputs[k], errors);
+            if (out.bits == ideals[k].bits) {
+                fullOverlap += std::conj(input.amps[k]) *
+                               input.amps[k] * out.phase;
+            } else {
+                auto it = visAmp.find(visibleKey(out.bits));
+                if (it != visAmp.end()) {
+                    for (std::size_t j = 0; j < input.size(); ++j) {
+                        if (ideals[j].bits == out.bits) {
+                            fullOverlap += std::conj(input.amps[j]) *
+                                           input.amps[k] * out.phase;
+                            break;
+                        }
+                    }
+                }
+            }
+            auto it = visAmp.find(visibleKey(out.bits));
+            if (it != visAmp.end()) {
+                BitVec anc = out.bits;
+                for (Qubit q : addr)
+                    anc.set(q, false);
+                anc.set(bus, false);
+                groups[anc].sum +=
+                    it->second * input.amps[k] * out.phase;
+            }
+        }
+
+        fullOut = std::norm(fullOverlap);
+        double red = 0.0;
+        for (const auto &[anc, g] : groups)
+            red += std::norm(g.sum);
+        reducedOut = red;
+    }
+
+    FidelityResult
+    estimate(const NoiseModel &noise, std::size_t shots,
+             std::uint64_t seed) const
+    {
+        Rng rng(seed);
+        double sumF = 0.0, sumF2 = 0.0, sumR = 0.0, sumR2 = 0.0;
+        for (std::size_t s = 0; s < shots; ++s) {
+            ErrorRealization errors = noise.sample(exec, rng);
+            double f = 0.0, r = 0.0;
+            shotFidelity(errors, f, r);
+            sumF += f;
+            sumF2 += f * f;
+            sumR += r;
+            sumR2 += r * r;
+        }
+        FidelityResult res;
+        res.shots = shots;
+        const double n = static_cast<double>(shots);
+        res.full = sumF / n;
+        res.reduced = sumR / n;
+        if (shots > 1) {
+            double varF =
+                std::max(0.0, sumF2 / n - res.full * res.full);
+            double varR = std::max(0.0, sumR2 / n -
+                                            res.reduced * res.reduced);
+            res.fullStderr = std::sqrt(varF / (n - 1));
+            res.reducedStderr = std::sqrt(varR / (n - 1));
+        }
+        return res;
+    }
+
+  private:
+    std::uint64_t
+    visibleKey(const BitVec &bits) const
+    {
+        std::uint64_t key = 0;
+        for (std::size_t b = 0; b < addr.size(); ++b)
+            key |= std::uint64_t(bits.get(addr[b])) << b;
+        key |= std::uint64_t(bits.get(bus)) << addr.size();
+        return key;
+    }
+
+    FeynmanExecutor exec;
+    std::vector<Qubit> addr;
+    Qubit bus;
+    AddressSuperposition input;
+    std::vector<PathState> inputs;
+    std::vector<PathState> ideals;
+    std::vector<std::uint64_t> idealVisible;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Run fn(shots) with doubling shot counts until it fills budgetSec. */
+template <typename F>
+double
+shotsPerSecond(F &&fn, double budgetSec)
+{
+    std::size_t shots = 1;
+    for (;;) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn(shots);
+        double dt = secondsSince(t0);
+        if (dt >= budgetSec)
+            return static_cast<double>(shots) / dt;
+        shots = dt <= 0.0
+                    ? shots * 8
+                    : static_cast<std::size_t>(
+                          static_cast<double>(shots) *
+                          std::min(8.0, 1.25 * budgetSec / dt)) +
+                          1;
+    }
+}
+
+int
+runJsonMode(const std::string &path, unsigned m, double budgetSec,
+            unsigned threads)
+{
+    std::printf("qramsim perf record | bucket-brigade m=%u, "
+                "gate-noise shots\n", m);
+    Rng rng(7);
+    Memory mem = Memory::random(m, rng);
+    QueryCircuit qc = BucketBrigadeQram(m).build(mem);
+    AddressSuperposition in = AddressSuperposition::uniform(m);
+    GateNoise noise(PauliRates::phaseFlip(1e-3));
+
+    SeedEstimator seedEst(qc, in);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          in);
+    const std::size_t paths = in.size();
+    const std::size_t gates = est.executor().stream().size();
+    std::printf("  circuit: %zu qubits, %zu executable gates, %zu "
+                "paths\n", qc.circuit.numQubits(), gates, paths);
+
+    // Cross-check before timing: both engines must produce the same
+    // estimate bit for bit for a fixed seed.
+    const std::uint64_t checkSeed = 2023;
+    FidelityResult a = seedEst.estimate(noise, 6, checkSeed);
+    FidelityResult b = est.estimate(noise, 6, checkSeed);
+    if (a.full != b.full || a.reduced != b.reduced) {
+        std::fprintf(stderr,
+                     "engine mismatch: seed (%.17g, %.17g) vs "
+                     "compiled (%.17g, %.17g)\n",
+                     a.full, a.reduced, b.full, b.reduced);
+        return 1;
+    }
+
+    const double seedSps = shotsPerSecond(
+        [&](std::size_t shots) {
+            seedEst.estimate(noise, shots, 11);
+        },
+        budgetSec);
+    const double compiledSps = shotsPerSecond(
+        [&](std::size_t shots) {
+            est.estimate(noise, shots, 11);
+        },
+        budgetSec);
+    double compiledMtSps = compiledSps;
+    if (threads > 1) {
+        compiledMtSps = shotsPerSecond(
+            [&](std::size_t shots) {
+                est.estimate(noise, shots, 11, threads);
+            },
+            budgetSec);
+    }
+
+    const double perShot =
+        static_cast<double>(paths) * static_cast<double>(gates);
+    const double speedup = compiledSps / seedSps;
+    std::printf("  seed engine:     %.3g shots/s (%.4g paths*gates/s)\n",
+                seedSps, seedSps * perShot);
+    std::printf("  compiled engine: %.3g shots/s (%.4g paths*gates/s), "
+                "speedup %.2fx\n", compiledSps, compiledSps * perShot,
+                speedup);
+    if (threads > 1)
+        std::printf("  compiled x%u thr: %.3g shots/s\n", threads,
+                    compiledMtSps);
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"simulator\",\n"
+        "  \"workload\": \"bucket_brigade_gate_noise\",\n"
+        "  \"m\": %u,\n"
+        "  \"qubits\": %zu,\n"
+        "  \"gates\": %zu,\n"
+        "  \"paths\": %zu,\n"
+        "  \"noise\": \"gate phase-flip 1e-3 (weighted)\",\n"
+        "  \"seed_engine_shots_per_sec\": %.6g,\n"
+        "  \"seed_engine_paths_gates_per_sec\": %.6g,\n"
+        "  \"compiled_engine_shots_per_sec\": %.6g,\n"
+        "  \"compiled_engine_paths_gates_per_sec\": %.6g,\n"
+        "  \"compiled_mt_shots_per_sec\": %.6g,\n"
+        "  \"threads\": %u,\n"
+        "  \"speedup\": %.4g\n"
+        "}\n",
+        m, qc.circuit.numQubits(), gates, paths, seedSps,
+        seedSps * perShot, compiledSps, compiledSps * perShot,
+        compiledMtSps, threads, speedup);
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+#ifdef QRAMSIM_HAVE_GBENCH
 namespace {
 
 void
@@ -50,6 +334,24 @@ bmIdealQuery(benchmark::State &state)
 BENCHMARK(bmIdealQuery)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
 
 void
+bmIdealQueryReference(benchmark::State &state)
+{
+    const unsigned m = static_cast<unsigned>(state.range(0));
+    Rng rng(2);
+    Memory mem = Memory::random(m, rng);
+    QueryCircuit qc = VirtualQram(m, 0).build(mem);
+    FeynmanExecutor exec(qc.circuit);
+    PathState in(qc.circuit.numQubits());
+    for (auto _ : state) {
+        PathState out = exec.runIdealReference(in);
+        benchmark::DoNotOptimize(out.phase);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            qc.circuit.numGates());
+}
+BENCHMARK(bmIdealQueryReference)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void
 bmNoisyShot(benchmark::State &state)
 {
     const unsigned m = static_cast<unsigned>(state.range(0));
@@ -59,9 +361,11 @@ bmNoisyShot(benchmark::State &state)
     FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
                           AddressSuperposition::uniform(m));
     GateNoise noise(PauliRates::phaseFlip(1e-3));
+    noise.prepare(est.executor());
     Rng shotRng(4);
+    FlatRealization errs;
     for (auto _ : state) {
-        ErrorRealization errs = noise.sample(est.executor(), shotRng);
+        noise.sampleFlat(est.executor(), shotRng, errs);
         double f = 0.0, r = 0.0;
         est.shotFidelity(errs, f, r);
         benchmark::DoNotOptimize(r);
@@ -70,5 +374,45 @@ bmNoisyShot(benchmark::State &state)
 BENCHMARK(bmNoisyShot)->Arg(2)->Arg(4)->Arg(6);
 
 } // namespace
+#endif // QRAMSIM_HAVE_GBENCH
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    unsigned m = 8;
+    unsigned threads = 2;
+    double budgetSec = 0.5;
+    for (int i = 1; i < argc; ++i) {
+        auto want = [&](const char *flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (want("--json"))
+            jsonPath = argv[++i];
+        else if (want("--m"))
+            m = static_cast<unsigned>(std::strtoul(argv[++i], nullptr,
+                                                   10));
+        else if (want("--threads"))
+            threads = static_cast<unsigned>(std::strtoul(argv[++i],
+                                                         nullptr, 10));
+        else if (want("--budget-ms"))
+            budgetSec =
+                std::strtod(argv[++i], nullptr) / 1000.0;
+    }
+    if (!jsonPath.empty())
+        return runJsonMode(jsonPath, m, budgetSec, threads);
+
+#ifdef QRAMSIM_HAVE_GBENCH
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+#else
+    std::fprintf(stderr,
+                 "google-benchmark unavailable; use --json FILE "
+                 "[--m M] [--budget-ms T] [--threads N]\n");
+    return 1;
+#endif
+}

@@ -46,6 +46,23 @@ scheduleAsap(const Circuit &c)
     return sched;
 }
 
+ExecutionOrder
+executionOrder(const Schedule &s)
+{
+    ExecutionOrder eo;
+    std::size_t total = 0;
+    for (const auto &layer : s.moments)
+        total += layer.size();
+    eo.order.reserve(total);
+    eo.momentEnd.reserve(s.moments.size());
+    for (const auto &layer : s.moments) {
+        for (std::size_t gi : layer)
+            eo.order.push_back(gi);
+        eo.momentEnd.push_back(eo.order.size());
+    }
+    return eo;
+}
+
 std::size_t
 circuitDepth(const Circuit &c)
 {

@@ -33,6 +33,24 @@ struct Schedule
     std::size_t depth() const { return moments.size(); }
 };
 
+/**
+ * A schedule flattened to execution order: the gate indices of every
+ * moment concatenated moment-by-moment (program order within a moment).
+ * This is the order in which the simulators execute gates and the
+ * index space of the compiled op stream (sim/feynman.hh).
+ */
+struct ExecutionOrder
+{
+    /** Gate indices in execution (moment) order; barriers excluded. */
+    std::vector<std::size_t> order;
+
+    /** momentEnd[t] = index into 'order' one past moment t's gates. */
+    std::vector<std::size_t> momentEnd;
+};
+
+/** Flatten @p s into execution order. */
+ExecutionOrder executionOrder(const Schedule &s);
+
 /** Schedule @p c with ASAP layering; barriers force synchronization. */
 Schedule scheduleAsap(const Circuit &c);
 

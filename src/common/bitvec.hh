@@ -136,6 +136,46 @@ class BitVec
             set(lo + b, (value >> b) & 1);
     }
 
+    /// @name Word-level access
+    ///
+    /// The compiled Feynman engine (sim/feynman.hh) lowers gates to
+    /// precomputed (word index, mask, value) triples, turning per-bit
+    /// control loops into a handful of AND/XOR word operations. These
+    /// accessors expose the raw words for that purpose; callers are
+    /// responsible for keeping masks within the vector's width.
+    /// @{
+
+    std::size_t numWords() const { return words.size(); }
+
+    std::uint64_t
+    word(std::size_t w) const
+    {
+        QRAMSIM_ASSERT(w < words.size(), "word index out of range");
+        return words[w];
+    }
+
+    /** XOR @p mask into word @p w (bulk bit flip). */
+    void
+    xorWord(std::size_t w, std::uint64_t mask)
+    {
+        QRAMSIM_ASSERT(w < words.size(), "word index out of range");
+        words[w] ^= mask;
+    }
+
+    /** AND word @p w with @p mask (bulk bit clear). */
+    void
+    andWord(std::size_t w, std::uint64_t mask)
+    {
+        QRAMSIM_ASSERT(w < words.size(), "word index out of range");
+        words[w] &= mask;
+    }
+
+    /** Raw word storage (hot loops index this without bounds checks). */
+    std::uint64_t *wordData() { return words.data(); }
+    const std::uint64_t *wordData() const { return words.data(); }
+
+    /// @}
+
     bool
     operator==(const BitVec &o) const
     {

@@ -43,13 +43,10 @@ DenseStatevector::applySingle(Qubit t,
     for (std::uint64_t s = 0; s < amps.size(); ++s) {
         if (s & bit)
             continue; // visit each pair once, from its |0> member
-        if (!controlsFire(g, s) || !controlsFire(g, s | bit)) {
-            // Controls never involve the target, so both pair members
-            // agree on them; a single check suffices, but keep both
-            // for safety against degenerate gates.
-            if (!controlsFire(g, s))
-                continue;
-        }
+        // Controls never involve the target (Circuit::check enforces
+        // distinct operands), so both pair members agree on them.
+        if (!controlsFire(g, s))
+            continue;
         std::complex<double> a0 = amps[s];
         std::complex<double> a1 = amps[s | bit];
         amps[s] = u[0][0] * a0 + u[0][1] * a1;

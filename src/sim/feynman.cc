@@ -1,5 +1,6 @@
 #include "sim/feynman.hh"
 
+#include <algorithm>
 #include <numbers>
 
 namespace qramsim {
@@ -18,7 +19,50 @@ controlsFire(const Gate &g, const BitVec &bits)
     return true;
 }
 
+/**
+ * Apply one error event to raw path words + phase. Same arithmetic as
+ * applyError, minus the per-bit bounds checks (positions were validated
+ * at sampling/flattening time).
+ */
+inline void
+applyErrorWords(const FlatEvent &e, std::uint64_t *w,
+                std::complex<double> &phase)
+{
+    const std::size_t wi = e.qubit >> 6;
+    const std::uint64_t mask = std::uint64_t(1) << (e.qubit & 63);
+    switch (e.pauli) {
+      case PauliKind::X:
+        w[wi] ^= mask;
+        break;
+      case PauliKind::Z:
+        if (w[wi] & mask)
+            phase = -phase;
+        break;
+      case PauliKind::Y:
+        // Y = i X Z: sign from Z on |1>, then flip, global i.
+        if (w[wi] & mask)
+            phase = -phase;
+        w[wi] ^= mask;
+        phase *= std::complex<double>(0.0, 1.0);
+        break;
+    }
+}
+
 } // namespace
+
+void
+FlatRealization::sortByPos()
+{
+    if (std::is_sorted(events.begin(), events.end(),
+                       [](const FlatEvent &a, const FlatEvent &b) {
+                           return a.pos < b.pos;
+                       }))
+        return;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FlatEvent &a, const FlatEvent &b) {
+                         return a.pos < b.pos;
+                     });
+}
 
 void
 applyGate(const Gate &g, PathState &path)
@@ -90,23 +134,174 @@ applyError(const ErrorEvent &e, PathState &path)
 }
 
 FeynmanExecutor::FeynmanExecutor(const Circuit &c)
-    : circ(c), sched(scheduleAsap(c))
+    : circ(c), sched(scheduleAsap(c)), exec(executionOrder(sched))
 {
-    order.reserve(circ.numGates());
-    momentEnd.reserve(sched.moments.size());
-    for (const auto &layer : sched.moments) {
-        for (std::size_t gi : layer)
-            order.push_back(gi);
-        momentEnd.push_back(order.size());
+    // Compile: lower every non-barrier gate, in execution order, into
+    // one flat op with precomputed word masks.
+    const std::size_t n = exec.order.size();
+    cs.kind.reserve(n);
+    cs.word0.reserve(n);
+    cs.mask0.reserve(n);
+    cs.word1.reserve(n);
+    cs.mask1.reserve(n);
+    cs.ctrlBegin.reserve(n + 1);
+    cs.ctrlBegin.push_back(0);
+    cs.gatePos.assign(circ.numGates(), UINT32_MAX);
+
+    // Scratch: per-word accumulation of control masks/values.
+    std::vector<std::uint64_t> wMask(circ.numQubits() / 64 + 1, 0);
+    std::vector<std::uint64_t> wValue(wMask.size(), 0);
+    std::vector<std::uint32_t> wTouched;
+
+    for (std::size_t e = 0; e < n; ++e) {
+        const Gate &g = circ.gates()[exec.order[e]];
+        cs.gatePos[exec.order[e]] = static_cast<std::uint32_t>(e);
+
+        wTouched.clear();
+        for (std::size_t i = 0; i < g.controls.size(); ++i) {
+            const std::uint32_t w = g.controls[i] >> 6;
+            const std::uint64_t bit = std::uint64_t(1)
+                                      << (g.controls[i] & 63);
+            if (!wMask[w])
+                wTouched.push_back(w);
+            wMask[w] |= bit;
+            if (!g.negControl(i))
+                wValue[w] |= bit;
+        }
+        std::sort(wTouched.begin(), wTouched.end());
+        for (std::uint32_t w : wTouched) {
+            cs.ctrl.push_back({w, wMask[w], wValue[w]});
+            wMask[w] = 0;
+            wValue[w] = 0;
+        }
+        cs.ctrlBegin.push_back(
+            static_cast<std::uint32_t>(cs.ctrl.size()));
+
+        CompiledStream::Op op = CompiledStream::Op::X;
+        switch (g.kind) {
+          case GateKind::X:    op = CompiledStream::Op::X; break;
+          case GateKind::Z:    op = CompiledStream::Op::Z; break;
+          case GateKind::S:    op = CompiledStream::Op::S; break;
+          case GateKind::T:    op = CompiledStream::Op::T; break;
+          case GateKind::Tdg:  op = CompiledStream::Op::Tdg; break;
+          case GateKind::Swap: op = CompiledStream::Op::Swap; break;
+          case GateKind::H:    op = CompiledStream::Op::H; break;
+          case GateKind::Barrier:
+            QRAMSIM_PANIC("barrier in scheduled moments");
+        }
+        cs.kind.push_back(static_cast<std::uint8_t>(op));
+        if (op == CompiledStream::Op::Z || op == CompiledStream::Op::S ||
+            op == CompiledStream::Op::T || op == CompiledStream::Op::Tdg)
+            cs.hasPhaseOps = true;
+
+        const Qubit t0 = g.targets.empty() ? 0 : g.targets[0];
+        cs.word0.push_back(t0 >> 6);
+        cs.mask0.push_back(std::uint64_t(1) << (t0 & 63));
+        const Qubit t1 = g.targets.size() > 1 ? g.targets[1] : t0;
+        cs.word1.push_back(t1 >> 6);
+        cs.mask1.push_back(std::uint64_t(1) << (t1 & 63));
     }
+
+    cs.momentEndPos.reserve(exec.momentEnd.size());
+    for (std::size_t me : exec.momentEnd)
+        cs.momentEndPos.push_back(static_cast<std::uint32_t>(me));
+}
+
+void
+FeynmanExecutor::runSpan(PathState &path, std::uint32_t from,
+                         std::uint32_t to, const FlatEvent *events,
+                         std::size_t numEvents) const
+{
+    std::uint64_t *w = path.bits.wordData();
+    std::complex<double> phase = path.phase;
+    std::size_t ev = 0;
+
+    const std::uint8_t *kind = cs.kind.data();
+    const std::uint32_t *word0 = cs.word0.data();
+    const std::uint64_t *mask0 = cs.mask0.data();
+    const std::uint32_t *word1 = cs.word1.data();
+    const std::uint64_t *mask1 = cs.mask1.data();
+    const std::uint32_t *ctrlBegin = cs.ctrlBegin.data();
+    const CompiledStream::CtrlWord *ctrl = cs.ctrl.data();
+
+    for (std::uint32_t i = from; i < to; ++i) {
+        while (ev < numEvents && events[ev].pos <= i)
+            applyErrorWords(events[ev++], w, phase);
+
+        const std::uint32_t cb = ctrlBegin[i], ce = ctrlBegin[i + 1];
+        bool fire = true;
+        for (std::uint32_t c = cb; c != ce; ++c) {
+            if ((w[ctrl[c].word] & ctrl[c].mask) != ctrl[c].value) {
+                fire = false;
+                break;
+            }
+        }
+        if (!fire)
+            continue;
+
+        switch (static_cast<CompiledStream::Op>(kind[i])) {
+          case CompiledStream::Op::X:
+            w[word0[i]] ^= mask0[i];
+            break;
+          case CompiledStream::Op::Swap: {
+            const bool b0 = w[word0[i]] & mask0[i];
+            const bool b1 = w[word1[i]] & mask1[i];
+            if (b0 != b1) {
+                w[word0[i]] ^= mask0[i];
+                w[word1[i]] ^= mask1[i];
+            }
+            break;
+          }
+          case CompiledStream::Op::Z:
+            if (w[word0[i]] & mask0[i])
+                phase = -phase;
+            break;
+          case CompiledStream::Op::S:
+            if (w[word0[i]] & mask0[i])
+                phase *= std::complex<double>(0.0, 1.0);
+            break;
+          case CompiledStream::Op::T:
+            if (w[word0[i]] & mask0[i]) {
+                constexpr double r = std::numbers::sqrt2 / 2.0;
+                phase *= std::complex<double>(r, r);
+            }
+            break;
+          case CompiledStream::Op::Tdg:
+            if (w[word0[i]] & mask0[i]) {
+                constexpr double r = std::numbers::sqrt2 / 2.0;
+                phase *= std::complex<double>(r, -r);
+            }
+            break;
+          case CompiledStream::Op::H:
+            QRAMSIM_PANIC("H gate is not basis-preserving; "
+                          "teleportation gadgets must not reach the "
+                          "path simulator");
+        }
+    }
+
+    while (ev < numEvents) {
+        QRAMSIM_ASSERT(events[ev].pos <= to,
+                       "error event beyond replay span");
+        applyErrorWords(events[ev++], w, phase);
+    }
+    path.phase = phase;
 }
 
 PathState
 FeynmanExecutor::runIdeal(const PathState &input) const
 {
     PathState p = input;
-    for (std::size_t gi : order)
-        applyGate(circ.gates()[gi], p);
+    runSpan(p, 0, static_cast<std::uint32_t>(cs.size()), nullptr, 0);
+    return p;
+}
+
+PathState
+FeynmanExecutor::runFlat(const PathState &input,
+                         const FlatRealization &errors) const
+{
+    PathState p = input;
+    runSpan(p, 0, static_cast<std::uint32_t>(cs.size()),
+            errors.events.data(), errors.events.size());
     return p;
 }
 
@@ -114,11 +309,49 @@ PathState
 FeynmanExecutor::runNoisy(const PathState &input,
                           const ErrorRealization &errors) const
 {
+    FlatRealization flat;
+    flatten(errors, flat);
+    return runFlat(input, flat);
+}
+
+void
+FeynmanExecutor::flatten(const ErrorRealization &errors,
+                         FlatRealization &out) const
+{
+    out.clear();
+    std::size_t e = 0;
+    for (std::size_t t = 0; t < exec.momentEnd.size(); ++t) {
+        for (; e < exec.momentEnd[t]; ++e) {
+            const std::size_t gi = exec.order[e];
+            if (gi < errors.afterGate.size())
+                for (const ErrorEvent &ev : errors.afterGate[gi])
+                    out.push(static_cast<std::uint32_t>(e + 1),
+                             ev.qubit, ev.pauli);
+        }
+        if (t < errors.afterMoment.size())
+            for (const ErrorEvent &ev : errors.afterMoment[t])
+                out.push(cs.momentEndPos[t], ev.qubit, ev.pauli);
+    }
+}
+
+PathState
+FeynmanExecutor::runIdealReference(const PathState &input) const
+{
+    PathState p = input;
+    for (std::size_t gi : exec.order)
+        applyGate(circ.gates()[gi], p);
+    return p;
+}
+
+PathState
+FeynmanExecutor::runNoisyReference(const PathState &input,
+                                   const ErrorRealization &errors) const
+{
     PathState p = input;
     std::size_t oi = 0;
-    for (std::size_t t = 0; t < momentEnd.size(); ++t) {
-        for (; oi < momentEnd[t]; ++oi) {
-            std::size_t gi = order[oi];
+    for (std::size_t t = 0; t < exec.momentEnd.size(); ++t) {
+        for (; oi < exec.momentEnd[t]; ++oi) {
+            std::size_t gi = exec.order[oi];
             applyGate(circ.gates()[gi], p);
             if (gi < errors.afterGate.size())
                 for (const ErrorEvent &e : errors.afterGate[gi])

@@ -12,8 +12,19 @@
  * a Y event does both (with a global i). This is what makes noisy
  * simulation of ~200-qubit QRAM circuits cheap.
  *
+ * The executor compiles the scheduled circuit once into a flat
+ * structure-of-arrays op stream (CompiledStream): per-op gate kind,
+ * precomputed target word/mask pairs, and per-word control predicates,
+ * so the inner propagation loop is a cache-friendly sweep of word AND/XOR
+ * operations with no Gate-object or per-bit accessor overhead. See
+ * src/sim/README.md for the format and its invariants. The original
+ * per-Gate interpreter is kept as runIdealReference/runNoisyReference —
+ * it is the differential-testing oracle and the baseline the perf
+ * trajectory (BENCH_simulator.json) is measured against.
+ *
  * H gates (used only inside teleportation gadgets, which are analyzed
- * for depth rather than simulated) are rejected with panic().
+ * for depth rather than simulated) are rejected with panic() when
+ * executed.
  */
 
 #ifndef QRAMSIM_SIM_FEYNMAN_HH
@@ -75,6 +86,96 @@ struct ErrorRealization
     }
 };
 
+/**
+ * One error event addressed by stream position: an event at position p
+ * fires after the ops [0, p) of the compiled stream have executed (so
+ * "after gate at execution index e" is position e + 1, and "after
+ * moment t" is CompiledStream::momentEndPos[t]).
+ */
+struct FlatEvent
+{
+    std::uint32_t pos;
+    std::uint32_t qubit;
+    PauliKind pauli;
+};
+
+/**
+ * A shot's error realization flattened onto the compiled op stream:
+ * events sorted by position (stable — same-position events keep their
+ * sampling order, which is their application order).
+ */
+struct FlatRealization
+{
+    std::vector<FlatEvent> events;
+
+    /** True while no X or Y event is present (pure phase noise). */
+    bool zOnly = true;
+
+    bool empty() const { return events.empty(); }
+
+    void
+    clear()
+    {
+        events.clear();
+        zOnly = true;
+    }
+
+    void
+    push(std::uint32_t pos, std::uint32_t qubit, PauliKind pauli)
+    {
+        events.push_back({pos, qubit, pauli});
+        if (pauli != PauliKind::Z)
+            zOnly = false;
+    }
+
+    /** Stable-sort events by position (no-op if already sorted). */
+    void sortByPos();
+};
+
+/**
+ * The compiled circuit: a flat structure-of-arrays op stream in
+ * execution (moment) order, one entry per non-barrier gate.
+ *
+ * Controls are lowered to word predicates: op i fires iff
+ * (state.word(ctrl[c].word) & ctrl[c].mask) == ctrl[c].value for every
+ * c in [ctrlBegin[i], ctrlBegin[i+1]) — controls sharing a 64-bit word
+ * collapse into a single AND/compare. Targets are precomputed
+ * word-index/mask pairs (mask1/word1 only used by Swap).
+ */
+struct CompiledStream
+{
+    /** Base operation of a compiled op. */
+    enum class Op : std::uint8_t { X, Z, S, T, Tdg, Swap, H };
+
+    struct CtrlWord
+    {
+        std::uint32_t word;
+        std::uint64_t mask;  ///< bits of this word holding controls
+        std::uint64_t value; ///< required value under 'mask'
+    };
+
+    std::vector<std::uint8_t> kind;   ///< Op per stream position
+    std::vector<std::uint32_t> word0; ///< first target word index
+    std::vector<std::uint64_t> mask0; ///< first target bit mask
+    std::vector<std::uint32_t> word1; ///< second target word (Swap)
+    std::vector<std::uint64_t> mask1; ///< second target mask (Swap)
+
+    /** ctrlBegin[i]..ctrlBegin[i+1]: op i's slice of 'ctrl'. */
+    std::vector<std::uint32_t> ctrlBegin;
+    std::vector<CtrlWord> ctrl;
+
+    /** Stream position of program gate g (UINT32_MAX for barriers). */
+    std::vector<std::uint32_t> gatePos;
+
+    /** momentEndPos[t] = stream position one past moment t's ops. */
+    std::vector<std::uint32_t> momentEndPos;
+
+    /** True if any op multiplies the path phase (Z/S/T/Tdg). */
+    bool hasPhaseOps = false;
+
+    std::size_t size() const { return kind.size(); }
+};
+
 /** Apply a single gate to a path in place. Panics on H. */
 void applyGate(const Gate &g, PathState &path);
 
@@ -84,7 +185,8 @@ void applyError(const ErrorEvent &e, PathState &path);
 /**
  * Path executor: propagates basis states through a circuit, optionally
  * interleaving a sampled error realization. The schedule is computed
- * once and reused across paths and shots.
+ * and the circuit compiled once; both are reused across paths and
+ * shots.
  */
 class FeynmanExecutor
 {
@@ -93,27 +195,63 @@ class FeynmanExecutor
 
     const Circuit &circuit() const { return circ; }
     const Schedule &schedule() const { return sched; }
+    const CompiledStream &stream() const { return cs; }
 
-    /** Noiseless propagation of one path. */
+    /** Noiseless propagation of one path (compiled engine). */
     PathState runIdeal(const PathState &input) const;
 
     /**
      * Propagation under an error realization. Gates execute in moment
      * order; after each gate its afterGate events fire, after each
-     * moment its afterMoment events fire.
+     * moment its afterMoment events fire. Compiled engine; numerically
+     * identical to runNoisyReference (same operations, same order).
      */
     PathState runNoisy(const PathState &input,
                        const ErrorRealization &errors) const;
+
+    /** Propagation under a flattened (position-sorted) realization. */
+    PathState runFlat(const PathState &input,
+                      const FlatRealization &errors) const;
+
+    /**
+     * Advance @p path in place through stream positions [from, to),
+     * firing the events of @p events[evBegin, evEnd) at their
+     * positions. Every event position must lie in [from, to]; events
+     * at position 'to' fire after the last op. The core of the
+     * estimator's error-sparse replay.
+     */
+    void runSpan(PathState &path, std::uint32_t from, std::uint32_t to,
+                 const FlatEvent *events, std::size_t numEvents) const;
+
+    /** Apply the single compiled op at stream position @p i. */
+    void
+    applyOpAt(std::uint32_t i, PathState &path) const
+    {
+        runSpan(path, i, i + 1, nullptr, 0);
+    }
+
+    /** Flatten @p errors onto the compiled stream (position-sorted). */
+    void flatten(const ErrorRealization &errors,
+                 FlatRealization &out) const;
+
+    /**
+     * Reference interpreter (the pre-compilation implementation):
+     * walks Gate objects bit-at-a-time. Oracle for differential tests
+     * and the baseline of the recorded speedup.
+     */
+    PathState runIdealReference(const PathState &input) const;
+    PathState runNoisyReference(const PathState &input,
+                                const ErrorRealization &errors) const;
 
   private:
     const Circuit &circ;
     Schedule sched;
 
     /** Gate indices in execution (moment) order. */
-    std::vector<std::size_t> order;
+    ExecutionOrder exec;
 
-    /** momentEnd[t] = index into 'order' one past moment t's gates. */
-    std::vector<std::size_t> momentEnd;
+    /** The compiled op stream. */
+    CompiledStream cs;
 };
 
 } // namespace qramsim

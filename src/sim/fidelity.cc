@@ -1,9 +1,24 @@
 #include "sim/fidelity.hh"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <thread>
 
 namespace qramsim {
+
+namespace {
+
+/** SplitMix64 finalizer: derives independent per-shot seeds. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
 
 AddressSuperposition
 AddressSuperposition::uniform(unsigned addressWidth)
@@ -50,6 +65,40 @@ AddressSuperposition::random(unsigned addressWidth, Rng &rng)
     return s;
 }
 
+/**
+ * Per-shot overlap accumulator. The reduced-overlap group map is
+ * created fresh per shot with the same initial capacity regardless of
+ * entry point, so group iteration order — and hence floating-point
+ * summation order — is reproducible.
+ */
+struct FidelityEstimator::ShotAccumulator
+{
+    struct Group
+    {
+        std::complex<double> sum{0.0, 0.0};
+    };
+    struct BitVecHash
+    {
+        std::size_t operator()(const BitVec &b) const { return b.hash(); }
+    };
+
+    std::complex<double> fullOverlap{0.0, 0.0};
+    std::unordered_map<BitVec, Group, BitVecHash> groups;
+
+    ShotAccumulator() { groups.reserve(8); }
+
+    double full() const { return std::norm(fullOverlap); }
+
+    double
+    reduced() const
+    {
+        double red = 0.0;
+        for (const auto &[anc, g] : groups)
+            red += std::norm(g.sum);
+        return red;
+    }
+};
+
 FidelityEstimator::FidelityEstimator(
     const Circuit &circuit, const std::vector<Qubit> &addressQubits,
     Qubit busQubit, const AddressSuperposition &input_)
@@ -58,21 +107,137 @@ FidelityEstimator::FidelityEstimator(
 {
     QRAMSIM_ASSERT(addrQubits.size() + 1 <= 64,
                    "visible register too wide to pack");
+
+    // Input paths live only for the construction pass: checkpoint 0
+    // keeps a copy of each, so retaining them would double the
+    // per-path state the checkpoint budget bounds.
+    std::vector<PathState> inputs;
     inputs.reserve(input.size());
-    ideals.reserve(input.size());
     for (std::size_t k = 0; k < input.size(); ++k) {
         PathState p(circuit.numQubits());
         for (std::size_t b = 0; b < addrQubits.size(); ++b)
             p.bits.set(addrQubits[b], (input.addresses[k] >> b) & 1);
-        inputs.push_back(p);
-        PathState ideal = exec.runIdeal(p);
-        QRAMSIM_ASSERT(std::abs(ideal.phase.real() - 1.0) < 1e-12 &&
-                       std::abs(ideal.phase.imag()) < 1e-12,
+        inputs.push_back(std::move(p));
+    }
+
+    // Checkpoint layout: snapshots every ckptStride ops, bounded both
+    // in count and in memory so wide circuits with many paths stay
+    // within a fixed budget. Checkpoint 0 is the input itself.
+    const std::uint32_t numOps =
+        static_cast<std::uint32_t>(exec.stream().size());
+    const std::size_t words = (circuit.numQubits() + 63) / 64;
+    const std::size_t stateBytes = words * 8 + sizeof(PathState);
+    const std::size_t budget = std::size_t(64) << 20;
+    std::size_t maxCkpts =
+        budget / std::max<std::size_t>(1, input.size() * stateBytes);
+    maxCkpts = std::clamp<std::size_t>(maxCkpts, 2, 257);
+    ckptStride = static_cast<std::uint32_t>(numOps / maxCkpts + 1);
+    const std::size_t numCkpts = numOps / ckptStride + 1;
+
+    // Z-parity snapshot layout: one entry per flippable target of
+    // every X/Swap op, in stream order per qubit.
+    const CompiledStream &cs = exec.stream();
+    const std::size_t nq = circuit.numQubits();
+    pathWords = (input.size() + 63) / 64;
+    std::vector<std::uint32_t> opQ0(numOps, UINT32_MAX);
+    std::vector<std::uint32_t> opQ1(numOps, UINT32_MAX);
+    snapBegin.assign(nq + 1, 0);
+    for (std::uint32_t i = 0; i < numOps; ++i) {
+        const auto op = static_cast<CompiledStream::Op>(cs.kind[i]);
+        if (op != CompiledStream::Op::X &&
+            op != CompiledStream::Op::Swap)
+            continue;
+        opQ0[i] = cs.word0[i] * 64 +
+                  static_cast<std::uint32_t>(
+                      __builtin_ctzll(cs.mask0[i]));
+        ++snapBegin[opQ0[i] + 1];
+        if (op == CompiledStream::Op::Swap) {
+            opQ1[i] = cs.word1[i] * 64 +
+                      static_cast<std::uint32_t>(
+                          __builtin_ctzll(cs.mask1[i]));
+            ++snapBegin[opQ1[i] + 1];
+        }
+    }
+    for (std::size_t q = 0; q < nq; ++q)
+        snapBegin[q + 1] += snapBegin[q];
+    const std::size_t numEntries = snapBegin[nq];
+    snapPos.resize(numEntries);
+    snapBits.assign(numEntries * pathWords, 0);
+    initialBits.assign(nq * pathWords, 0);
+    std::vector<std::uint32_t> cursor(snapBegin.begin(),
+                                      snapBegin.end() - 1);
+    std::vector<std::uint32_t> opEntry0(numOps, UINT32_MAX);
+    std::vector<std::uint32_t> opEntry1(numOps, UINT32_MAX);
+    for (std::uint32_t i = 0; i < numOps; ++i) {
+        if (opQ0[i] != UINT32_MAX) {
+            opEntry0[i] = cursor[opQ0[i]]++;
+            snapPos[opEntry0[i]] = i + 1;
+        }
+        if (opQ1[i] != UINT32_MAX) {
+            opEntry1[i] = cursor[opQ1[i]]++;
+            snapPos[opEntry1[i]] = i + 1;
+        }
+    }
+
+    // One pass per path builds every checkpoint, every snapshot
+    // vector, and the ideal output.
+    ckpts.resize(numCkpts);
+    for (auto &level : ckpts)
+        level.reserve(input.size());
+    ideals.reserve(input.size());
+    for (std::size_t k = 0; k < input.size(); ++k) {
+        const std::size_t kw = k >> 6;
+        const std::uint64_t km = std::uint64_t(1) << (k & 63);
+        for (std::size_t b = 0; b < addrQubits.size(); ++b)
+            if ((input.addresses[k] >> b) & 1)
+                initialBits[addrQubits[b] * pathWords + kw] |= km;
+
+        PathState p = inputs[k];
+        for (std::uint32_t i = 0; i < numOps; ++i) {
+            if (i % ckptStride == 0)
+                ckpts[i / ckptStride].push_back(p);
+            exec.applyOpAt(i, p);
+            if (opEntry0[i] != UINT32_MAX && p.bits.get(opQ0[i]))
+                snapBits[std::size_t(opEntry0[i]) * pathWords + kw] |=
+                    km;
+            if (opEntry1[i] != UINT32_MAX && p.bits.get(opQ1[i]))
+                snapBits[std::size_t(opEntry1[i]) * pathWords + kw] |=
+                    km;
+        }
+        if (numOps % ckptStride == 0)
+            ckpts[numOps / ckptStride].push_back(p);
+
+        QRAMSIM_ASSERT(std::abs(p.phase.real() - 1.0) < 1e-12 &&
+                       std::abs(p.phase.imag()) < 1e-12,
                        "ideal path acquired a phase; circuit contains "
                        "non-classical diagonal gates");
-        ideals.push_back(std::move(ideal));
-        idealVisible.push_back(visibleKey(ideals.back().bits));
+        ideals.push_back(std::move(p));
+        if (!visIndex
+                 .insert_or_assign(visibleKey(ideals.back().bits), k)
+                 .second)
+            dupVisibleKeys = true;
     }
+
+    visMaskWords.assign(words, 0);
+    for (Qubit q : addrQubits)
+        visMaskWords[q >> 6] |= std::uint64_t(1) << (q & 63);
+    visMaskWords[bus >> 6] |= std::uint64_t(1) << (bus & 63);
+
+    idealAnc.reserve(input.size());
+    idealVisOwner.reserve(input.size());
+    for (std::size_t k = 0; k < input.size(); ++k) {
+        idealAnc.push_back(ancillaPart(ideals[k].bits));
+        idealVisOwner.push_back(
+            visIndex.at(visibleKey(ideals[k].bits)));
+    }
+
+    // Cache the empty-realization shot: identical accumulation to a
+    // real shot whose every path lands on its ideal output.
+    ShotAccumulator acc;
+    for (std::size_t k = 0; k < input.size(); ++k)
+        accumulatePath(acc, k, ideals[k].bits, ideals[k].phase);
+    emptyFull = acc.full();
+    emptyReduced = acc.reduced();
 }
 
 std::uint64_t
@@ -89,9 +254,8 @@ BitVec
 FidelityEstimator::ancillaPart(const BitVec &bits) const
 {
     BitVec a = bits;
-    for (Qubit q : addrQubits)
-        a.set(q, false);
-    a.set(bus, false);
+    for (std::size_t w = 0; w < visMaskWords.size(); ++w)
+        a.andWord(w, ~visMaskWords[w]);
     return a;
 }
 
@@ -102,84 +266,210 @@ FidelityEstimator::idealBus(std::size_t k) const
 }
 
 void
-FidelityEstimator::shotFidelity(const ErrorRealization &errors,
-                                double &fullOut, double &reducedOut) const
+FidelityEstimator::accumulatePath(ShotAccumulator &acc, std::size_t k,
+                                  const BitVec &outBits,
+                                  std::complex<double> outPhase) const
 {
-    // Map ideal visible key -> conj(amplitude) for the reduced overlap.
-    // Built lazily per shot would be wasteful; the key set is fixed, so
-    // build a local map once per call (cheap relative to propagation).
-    std::unordered_map<std::uint64_t, std::complex<double>> visAmp;
-    visAmp.reserve(input.size());
-    for (std::size_t k = 0; k < input.size(); ++k)
-        visAmp[idealVisible[k]] = std::conj(input.amps[k]);
+    const std::uint64_t key = visibleKey(outBits);
+    const auto it = visIndex.find(key);
 
-    std::complex<double> fullOverlap{0.0, 0.0};
-
-    struct Group { std::complex<double> sum{0.0, 0.0}; };
-    struct BitVecHash
-    {
-        std::size_t operator()(const BitVec &b) const { return b.hash(); }
-    };
-    std::unordered_map<BitVec, Group, BitVecHash> groups;
-    groups.reserve(8);
-
-    for (std::size_t k = 0; k < input.size(); ++k) {
-        PathState out = exec.runNoisy(inputs[k], errors);
-
-        // Full-state overlap: the noisy output contributes iff it lands
-        // exactly on this path's ideal output (distinct addresses give
-        // orthogonal ideal outputs, and the circuit is a permutation, so
-        // landing on another path's ideal output means that i' term of
-        // psi_noisy overlaps psi_ideal's i' component).
-        if (out.bits == ideals[k].bits) {
-            fullOverlap += std::conj(input.amps[k]) * input.amps[k]
-                           * out.phase;
+    // Full-state overlap: the noisy output contributes iff it lands
+    // exactly on some path's ideal output (distinct addresses give
+    // orthogonal ideal outputs, and the circuit is a permutation).
+    if (outBits == ideals[k].bits) {
+        acc.fullOverlap +=
+            std::conj(input.amps[k]) * input.amps[k] * outPhase;
+    } else if (it != visIndex.end()) {
+        if (!dupVisibleKeys) {
+            // Visible keys are unique, so the key owner is the only
+            // candidate; one exact-bits check resolves the collision.
+            const std::size_t j = it->second;
+            if (ideals[j].bits == outBits)
+                acc.fullOverlap += std::conj(input.amps[j]) *
+                                   input.amps[k] * outPhase;
         } else {
-            // Check collision with any other ideal output via the
-            // visible key first (cheap), then exact bits.
-            auto it = visAmp.find(visibleKey(out.bits));
-            if (it != visAmp.end()) {
-                for (std::size_t j = 0; j < input.size(); ++j) {
-                    if (ideals[j].bits == out.bits) {
-                        fullOverlap += std::conj(input.amps[j])
-                                       * input.amps[k] * out.phase;
-                        break;
-                    }
+            // Degenerate input with repeated visible keys: fall back
+            // to the exhaustive scan to keep historical semantics.
+            for (std::size_t j = 0; j < input.size(); ++j) {
+                if (ideals[j].bits == outBits) {
+                    acc.fullOverlap += std::conj(input.amps[j]) *
+                                       input.amps[k] * outPhase;
+                    break;
                 }
             }
         }
-
-        // Reduced overlap: group by ancilla configuration; within a
-        // group, the visible component projects onto psi_ideal.
-        auto it = visAmp.find(visibleKey(out.bits));
-        if (it != visAmp.end()) {
-            groups[ancillaPart(out.bits)].sum +=
-                it->second * input.amps[k] * out.phase;
-        }
     }
 
-    fullOut = std::norm(fullOverlap);
-    double red = 0.0;
-    for (const auto &[anc, g] : groups)
-        red += std::norm(g.sum);
-    reducedOut = red;
+    // Reduced overlap: group by ancilla configuration; within a
+    // group, the visible component projects onto psi_ideal.
+    if (it != visIndex.end()) {
+        acc.groups[ancillaPart(outBits)].sum +=
+            std::conj(input.amps[it->second]) * input.amps[k] *
+            outPhase;
+    }
+}
+
+void
+FidelityEstimator::shotFlat(const FlatRealization &errors,
+                            ShotWorkspace &ws, double &fullOut,
+                            double &reducedOut) const
+{
+    if (errors.empty()) {
+        fullOut = emptyFull;
+        reducedOut = emptyReduced;
+        return;
+    }
+
+    const std::uint32_t numOps =
+        static_cast<std::uint32_t>(exec.stream().size());
+    const FlatEvent *events = errors.events.data();
+    const std::size_t numEvents = errors.events.size();
+
+    ShotAccumulator acc;
+
+    // Z-only realization: no bit ever deviates from the ideal
+    // trajectory (Z errors do not flip, and no reversible gate maps a
+    // Z component onto an X component — see analysis/lightcone), so
+    // every event's sign is the precomputed ideal bit of its qubit at
+    // its position. XOR the per-event snapshot vectors into one
+    // parity-per-path accumulator; no gate is replayed at all. This
+    // stays bit-identical even for circuits with diagonal phase ops:
+    // multiplying by -1 is exact and commutes exactly through complex
+    // products, so out.phase == +-ideals[k].phase to the last ulp.
+    if (errors.zOnly) {
+        ws.parity.assign(pathWords, 0);
+        for (std::size_t e = 0; e < numEvents; ++e) {
+            const std::uint32_t q = events[e].qubit;
+            const std::uint32_t *lo = snapPos.data() + snapBegin[q];
+            const std::uint32_t *hi =
+                snapPos.data() + snapBegin[q + 1];
+            const std::uint32_t *it =
+                std::upper_bound(lo, hi, events[e].pos);
+            const std::uint64_t *vec =
+                it == lo
+                    ? initialBits.data() + std::size_t(q) * pathWords
+                    : snapBits.data() +
+                          std::size_t(it - snapPos.data() - 1) *
+                              pathWords;
+            for (std::size_t w = 0; w < pathWords; ++w)
+                ws.parity[w] ^= vec[w];
+        }
+        for (std::size_t k = 0; k < input.size(); ++k) {
+            const bool neg = (ws.parity[k >> 6] >> (k & 63)) & 1;
+            const std::complex<double> phase =
+                neg ? -ideals[k].phase : ideals[k].phase;
+            // accumulatePath specialized to outBits == ideals[k].bits
+            // with every per-path invariant precomputed.
+            acc.fullOverlap +=
+                std::conj(input.amps[k]) * input.amps[k] * phase;
+            acc.groups[idealAnc[k]].sum +=
+                std::conj(input.amps[idealVisOwner[k]]) *
+                input.amps[k] * phase;
+        }
+        fullOut = acc.full();
+        reducedOut = acc.reduced();
+        return;
+    }
+
+    // General realization: replay from the checkpoint preceding the
+    // first event to the end of the stream.
+    const std::uint32_t lastCkpt =
+        static_cast<std::uint32_t>(ckpts.size() - 1);
+    const std::uint32_t ckpt =
+        std::min(events[0].pos / ckptStride, lastCkpt);
+    const std::uint32_t from = ckpt * ckptStride;
+    for (std::size_t k = 0; k < input.size(); ++k) {
+        ws.path = ckpts[ckpt][k];
+        exec.runSpan(ws.path, from, numOps, events, numEvents);
+        accumulatePath(acc, k, ws.path.bits, ws.path.phase);
+    }
+    fullOut = acc.full();
+    reducedOut = acc.reduced();
+}
+
+void
+FidelityEstimator::shotFidelity(const FlatRealization &errors,
+                                double &fullOut,
+                                double &reducedOut) const
+{
+    ShotWorkspace ws;
+    shotFlat(errors, ws, fullOut, reducedOut);
+}
+
+void
+FidelityEstimator::shotFidelity(const ErrorRealization &errors,
+                                double &fullOut,
+                                double &reducedOut) const
+{
+    FlatRealization flat;
+    exec.flatten(errors, flat);
+    ShotWorkspace ws;
+    shotFlat(flat, ws, fullOut, reducedOut);
 }
 
 FidelityResult
 FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
-                            std::uint64_t seed) const
+                            std::uint64_t seed, unsigned threads) const
 {
-    Rng rng(seed);
-    double sumF = 0.0, sumF2 = 0.0, sumR = 0.0, sumR2 = 0.0;
-    for (std::size_t s = 0; s < shots; ++s) {
-        ErrorRealization errors = noise.sample(exec, rng);
-        double f = 0.0, r = 0.0;
-        shotFidelity(errors, f, r);
-        sumF += f;
-        sumF2 += f * f;
-        sumR += r;
-        sumR2 += r * r;
+    noise.prepare(exec);
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    if (threads > 1 && shots > 1) {
+        threads = static_cast<unsigned>(
+            std::min<std::size_t>(threads, shots));
     }
+
+    double sumF = 0.0, sumF2 = 0.0, sumR = 0.0, sumR2 = 0.0;
+
+    if (threads <= 1 || shots <= 1) {
+        // Sequential: one RNG stream consumed shot by shot, matching
+        // the original estimator draw for draw.
+        Rng rng(seed);
+        FlatRealization errors;
+        ShotWorkspace ws;
+        for (std::size_t s = 0; s < shots; ++s) {
+            noise.sampleFlat(exec, rng, errors);
+            double f = 0.0, r = 0.0;
+            shotFlat(errors, ws, f, r);
+            sumF += f;
+            sumF2 += f * f;
+            sumR += r;
+            sumR2 += r * r;
+        }
+    } else {
+        // Parallel: shot s draws from Rng(mix64(seed, s)); the result
+        // depends only on (seed, shots). Per-shot values are reduced
+        // in shot order so the sums are thread-count invariant too.
+        std::vector<double> fs(shots, 0.0), rs(shots, 0.0);
+        auto worker = [&](std::size_t begin, std::size_t end) {
+            FlatRealization errors;
+            ShotWorkspace ws;
+            for (std::size_t s = begin; s < end; ++s) {
+                Rng rng(mix64(seed ^ mix64(s)));
+                noise.sampleFlat(exec, rng, errors);
+                shotFlat(errors, ws, fs[s], rs[s]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        const std::size_t chunk = (shots + threads - 1) / threads;
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::size_t begin = std::size_t(t) * chunk;
+            const std::size_t end = std::min(begin + chunk, shots);
+            if (begin >= end)
+                break;
+            pool.emplace_back(worker, begin, end);
+        }
+        for (auto &th : pool)
+            th.join();
+        for (std::size_t s = 0; s < shots; ++s) {
+            sumF += fs[s];
+            sumF2 += fs[s] * fs[s];
+            sumR += rs[s];
+            sumR2 += rs[s] * rs[s];
+        }
+    }
+
     FidelityResult res;
     res.shots = shots;
     const double n = static_cast<double>(shots);

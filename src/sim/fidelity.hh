@@ -20,6 +20,28 @@
  * Z-error experiments give identical values under both metrics (Z never
  * moves a basis state); they differ only when X errors strand internal
  * qubits away from |0>.
+ *
+ * The estimator exploits error sparsity (src/sim/README.md): most
+ * sampled shots carry few — often zero — Pauli events, so shots are
+ * replayed from cached per-path checkpoints of the ideal propagation
+ * instead of re-running the whole circuit:
+ *
+ *  - empty realization:   the cached ideal shot result is returned
+ *                         outright (zero propagation);
+ *  - Z-only realization:  bits never deviate from the ideal trajectory
+ *                         (no gate in the QRAM set turns a Z into an
+ *                         X — the lightcone rules of analysis/lightcone
+ *                         keep pure-Z cones X-free), so each event's
+ *                         sign is read from a precomputed per-qubit
+ *                         bit-across-paths snapshot and no gate is
+ *                         replayed at all; the cached ideal output
+ *                         supplies bits and base phase;
+ *  - general realization: replay starts at the checkpoint preceding
+ *                         the first event rather than at the input.
+ *
+ * All three produce bit-identical results to full propagation. The
+ * shot loop can additionally run on multiple threads with
+ * deterministic per-shot RNG streams (see estimate()).
  */
 
 #ifndef QRAMSIM_SIM_FIDELITY_HH
@@ -27,6 +49,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/feynman.hh"
@@ -64,8 +87,9 @@ struct FidelityResult
 };
 
 /**
- * Reusable estimator: schedules the circuit once, caches ideal outputs,
- * then evaluates shots under any noise model.
+ * Reusable estimator: schedules and compiles the circuit once, caches
+ * ideal outputs and replay checkpoints, then evaluates shots under any
+ * noise model.
  */
 class FidelityEstimator
 {
@@ -86,9 +110,24 @@ class FidelityEstimator
     void shotFidelity(const ErrorRealization &errors,
                       double &fullOut, double &reducedOut) const;
 
-    /** Average fidelity over @p shots Monte Carlo realizations. */
+    /** Fidelities of a flattened (position-sorted) realization. */
+    void shotFidelity(const FlatRealization &errors,
+                      double &fullOut, double &reducedOut) const;
+
+    /**
+     * Average fidelity over @p shots Monte Carlo realizations.
+     *
+     * With @p threads <= 1 the shot loop runs sequentially, drawing
+     * every realization from one Rng(seed) stream — bit-identical to
+     * the original estimator for a fixed seed. With threads > 1
+     * (0 = hardware concurrency) shot s draws from its own
+     * deterministically derived stream, so the result depends only on
+     * (seed, shots), not on the thread count, and agrees with the
+     * sequential estimate within Monte Carlo error.
+     */
     FidelityResult estimate(const NoiseModel &noise, std::size_t shots,
-                            std::uint64_t seed) const;
+                            std::uint64_t seed,
+                            unsigned threads = 1) const;
 
     const FeynmanExecutor &executor() const { return exec; }
 
@@ -102,19 +141,87 @@ class FidelityEstimator
     /** Copy of @p bits with address+bus positions cleared. */
     BitVec ancillaPart(const BitVec &bits) const;
 
+    /** Reusable per-thread scratch for shot evaluation. */
+    struct ShotWorkspace
+    {
+        PathState path;                    ///< general-path replay state
+        std::vector<std::uint64_t> parity; ///< Z-path sign bits per path
+    };
+
+    /** Shot evaluation with caller-provided scratch. */
+    void shotFlat(const FlatRealization &errors, ShotWorkspace &ws,
+                  double &fullOut, double &reducedOut) const;
+
+    /** Accumulation core shared by shotFlat and the empty-shot cache. */
+    struct ShotAccumulator;
+    void accumulatePath(ShotAccumulator &acc, std::size_t k,
+                        const BitVec &outBits,
+                        std::complex<double> outPhase) const;
+
     FeynmanExecutor exec;
     std::vector<Qubit> addrQubits;
     Qubit bus;
     AddressSuperposition input;
 
-    std::vector<PathState> inputs;       ///< prepared input paths
     std::vector<PathState> ideals;       ///< cached ideal outputs
 
-    /** ideal full output hash -> path index (for full overlap). */
-    std::vector<std::size_t> idealLookup;
+    /** ancillaPart(ideals[k].bits), precomputed for the Z-only path. */
+    std::vector<BitVec> idealAnc;
 
-    /** ideal visible key -> amplitude (for reduced overlap). */
-    std::vector<std::uint64_t> idealVisible;
+    /** visIndex[idealVisible[k]], precomputed (== k for unique keys). */
+    std::vector<std::size_t> idealVisOwner;
+
+    /**
+     * ideal visible key -> path index, built once. Resolves both the
+     * full-overlap collision check and the reduced-overlap amplitude
+     * in O(1) instead of rescanning all paths.
+     */
+    std::unordered_map<std::uint64_t, std::size_t> visIndex;
+
+    /** True if two paths share a visible key (degenerate input). */
+    bool dupVisibleKeys = false;
+
+    /** Per-word mask of visible (address+bus) bit positions. */
+    std::vector<std::uint64_t> visMaskWords;
+
+    /**
+     * ckpts[c][k]: path k's ideal state after the first c*ckptStride
+     * compiled ops — the replay starting points for noisy shots.
+     */
+    std::vector<std::vector<PathState>> ckpts;
+    std::uint32_t ckptStride = 1;
+
+    /// @name Z-parity tables
+    ///
+    /// For a Z-only realization no bit ever deviates from the ideal
+    /// trajectory, so each event (pos, q) contributes a sign given by
+    /// the *ideal* bit of q at pos — a shot-independent quantity. We
+    /// precompute, for every qubit, the packed bit-across-paths vector
+    /// at each position where it toggles; a shot then XORs one such
+    /// vector per event into a parity accumulator and never replays
+    /// any gate at all.
+    /// @{
+
+    /** Words per packed path vector: (numPaths + 63) / 64. */
+    std::size_t pathWords = 0;
+
+    /** initialBits[q*pathWords + w]: qubit q's input bit per path. */
+    std::vector<std::uint64_t> initialBits;
+
+    /** snapBegin[q]..snapBegin[q+1]: qubit q's toggle entries. */
+    std::vector<std::uint32_t> snapBegin;
+
+    /** snapPos[e]: stream position the entry is valid from. */
+    std::vector<std::uint32_t> snapPos;
+
+    /** snapBits[e*pathWords..]: bit-across-paths after the toggle. */
+    std::vector<std::uint64_t> snapBits;
+
+    /// @}
+
+    /** Cached shot result of the empty realization. */
+    double emptyFull = 0.0;
+    double emptyReduced = 0.0;
 };
 
 } // namespace qramsim

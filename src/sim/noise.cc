@@ -26,7 +26,50 @@ drawPauli(const PauliRates &r, std::uint32_t qubit, Rng &rng,
         out.push_back({qubit, PauliKind::Z});
 }
 
+/**
+ * Flat-realization twin of drawPauli: one uniform() per call, same
+ * thresholds, so the consumed RNG stream is identical.
+ */
+inline void
+drawPauliFlat(const PauliRates &r, std::uint32_t pos,
+              std::uint32_t qubit, Rng &rng, FlatRealization &out)
+{
+    double u = rng.uniform();
+    if (u < r.x)
+        out.push(pos, qubit, PauliKind::X);
+    else if (u < r.x + r.y)
+        out.push(pos, qubit, PauliKind::Y);
+    else if (u < r.x + r.y + r.z)
+        out.push(pos, qubit, PauliKind::Z);
+}
+
+/** Cheap structural fingerprint of a gate list (cache invalidation). */
+std::uint64_t
+circuitFingerprint(const Circuit &c)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(c.numGates());
+    for (const Gate &g : c.gates()) {
+        mix(static_cast<std::uint64_t>(g.kind));
+        mix(g.controls.size());
+        mix(g.targets.empty() ? ~0ull : g.targets[0]);
+    }
+    return h;
+}
+
 } // namespace
+
+void
+NoiseModel::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                       FlatRealization &out) const
+{
+    ErrorRealization real = sample(exec, rng);
+    exec.flatten(real, out);
+}
 
 ErrorRealization
 QubitChannelNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
@@ -50,6 +93,64 @@ QubitChannelNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
     return real;
 }
 
+void
+QubitChannelNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                              FlatRealization &out) const
+{
+    out.clear();
+    const std::size_t depth = exec.schedule().depth();
+    const std::size_t nq = exec.circuit().numQubits();
+    const auto &momentEnd = exec.stream().momentEndPos;
+    // Moments are visited in ascending order, so positions come out
+    // already sorted; no sort pass is needed.
+    if (rounds == 0 || rounds >= depth) {
+        for (std::size_t t = 0; t < depth; ++t)
+            for (std::uint32_t q = 0; q < nq; ++q)
+                drawPauliFlat(rates, momentEnd[t], q, rng, out);
+        return;
+    }
+    for (unsigned r = 0; r < rounds; ++r) {
+        std::size_t t = (std::size_t(r) * depth) / rounds;
+        for (std::uint32_t q = 0; q < nq; ++q)
+            drawPauliFlat(rates, momentEnd[t], q, rng, out);
+    }
+}
+
+PauliRates
+GateNoise::effectiveRates(const Gate &g) const
+{
+    if (!weighted)
+        return rates;
+    // Weight by the decomposed two-qubit-gate count: a gate that
+    // compiles to w CXs exposes each operand ~w times.
+    Cost gc = gateCost(g);
+    const double w = std::max<std::uint64_t>(1, gc.cxCount);
+    auto scale = [&](double p) {
+        return 1.0 - std::pow(1.0 - p, w);
+    };
+    return PauliRates{scale(rates.x), scale(rates.y), scale(rates.z)};
+}
+
+void
+GateNoise::prepare(const FeynmanExecutor &exec) const
+{
+    const Circuit *c = &exec.circuit();
+    const std::uint64_t fp = circuitFingerprint(*c);
+    std::lock_guard<std::mutex> lock(prepMutex);
+    if (preparedFor == c && preparedFingerprint == fp &&
+        perGate.size() == c->numGates())
+        return;
+    preparedFor = nullptr; // invalidate while the table is in flux
+    perGate.clear();
+    perGate.reserve(c->numGates());
+    for (const Gate &g : c->gates())
+        perGate.push_back(g.kind == GateKind::Barrier
+                              ? PauliRates{}
+                              : effectiveRates(g));
+    preparedFingerprint = fp;
+    preparedFor = c;
+}
+
 ErrorRealization
 GateNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
 {
@@ -60,25 +161,45 @@ GateNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
         const Gate &g = gates[gi];
         if (g.kind == GateKind::Barrier)
             continue;
-        PauliRates r = rates;
-        if (weighted) {
-            // Weight by the decomposed two-qubit-gate count: a gate
-            // that compiles to w CXs exposes each operand ~w times.
-            Cost gc = gateCost(g);
-            const double w =
-                std::max<std::uint64_t>(1, gc.cxCount);
-            auto scale = [&](double p) {
-                return 1.0 - std::pow(1.0 - p, w);
-            };
-            r = PauliRates{scale(rates.x), scale(rates.y),
-                           scale(rates.z)};
-        }
+        const PauliRates r = effectiveRates(g);
         for (Qubit q : g.controls)
             drawPauli(r, q, rng, real.afterGate[gi]);
         for (Qubit q : g.targets)
             drawPauli(r, q, rng, real.afterGate[gi]);
     }
     return real;
+}
+
+void
+GateNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                      FlatRealization &out) const
+{
+    out.clear();
+    const auto &gates = exec.circuit().gates();
+    const auto &gatePos = exec.stream().gatePos;
+    // Read-only cache probe: on a miss (prepare() not called for this
+    // circuit) fall back to computing each gate's rates in place
+    // rather than mutating shared state from what may be a worker
+    // thread.
+    const PauliRates *cached =
+        (preparedFor == &exec.circuit() &&
+         perGate.size() == gates.size())
+            ? perGate.data()
+            : nullptr;
+    // Draw in program order (the sample() RNG stream), then stable-sort
+    // onto execution order.
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        const PauliRates r = cached ? cached[gi] : effectiveRates(g);
+        const std::uint32_t pos = gatePos[gi] + 1;
+        for (Qubit q : g.controls)
+            drawPauliFlat(r, pos, q, rng, out);
+        for (Qubit q : g.targets)
+            drawPauliFlat(r, pos, q, rng, out);
+    }
+    out.sortByPos();
 }
 
 ErrorRealization
@@ -99,6 +220,28 @@ DeviceNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
             drawPauli(r, q, rng, real.afterGate[gi]);
     }
     return real;
+}
+
+void
+DeviceNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                        FlatRealization &out) const
+{
+    out.clear();
+    const auto &gates = exec.circuit().gates();
+    const auto &gatePos = exec.stream().gatePos;
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        const PauliRates &r =
+            g.aritytotal() >= 2 ? rates2q : rates1q;
+        const std::uint32_t pos = gatePos[gi] + 1;
+        for (Qubit q : g.controls)
+            drawPauliFlat(r, pos, q, rng, out);
+        for (Qubit q : g.targets)
+            drawPauliFlat(r, pos, q, rng, out);
+    }
+    out.sortByPos();
 }
 
 } // namespace qramsim

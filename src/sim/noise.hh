@@ -23,6 +23,7 @@
 #define QRAMSIM_SIM_NOISE_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/rng.hh"
@@ -63,6 +64,32 @@ class NoiseModel
     virtual ErrorRealization sample(const FeynmanExecutor &exec,
                                     Rng &rng) const = 0;
 
+    /**
+     * One-time per-circuit precomputation (e.g. effective per-gate
+     * rates). Call it before a shot loop; subsequent sampleFlat calls
+     * for the same executor are then read-only and safe to run
+     * concurrently. Idempotent, and itself safe to call from several
+     * threads — but sharing one model instance between concurrently
+     * running shot loops over *different* circuits is unsupported
+     * (one loop's prepare would invalidate the other's cache
+     * mid-flight; use one instance per circuit instead).
+     */
+    virtual void prepare(const FeynmanExecutor &exec) const
+    {
+        (void)exec;
+    }
+
+    /**
+     * Sample a shot directly into a flattened, position-sorted
+     * realization (reusing @p out's storage). Draws from @p rng in
+     * exactly the same sequence as sample(), so a fixed seed yields
+     * the same errors through either entry point. The base
+     * implementation samples and flattens; subclasses override with
+     * allocation-free fast paths.
+     */
+    virtual void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                            FlatRealization &out) const;
+
     virtual std::string name() const = 0;
 };
 
@@ -87,6 +114,9 @@ class QubitChannelNoise : public NoiseModel
 
     ErrorRealization sample(const FeynmanExecutor &exec,
                             Rng &rng) const override;
+
+    void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                    FlatRealization &out) const override;
 
     std::string name() const override { return "qubit-channel"; }
 
@@ -127,11 +157,32 @@ class GateNoise : public NoiseModel
     ErrorRealization sample(const FeynmanExecutor &exec,
                             Rng &rng) const override;
 
+    void prepare(const FeynmanExecutor &exec) const override;
+
+    void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                    FlatRealization &out) const override;
+
     std::string name() const override { return "gate"; }
 
   private:
+    /** Effective (decomposition-weighted) rates for one gate. */
+    PauliRates effectiveRates(const Gate &g) const;
+
     PauliRates rates;
     bool weighted;
+
+    /**
+     * prepare() cache: per-gate effective rates for one circuit,
+     * keyed by address plus a structural fingerprint of the gate
+     * list so a mutated circuit (or a new one reusing the address)
+     * recomputes instead of reading stale — or out-of-bounds — rates.
+     * Guarded by prepMutex; sampleFlat only reads (and falls back to
+     * per-gate computation on a cache miss rather than mutating).
+     */
+    mutable std::mutex prepMutex;
+    mutable const Circuit *preparedFor = nullptr;
+    mutable std::uint64_t preparedFingerprint = 0;
+    mutable std::vector<PauliRates> perGate;
 };
 
 /**
@@ -149,6 +200,9 @@ class DeviceNoise : public NoiseModel
 
     ErrorRealization sample(const FeynmanExecutor &exec,
                             Rng &rng) const override;
+
+    void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                    FlatRealization &out) const override;
 
     std::string name() const override { return "device"; }
 

@@ -18,12 +18,14 @@
 #include <complex>
 #include <vector>
 
+#include "analysis/lightcone.hh"
 #include "qram/baselines.hh"
 #include "qram/bucket_brigade.hh"
 #include "qram/compact.hh"
 #include "qram/fanout.hh"
 #include "qram/select_swap.hh"
 #include "qram/virtual_qram.hh"
+#include "sim/dense.hh"
 #include "sim/feynman.hh"
 #include "sim/fidelity.hh"
 #include "sim/noise.hh"
@@ -219,12 +221,8 @@ TEST(Differential, NoisyFeynmanMatchesDenseWithInjectedPaulis)
         // order by attaching after the same gate index.
         Circuit noisy;
         noisy.allocRegister(n, "q");
-        Schedule sched = scheduleAsap(c);
-        std::vector<std::size_t> order;
-        for (const auto &layer : sched.moments)
-            for (std::size_t gi : layer)
-                order.push_back(gi);
-        for (std::size_t gi : order) {
+        ExecutionOrder eo = executionOrder(scheduleAsap(c));
+        for (std::size_t gi : eo.order) {
             noisy.pushGate(c.gates()[gi]);
             if (gi == gx)
                 noisy.x(qx);
@@ -247,6 +245,126 @@ TEST(Differential, NoisyFeynmanMatchesDenseWithInjectedPaulis)
             EXPECT_EQ(out.bits.extract(0, n), ds);
             EXPECT_NEAR(std::abs(phase - out.phase), 0.0, 1e-9);
         }
+    }
+}
+
+/**
+ * Random basis-preserving Clifford+T circuit (adds the diagonal
+ * S/T/Tdg/CZ family and wide MCX to randomReversible's gate set).
+ */
+Circuit
+randomCliffordT(std::size_t n, std::size_t gates, Rng &rng)
+{
+    Circuit c;
+    auto q = c.allocRegister(n, "q");
+    for (std::size_t g = 0; g < gates; ++g) {
+        auto pick = [&]() { return q[rng.below(n)]; };
+        auto pickDistinct = [&](std::vector<Qubit> used) {
+            Qubit x = pick();
+            while (std::find(used.begin(), used.end(), x) != used.end())
+                x = pick();
+            return x;
+        };
+        switch (rng.below(12)) {
+          case 0: c.x(pick()); break;
+          case 1: c.z(pick()); break;
+          case 2: c.s(pick()); break;
+          case 3: c.t(pick()); break;
+          case 4: c.tdg(pick()); break;
+          case 5: {
+            Qubit a = pick(), b = pickDistinct({a});
+            c.cz(a, b);
+            break;
+          }
+          case 6: {
+            Qubit a = pick(), b = pickDistinct({a});
+            c.cx(a, b);
+            break;
+          }
+          case 7: {
+            Qubit a = pick(), b = pickDistinct({a});
+            c.cx0(a, b);
+            break;
+          }
+          case 8: {
+            Qubit a = pick(), b = pickDistinct({a});
+            c.swap(a, b);
+            break;
+          }
+          case 9: {
+            Qubit a = pick(), b = pickDistinct({a});
+            Qubit d = pickDistinct({a, b});
+            c.cswap(a, b, d);
+            break;
+          }
+          case 10: {
+            Qubit a = pick(), b = pickDistinct({a});
+            Qubit d = pickDistinct({a, b});
+            c.mcx({a, b}, rng.below(4), d);
+            break;
+          }
+          default: {
+            Qubit a = pick(), b = pickDistinct({a});
+            Qubit d = pickDistinct({a, b});
+            c.ccx(a, b, d);
+            break;
+          }
+        }
+    }
+    return c;
+}
+
+TEST(Differential, CompiledMatchesDenseOnRandomCliffordT)
+{
+    // Cross-check the compiled Feynman engine against the full dense
+    // statevector simulator (sim/dense.hh) on randomized <= 12-qubit
+    // Clifford+T circuits: a basis input must land on one basis state
+    // whose amplitude equals the accumulated path phase.
+    Rng rng(60221023);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 3 + rng.below(10); // 3..12 qubits
+        Circuit c = randomCliffordT(n, 60, rng);
+        FeynmanExecutor exec(c);
+        DenseStatevector dense(n);
+        for (int probe = 0; probe < 4; ++probe) {
+            std::uint64_t s = rng.below(std::uint64_t(1) << n);
+            PathState in(n);
+            in.bits.deposit(0, n, s);
+            PathState out = exec.runIdeal(in);
+            PathState ref = exec.runIdealReference(in);
+            EXPECT_EQ(out.bits, ref.bits);
+            EXPECT_EQ(out.phase, ref.phase);
+
+            dense.setBasis(s);
+            dense.apply(c);
+            const std::uint64_t ds = out.bits.extract(0, n);
+            EXPECT_NEAR(std::abs(dense.amplitude(ds) - out.phase), 0.0,
+                        1e-9)
+                << "trial " << trial << " probe " << probe;
+            EXPECT_NEAR(dense.norm(), 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(Lightcone, PureZInjectionsNeverGainAnXComponent)
+{
+    // The invariant behind the estimator's Z-only replay window: no
+    // gate in the reversible set maps a Z error component onto an X
+    // component, so Z-only realizations can never move a basis state.
+    Rng rng(808017);
+    Memory mem = Memory::random(4, rng);
+    QueryCircuit qc = VirtualQram(3, 1).build(mem);
+    const auto &gates = qc.circuit.gates();
+    for (int probe = 0; probe < 40; ++probe) {
+        std::size_t gi = rng.below(gates.size());
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        Qubit q = g.targets.empty() ? g.controls[0] : g.targets[0];
+        Lightcone cone =
+            propagatePauli(qc.circuit, gi, q, PauliKind::Z);
+        EXPECT_EQ(cone.xSize(), 0u)
+            << "Z injected after gate " << gi << " on qubit " << q;
     }
 }
 
