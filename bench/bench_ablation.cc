@@ -31,12 +31,12 @@ namespace {
 FidelityResult
 gateFidelity(const Circuit &c, const std::vector<Qubit> &addr,
              Qubit bus, unsigned n, PauliRates rates,
-             std::size_t shots, std::uint64_t seed)
+             std::size_t shots, std::uint64_t seed, unsigned threads)
 {
     FidelityEstimator est(c, addr, bus,
                           AddressSuperposition::uniform(n));
     GateNoise noise(rates, false);
-    return est.estimate(noise, shots, seed);
+    return est.estimate(noise, shots, seed, threads);
 }
 
 } // namespace
@@ -64,11 +64,11 @@ main(int argc, char **argv)
             FidelityResult fz = gateFidelity(
                 qc.circuit, qc.addressQubits, qc.busQubit, m,
                 PauliRates::phaseFlip(eps), args.shots,
-                args.seed + m + which);
+                args.seed + m + which, args.threads);
             FidelityResult fx = gateFidelity(
                 qc.circuit, qc.addressQubits, qc.busQubit, m,
                 PauliRates::bitFlip(eps), args.shots,
-                args.seed + m + which + 50);
+                args.seed + m + which + 50, args.threads);
             ta.addRow({Table::fmt(m),
                        which ? "bus-routing" : "compression",
                        Table::fmt(r.logicalDepth), Table::fmt(r.tCount),
@@ -91,7 +91,7 @@ main(int argc, char **argv)
             FidelityResult fz = gateFidelity(
                 qc.circuit, qc.addressQubits, qc.busQubit, m + 1,
                 PauliRates::phaseFlip(eps), args.shots,
-                args.seed + 400 + m + which);
+                args.seed + 400 + m + which, args.threads);
             tb.addRow({Table::fmt(m), which ? "bit" : "dual-rail",
                        Table::fmt(r.qubits), Table::fmt(r.gateCount),
                        Table::fmt(r.logicalDepth),

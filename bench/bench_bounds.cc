@@ -42,10 +42,11 @@ main(int argc, char **argv)
                 QubitChannelNoise::virtualQramRounds(m, k);
             FidelityResult fz = est.estimate(
                 QubitChannelNoise(PauliRates::phaseFlip(eps), rounds),
-                args.shots, args.seed + m * 100 + k);
+                args.shots, args.seed + m * 100 + k, args.threads);
             FidelityResult fx = est.estimate(
                 QubitChannelNoise(PauliRates::bitFlip(eps), rounds),
-                args.shots, args.seed + m * 100 + k + 7);
+                args.shots, args.seed + m * 100 + k + 7,
+                args.threads);
             // Dual-rail bounds: our tree duplicates rails, doubling
             // the error constant (the paper's own Sec. 5.1 adjustment).
             const double bz = boundVirtualZDualRail(eps, m, k);

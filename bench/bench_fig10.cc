@@ -48,7 +48,8 @@ main(int argc, char **argv)
                     QubitChannelNoise::virtualQramRounds(m, 0));
                 FidelityResult r = est.estimate(
                     noise, args.shots,
-                    args.seed + m * 1000 + std::uint64_t(er * 10));
+                    args.seed + m * 1000 + std::uint64_t(er * 10),
+                    args.threads);
                 row.push_back(Table::fmt(r.reduced));
             }
             t.addRow(row);

@@ -48,7 +48,8 @@ main(int argc, char **argv)
                     FidelityResult r = est.estimate(
                         noise, args.shots,
                         args.seed + m * 64 + k * 8 +
-                            std::uint64_t(er));
+                            std::uint64_t(er),
+                        args.threads);
                     row.push_back(Table::fmt(r.reduced));
                 }
                 t.addRow(row);

@@ -77,7 +77,8 @@ main(int argc, char **argv)
             FidelityResult r =
                 est.estimate(noise, args.shots,
                              args.seed + i * 17 +
-                                 std::uint64_t(er * 10));
+                                 std::uint64_t(er * 10),
+                             args.threads);
             row.push_back(Table::fmt(r.reduced));
         }
         t.addRow(row);

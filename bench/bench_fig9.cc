@@ -28,7 +28,8 @@ namespace {
 
 FidelityResult
 measure(const QueryArchitecture &arch, const Memory &mem,
-        PauliRates rates, std::size_t shots, std::uint64_t seed)
+        PauliRates rates, std::size_t shots, std::uint64_t seed,
+        unsigned threads)
 {
     QueryCircuit qc = arch.build(mem);
     FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
@@ -37,7 +38,7 @@ measure(const QueryArchitecture &arch, const Memory &mem,
     // Flat per-logical-gate Monte Carlo (the paper's Sec. 6.3 model:
     // each reversible gate is one error location).
     GateNoise noise(rates, /*weightByDecomposition=*/false);
-    return est.estimate(noise, shots, seed);
+    return est.estimate(noise, shots, seed, threads);
 }
 
 } // namespace
@@ -62,15 +63,17 @@ main(int argc, char **argv)
             Rng rng(args.seed + m);
             Memory mem = Memory::random(m, rng);
             FidelityResult ours = measure(VirtualQram(m, 0), mem, rates,
-                                          args.shots, args.seed + m);
+                                          args.shots, args.seed + m,
+                                          args.threads);
             FidelityResult bb = measure(BucketBrigadeQram(m), mem,
                                         rates, args.shots,
-                                        args.seed + 100 + m);
+                                        args.seed + 100 + m,
+                                        args.threads);
             // Standalone select-swap splits its own address: the high
             // half selects blocks, the low half drives the butterfly.
             FidelityResult ss = measure(
                 SelectSwapQram(m - m / 2, m / 2), mem, rates,
-                args.shots, args.seed + 200 + m);
+                args.shots, args.seed + 200 + m, args.threads);
             t.addRow({Table::fmt(m), Table::fmt(ours.reduced),
                       Table::fmt(ours.full), Table::fmt(bb.reduced),
                       Table::fmt(bb.full), Table::fmt(ss.reduced),

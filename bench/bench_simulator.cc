@@ -11,6 +11,10 @@
  *    and the compiled engine (flat op stream + error-sparse replay),
  *    cross-checks them bit for bit, and writes a paths·gates/sec
  *    record to FILE — the number the ROADMAP perf trajectory tracks.
+ *    A second workload swaps in depolarizing gate noise, whose X/Y
+ *    events force the general replay path on nearly every shot, and
+ *    records the scalar-replay vs bit-sliced-ensemble throughput —
+ *    the ensemble engine's speedup over the compiled scalar engine.
  *
  *  - without --json, the google-benchmark registrations run (when the
  *    library was available at configure time): Feynman-path throughput
@@ -265,6 +269,42 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         std::printf("  compiled x%u thr: %.3g shots/s\n", threads,
                     compiledMtSps);
 
+    // Depolarizing workload: X/Y events on almost every shot, so both
+    // engines live on the general replay path. Scalar replay is the
+    // pre-ensemble compiled engine; the ensemble engine advances 64
+    // paths per word op.
+    // The estimator is noise-agnostic, so the existing one serves the
+    // depolarizing workload too — only the replay engine is toggled.
+    GateNoise depol(PauliRates::depolarizing(1e-3));
+    est.setReplayEngine(FidelityEstimator::ReplayEngine::Scalar);
+    FidelityResult ds = est.estimate(depol, 6, checkSeed);
+    est.setReplayEngine(FidelityEstimator::ReplayEngine::Ensemble);
+    FidelityResult de = est.estimate(depol, 6, checkSeed);
+    if (ds.full != de.full || ds.reduced != de.reduced) {
+        std::fprintf(stderr,
+                     "engine mismatch: scalar (%.17g, %.17g) vs "
+                     "ensemble (%.17g, %.17g)\n",
+                     ds.full, ds.reduced, de.full, de.reduced);
+        return 1;
+    }
+    est.setReplayEngine(FidelityEstimator::ReplayEngine::Scalar);
+    const double depolScalarSps = shotsPerSecond(
+        [&](std::size_t shots) {
+            est.estimate(depol, shots, 11);
+        },
+        budgetSec);
+    est.setReplayEngine(FidelityEstimator::ReplayEngine::Ensemble);
+    const double depolEnsembleSps = shotsPerSecond(
+        [&](std::size_t shots) {
+            est.estimate(depol, shots, 11);
+        },
+        budgetSec);
+    const double ensembleSpeedup = depolEnsembleSps / depolScalarSps;
+    std::printf("  depolarizing (general path):\n");
+    std::printf("    scalar replay:   %.3g shots/s\n", depolScalarSps);
+    std::printf("    ensemble replay: %.3g shots/s, speedup %.2fx\n",
+                depolEnsembleSps, ensembleSpeedup);
+
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -286,11 +326,16 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         "  \"compiled_engine_paths_gates_per_sec\": %.6g,\n"
         "  \"compiled_mt_shots_per_sec\": %.6g,\n"
         "  \"threads\": %u,\n"
-        "  \"speedup\": %.4g\n"
+        "  \"speedup\": %.4g,\n"
+        "  \"depol_noise\": \"gate depolarizing 1e-3 (weighted)\",\n"
+        "  \"depol_scalar_shots_per_sec\": %.6g,\n"
+        "  \"depol_ensemble_shots_per_sec\": %.6g,\n"
+        "  \"ensemble_speedup\": %.4g\n"
         "}\n",
         m, qc.circuit.numQubits(), gates, paths, seedSps,
         seedSps * perShot, compiledSps, compiledSps * perShot,
-        compiledMtSps, threads, speedup);
+        compiledMtSps, threads, speedup, depolScalarSps,
+        depolEnsembleSps, ensembleSpeedup);
     std::fclose(f);
     std::printf("  wrote %s\n", path.c_str());
     return 0;

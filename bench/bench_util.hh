@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared plumbing for the table/figure benchmark binaries: flag
- * parsing (--shots N, --csv DIR, --seed S) and the standard header
- * each binary prints so outputs are self-describing.
+ * parsing (--shots N, --csv DIR, --seed S, --threads N — the latter
+ * also reads the QRAMSIM_THREADS environment variable) and the
+ * standard header each binary prints so outputs are self-describing.
  */
 
 #ifndef QRAMSIM_BENCH_BENCH_UTIL_HH
@@ -24,10 +25,30 @@ struct BenchArgs
     std::uint64_t seed = 2023; ///< base RNG seed
     std::string csvDir;        ///< when set, dump each table as CSV
 
+    /**
+     * Estimator shot-loop threads (1 = sequential/bit-reproducible,
+     * 0 = hardware concurrency). Default comes from QRAMSIM_THREADS
+     * when set; --threads overrides.
+     */
+    unsigned threads = 1;
+
     static BenchArgs
     parse(int argc, char **argv)
     {
         BenchArgs a;
+        if (const char *env = std::getenv("QRAMSIM_THREADS")) {
+            // Accept only a clean number: an empty or malformed value
+            // must not silently become 0 (= hardware concurrency) and
+            // abandon the bit-reproducible sequential default.
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0')
+                a.threads = static_cast<unsigned>(v);
+            else
+                std::fprintf(stderr,
+                             "warning: ignoring malformed "
+                             "QRAMSIM_THREADS='%s'\n", env);
+        }
         for (int i = 1; i < argc; ++i) {
             auto want = [&](const char *flag) {
                 return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -38,6 +59,17 @@ struct BenchArgs
                 a.seed = std::strtoull(argv[++i], nullptr, 10);
             else if (want("--csv"))
                 a.csvDir = argv[++i];
+            else if (want("--threads")) {
+                const char *arg = argv[++i];
+                char *end = nullptr;
+                unsigned long v = std::strtoul(arg, &end, 10);
+                if (end != arg && *end == '\0')
+                    a.threads = static_cast<unsigned>(v);
+                else
+                    std::fprintf(stderr,
+                                 "warning: ignoring malformed "
+                                 "--threads '%s'\n", arg);
+            }
         }
         return a;
     }

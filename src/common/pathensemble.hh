@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Bit-sliced ensemble of Feynman paths.
+ *
+ * The scalar engine stores one BitVec per path (qubit bits packed into
+ * words). QRAM gates are classical-reversible, so paths never branch
+ * and every path of a shot marches through the identical op sequence —
+ * the state is embarrassingly data-parallel *across paths*. This
+ * container stores the transpose: for each qubit, a packed
+ * bit-across-paths word vector, so one word-level AND/XOR advances 64
+ * paths at once. Phases stay per-path (a complex<double> each) because
+ * diagonal ops multiply path-dependent factors.
+ *
+ * Layout: row q occupies words [q * wordsPerQubit(), (q + 1) *
+ * wordsPerQubit()); bit k of word w in a row is path 64 * w + k. Bits
+ * of the last word at positions >= numPaths() are tail bits; every
+ * operation preserves the invariant that tail bits are zero (kernels
+ * mask fire words with validMask(w)), so row-level equality and
+ * popcounts never see garbage.
+ */
+
+#ifndef QRAMSIM_COMMON_PATHENSEMBLE_HH
+#define QRAMSIM_COMMON_PATHENSEMBLE_HH
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace qramsim {
+
+/**
+ * One ensemble control term: op fires for the paths whose bit of
+ * @c qubit matches the polarity. A compiled op's control list is a
+ * conjunction of these; evaluating them over one row word yields a
+ * 64-path fire mask.
+ */
+struct EnsembleCtrl
+{
+    std::uint32_t qubit;
+    /** 0 for a positive control, ~0ull for a negative one. */
+    std::uint64_t invert;
+};
+
+/**
+ * Fixed-shape-after-construction ensemble of paths: per-qubit packed
+ * bit rows plus per-path phase accumulators.
+ */
+class PathEnsemble
+{
+  public:
+    PathEnsemble() = default;
+
+    /** All-zero ensemble of @p npaths paths over @p nqubits qubits. */
+    PathEnsemble(std::size_t nqubits, std::size_t npaths)
+        : nq(nqubits), np(npaths), pw((npaths + 63) / 64),
+          bits(nqubits * ((npaths + 63) / 64), 0),
+          phases(npaths, {1.0, 0.0})
+    {}
+
+    std::size_t numQubits() const { return nq; }
+    std::size_t numPaths() const { return np; }
+
+    /** Words per qubit row: (numPaths + 63) / 64. */
+    std::size_t wordsPerQubit() const { return pw; }
+
+    /// @name Row access
+    ///
+    /// The hot kernels (sim/feynman.cc runSpanEnsemble) index rows
+    /// without bounds checks; callers must keep q < numQubits() and
+    /// preserve the tail-bit invariant when writing.
+    /// @{
+
+    std::uint64_t *row(std::size_t q) { return bits.data() + q * pw; }
+
+    const std::uint64_t *
+    row(std::size_t q) const
+    {
+        return bits.data() + q * pw;
+    }
+
+    std::uint64_t *rowData() { return bits.data(); }
+    const std::uint64_t *rowData() const { return bits.data(); }
+
+    /**
+     * Mask of valid (non-tail) path bits in row word @p w — all ones
+     * except possibly the last word. Fire masks are ANDed with this so
+     * broadcast ops never touch tail bits.
+     */
+    std::uint64_t
+    validMask(std::size_t w) const
+    {
+        if (w + 1 < pw || (np & 63) == 0)
+            return ~std::uint64_t(0);
+        return (std::uint64_t(1) << (np & 63)) - 1;
+    }
+
+    /// @}
+
+    bool
+    get(std::size_t q, std::size_t k) const
+    {
+        QRAMSIM_ASSERT(q < nq && k < np, "ensemble index out of range");
+        return (bits[q * pw + (k >> 6)] >> (k & 63)) & 1;
+    }
+
+    void
+    set(std::size_t q, std::size_t k, bool v)
+    {
+        QRAMSIM_ASSERT(q < nq && k < np, "ensemble index out of range");
+        const std::uint64_t m = std::uint64_t(1) << (k & 63);
+        if (v)
+            bits[q * pw + (k >> 6)] |= m;
+        else
+            bits[q * pw + (k >> 6)] &= ~m;
+    }
+
+    std::complex<double> &phase(std::size_t k) { return phases[k]; }
+
+    const std::complex<double> &
+    phase(std::size_t k) const
+    {
+        return phases[k];
+    }
+
+    std::complex<double> *phaseData() { return phases.data(); }
+    const std::complex<double> *phaseData() const
+    {
+        return phases.data();
+    }
+
+    /** Insert path @p k as a column: bits from @p b, phase @p ph. */
+    void
+    scatterPath(std::size_t k, const BitVec &b,
+                std::complex<double> ph = {1.0, 0.0})
+    {
+        QRAMSIM_ASSERT(b.size() == nq, "path width mismatch");
+        const std::size_t kw = k >> 6;
+        const std::uint64_t km = std::uint64_t(1) << (k & 63);
+        for (std::size_t q = 0; q < nq; ++q) {
+            if (b.get(q))
+                bits[q * pw + kw] |= km;
+            else
+                bits[q * pw + kw] &= ~km;
+        }
+        phases[k] = ph;
+    }
+
+    /** Extract path @p k's bits into @p out (resized word writes). */
+    void
+    gatherPath(std::size_t k, BitVec &out) const
+    {
+        QRAMSIM_ASSERT(out.size() == nq, "path width mismatch");
+        const std::size_t kw = k >> 6;
+        const std::uint64_t km = std::uint64_t(1) << (k & 63);
+        std::uint64_t *ow = out.wordData();
+        const std::size_t onw = out.numWords();
+        for (std::size_t w = 0; w < onw; ++w)
+            ow[w] = 0;
+        const std::uint64_t *b = bits.data() + kw;
+        for (std::size_t q = 0; q < nq; ++q)
+            if (b[q * pw] & km)
+                ow[q >> 6] |= std::uint64_t(1) << (q & 63);
+    }
+
+    bool
+    operator==(const PathEnsemble &o) const
+    {
+        return nq == o.nq && np == o.np && bits == o.bits &&
+               phases == o.phases;
+    }
+
+    bool operator!=(const PathEnsemble &o) const { return !(*this == o); }
+
+  private:
+    std::size_t nq = 0;  ///< qubits (rows)
+    std::size_t np = 0;  ///< paths (columns)
+    std::size_t pw = 0;  ///< words per row
+    std::vector<std::uint64_t> bits;
+    std::vector<std::complex<double>> phases;
+};
+
+/**
+ * Evaluate @p n ensemble control terms over row word @p w of @p ens:
+ * the returned mask has bit k set iff every control matches for path
+ * 64*w + k. Tail bits are already masked off via validMask.
+ */
+inline std::uint64_t
+ensembleFireMask(const PathEnsemble &ens, const EnsembleCtrl *ctrls,
+                 std::size_t n, std::size_t w)
+{
+    std::uint64_t fire = ens.validMask(w);
+    for (std::size_t c = 0; c < n && fire; ++c)
+        fire &= ens.row(ctrls[c].qubit)[w] ^ ctrls[c].invert;
+    return fire;
+}
+
+} // namespace qramsim
+
+#endif // QRAMSIM_COMMON_PATHENSEMBLE_HH

@@ -68,6 +68,72 @@ class Rng
     std::mt19937_64 engine;
 };
 
+/**
+ * Counter-based generator (SplitMix64): the output at step n is a
+ * finalizer hash of (state0 + n*gamma), so constructing a stream is
+ * two multiplies — no 312-word twister table to fill — and streams
+ * for different (key, stream) pairs are independent without seeking a
+ * sequential generator. The parallel shot loop of
+ * FidelityEstimator::estimate derives one stream per shot from the
+ * shot index; the sequential loop keeps the Mersenne twister Rng, so
+ * threads <= 1 results stay bit-identical to the seed implementation.
+ */
+class CounterRng
+{
+  public:
+    explicit CounterRng(std::uint64_t key, std::uint64_t stream = 0)
+        : state(mix(key + 0x9e3779b97f4a7c15ull * stream))
+    {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Uniform integer in [0, bound) via rejection-free scaling. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // 128-bit multiply-shift (Lemire); bias < 2^-64 per draw.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Raw 64 random bits. */
+    std::uint64_t bits() { return next(); }
+
+  private:
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    std::uint64_t
+    next()
+    {
+        state += 0x9e3779b97f4a7c15ull;
+        return mix(state);
+    }
+
+    std::uint64_t state;
+};
+
 } // namespace qramsim
 
 #endif // QRAMSIM_COMMON_RNG_HH

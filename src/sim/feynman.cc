@@ -146,6 +146,10 @@ FeynmanExecutor::FeynmanExecutor(const Circuit &c)
     cs.mask1.reserve(n);
     cs.ctrlBegin.reserve(n + 1);
     cs.ctrlBegin.push_back(0);
+    cs.tq0.reserve(n);
+    cs.tq1.reserve(n);
+    cs.ectrlBegin.reserve(n + 1);
+    cs.ectrlBegin.push_back(0);
     cs.gatePos.assign(circ.numGates(), UINT32_MAX);
 
     // Scratch: per-word accumulation of control masks/values.
@@ -200,6 +204,18 @@ FeynmanExecutor::FeynmanExecutor(const Circuit &c)
         const Qubit t1 = g.targets.size() > 1 ? g.targets[1] : t0;
         cs.word1.push_back(t1 >> 6);
         cs.mask1.push_back(std::uint64_t(1) << (t1 & 63));
+
+        // Ensemble lowering: qubit-major targets and per-qubit
+        // polarity controls (evaluated as 64-path fire masks).
+        cs.tq0.push_back(t0);
+        cs.tq1.push_back(t1);
+        for (std::size_t i = 0; i < g.controls.size(); ++i)
+            cs.ectrl.push_back(
+                {g.controls[i],
+                 g.negControl(i) ? ~std::uint64_t(0)
+                                 : std::uint64_t(0)});
+        cs.ectrlBegin.push_back(
+            static_cast<std::uint32_t>(cs.ectrl.size()));
     }
 
     cs.momentEndPos.reserve(exec.momentEnd.size());
@@ -285,6 +301,177 @@ FeynmanExecutor::runSpan(PathState &path, std::uint32_t from,
         applyErrorWords(events[ev++], w, phase);
     }
     path.phase = phase;
+}
+
+namespace {
+
+/**
+ * Apply one error event to the whole ensemble. Per-path arithmetic is
+ * identical (value and order) to applyErrorWords on each path: sign
+ * flips for the paths whose bit is set, then the bit flip / global i.
+ */
+void
+applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens)
+{
+    std::uint64_t *r = ens.row(e.qubit);
+    const std::size_t pw = ens.wordsPerQubit();
+    std::complex<double> *ph = ens.phaseData();
+    switch (e.pauli) {
+      case PauliKind::X:
+        for (std::size_t w = 0; w < pw; ++w)
+            r[w] ^= ens.validMask(w);
+        break;
+      case PauliKind::Z:
+        for (std::size_t w = 0; w < pw; ++w) {
+            std::uint64_t m = r[w];
+            while (m) {
+                const std::size_t k =
+                    w * 64 +
+                    static_cast<std::size_t>(__builtin_ctzll(m));
+                m &= m - 1;
+                ph[k] = -ph[k];
+            }
+        }
+        break;
+      case PauliKind::Y: {
+        // Y = i X Z: sign from Z on |1>, then flip, global i.
+        for (std::size_t w = 0; w < pw; ++w) {
+            std::uint64_t m = r[w];
+            while (m) {
+                const std::size_t k =
+                    w * 64 +
+                    static_cast<std::size_t>(__builtin_ctzll(m));
+                m &= m - 1;
+                ph[k] = -ph[k];
+            }
+            r[w] ^= ens.validMask(w);
+        }
+        const std::size_t np = ens.numPaths();
+        const std::complex<double> im(0.0, 1.0);
+        for (std::size_t k = 0; k < np; ++k)
+            ph[k] *= im;
+        break;
+      }
+    }
+}
+
+} // namespace
+
+void
+FeynmanExecutor::runSpanEnsemble(PathEnsemble &ens, std::uint32_t from,
+                                 std::uint32_t to,
+                                 const FlatEvent *events,
+                                 std::size_t numEvents) const
+{
+    QRAMSIM_ASSERT(ens.numQubits() == circ.numQubits(),
+                   "ensemble width mismatch");
+    const std::size_t pw = ens.wordsPerQubit();
+    std::uint64_t *rows = ens.rowData();
+    std::complex<double> *ph = ens.phaseData();
+    std::size_t ev = 0;
+
+    const std::uint8_t *kind = cs.kind.data();
+    const std::uint32_t *tq0 = cs.tq0.data();
+    const std::uint32_t *tq1 = cs.tq1.data();
+    const std::uint32_t *ectrlBegin = cs.ectrlBegin.data();
+    const EnsembleCtrl *ectrl = cs.ectrl.data();
+
+    for (std::uint32_t i = from; i < to; ++i) {
+        while (ev < numEvents && events[ev].pos <= i)
+            applyErrorEnsemble(events[ev++], ens);
+
+        const EnsembleCtrl *ec = ectrl + ectrlBegin[i];
+        const std::size_t nc = ectrlBegin[i + 1] - ectrlBegin[i];
+
+        switch (static_cast<CompiledStream::Op>(kind[i])) {
+          case CompiledStream::Op::X: {
+            std::uint64_t *t = rows + std::size_t(tq0[i]) * pw;
+            for (std::size_t w = 0; w < pw; ++w)
+                t[w] ^= ensembleFireMask(ens, ec, nc, w);
+            break;
+          }
+          case CompiledStream::Op::Swap: {
+            std::uint64_t *t0 = rows + std::size_t(tq0[i]) * pw;
+            std::uint64_t *t1 = rows + std::size_t(tq1[i]) * pw;
+            for (std::size_t w = 0; w < pw; ++w) {
+                const std::uint64_t diff =
+                    (t0[w] ^ t1[w]) & ensembleFireMask(ens, ec, nc, w);
+                t0[w] ^= diff;
+                t1[w] ^= diff;
+            }
+            break;
+          }
+          case CompiledStream::Op::Z: {
+            const std::uint64_t *t = rows + std::size_t(tq0[i]) * pw;
+            for (std::size_t w = 0; w < pw; ++w) {
+                std::uint64_t m =
+                    t[w] & ensembleFireMask(ens, ec, nc, w);
+                while (m) {
+                    const std::size_t k =
+                        w * 64 +
+                        static_cast<std::size_t>(__builtin_ctzll(m));
+                    m &= m - 1;
+                    ph[k] = -ph[k];
+                }
+            }
+            break;
+          }
+          case CompiledStream::Op::S:
+          case CompiledStream::Op::T:
+          case CompiledStream::Op::Tdg: {
+            constexpr double r = std::numbers::sqrt2 / 2.0;
+            const auto op = static_cast<CompiledStream::Op>(kind[i]);
+            const std::complex<double> factor =
+                op == CompiledStream::Op::S
+                    ? std::complex<double>(0.0, 1.0)
+                    : (op == CompiledStream::Op::T
+                           ? std::complex<double>(r, r)
+                           : std::complex<double>(r, -r));
+            const std::uint64_t *t = rows + std::size_t(tq0[i]) * pw;
+            for (std::size_t w = 0; w < pw; ++w) {
+                std::uint64_t m =
+                    t[w] & ensembleFireMask(ens, ec, nc, w);
+                while (m) {
+                    const std::size_t k =
+                        w * 64 +
+                        static_cast<std::size_t>(__builtin_ctzll(m));
+                    m &= m - 1;
+                    ph[k] *= factor;
+                }
+            }
+            break;
+          }
+          case CompiledStream::Op::H:
+            QRAMSIM_PANIC("H gate is not basis-preserving; "
+                          "teleportation gadgets must not reach the "
+                          "path simulator");
+        }
+    }
+
+    while (ev < numEvents) {
+        QRAMSIM_ASSERT(events[ev].pos <= to,
+                       "error event beyond replay span");
+        applyErrorEnsemble(events[ev++], ens);
+    }
+}
+
+PathEnsemble
+FeynmanExecutor::runIdealEnsemble(const PathEnsemble &input) const
+{
+    PathEnsemble e = input;
+    runSpanEnsemble(e, 0, static_cast<std::uint32_t>(cs.size()),
+                    nullptr, 0);
+    return e;
+}
+
+PathEnsemble
+FeynmanExecutor::runFlatEnsemble(const PathEnsemble &input,
+                                 const FlatRealization &errors) const
+{
+    PathEnsemble e = input;
+    runSpanEnsemble(e, 0, static_cast<std::uint32_t>(cs.size()),
+                    errors.events.data(), errors.events.size());
+    return e;
 }
 
 PathState

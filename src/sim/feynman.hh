@@ -37,6 +37,7 @@
 #include "circuit/circuit.hh"
 #include "circuit/schedule.hh"
 #include "common/bitvec.hh"
+#include "common/pathensemble.hh"
 
 namespace qramsim {
 
@@ -141,6 +142,11 @@ struct FlatRealization
  * c in [ctrlBegin[i], ctrlBegin[i+1]) — controls sharing a 64-bit word
  * collapse into a single AND/compare. Targets are precomputed
  * word-index/mask pairs (mask1/word1 only used by Swap).
+ *
+ * A second lowering of the same stream serves the bit-sliced ensemble
+ * engine (common/pathensemble.hh), whose state is qubit-major: targets
+ * as plain qubit indices (tq0/tq1) and controls as per-qubit polarity
+ * terms (ectrl) that evaluate to a 64-path fire mask per row word.
  */
 struct CompiledStream
 {
@@ -163,6 +169,18 @@ struct CompiledStream
     /** ctrlBegin[i]..ctrlBegin[i+1]: op i's slice of 'ctrl'. */
     std::vector<std::uint32_t> ctrlBegin;
     std::vector<CtrlWord> ctrl;
+
+    /// @name Ensemble lowering (qubit-major state)
+    /// @{
+
+    std::vector<std::uint32_t> tq0; ///< first target qubit index
+    std::vector<std::uint32_t> tq1; ///< second target qubit (Swap)
+
+    /** ectrlBegin[i]..ectrlBegin[i+1]: op i's slice of 'ectrl'. */
+    std::vector<std::uint32_t> ectrlBegin;
+    std::vector<EnsembleCtrl> ectrl;
+
+    /// @}
 
     /** Stream position of program gate g (UINT32_MAX for barriers). */
     std::vector<std::uint32_t> gatePos;
@@ -229,6 +247,35 @@ class FeynmanExecutor
     {
         runSpan(path, i, i + 1, nullptr, 0);
     }
+
+    /// @name Bit-sliced ensemble engine
+    ///
+    /// Propagates every path of a shot at once through the qubit-major
+    /// layout: each op evaluates its controls into a 64-path fire mask
+    /// per row word and applies target updates word-wide, and every
+    /// error event becomes a whole-row operation. Sequentially
+    /// bit-identical (bits and phases) to running the scalar engine
+    /// path by path: each path sees the identical ordered sequence of
+    /// flips and phase factors.
+    /// @{
+
+    /**
+     * Ensemble twin of runSpan: advance @p ens in place through
+     * stream positions [from, to), firing @p events[0, numEvents) at
+     * their positions (all positions must lie in [from, to]).
+     */
+    void runSpanEnsemble(PathEnsemble &ens, std::uint32_t from,
+                         std::uint32_t to, const FlatEvent *events,
+                         std::size_t numEvents) const;
+
+    /** Noiseless ensemble propagation (whole stream). */
+    PathEnsemble runIdealEnsemble(const PathEnsemble &input) const;
+
+    /** Ensemble propagation under a flattened realization. */
+    PathEnsemble runFlatEnsemble(const PathEnsemble &input,
+                                 const FlatRealization &errors) const;
+
+    /// @}
 
     /** Flatten @p errors onto the compiled stream (position-sorted). */
     void flatten(const ErrorRealization &errors,

@@ -6,20 +6,6 @@
 
 namespace qramsim {
 
-namespace {
-
-/** SplitMix64 finalizer: derives independent per-shot seeds. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
-} // namespace
-
 AddressSuperposition
 AddressSuperposition::uniform(unsigned addressWidth)
 {
@@ -108,17 +94,13 @@ FidelityEstimator::FidelityEstimator(
     QRAMSIM_ASSERT(addrQubits.size() + 1 <= 64,
                    "visible register too wide to pack");
 
-    // Input paths live only for the construction pass: checkpoint 0
-    // keeps a copy of each, so retaining them would double the
-    // per-path state the checkpoint budget bounds.
-    std::vector<PathState> inputs;
-    inputs.reserve(input.size());
-    for (std::size_t k = 0; k < input.size(); ++k) {
-        PathState p(circuit.numQubits());
+    // The working state of the construction pass is the bit-sliced
+    // ensemble itself: address bits scattered column-wise, phases 1.
+    PathEnsemble ens(circuit.numQubits(), input.size());
+    for (std::size_t k = 0; k < input.size(); ++k)
         for (std::size_t b = 0; b < addrQubits.size(); ++b)
-            p.bits.set(addrQubits[b], (input.addresses[k] >> b) & 1);
-        inputs.push_back(std::move(p));
-    }
+            if ((input.addresses[k] >> b) & 1)
+                ens.set(addrQubits[b], k, true);
 
     // Checkpoint layout: snapshots every ckptStride ops, bounded both
     // in count and in memory so wide circuits with many paths stay
@@ -138,7 +120,7 @@ FidelityEstimator::FidelityEstimator(
     // every X/Swap op, in stream order per qubit.
     const CompiledStream &cs = exec.stream();
     const std::size_t nq = circuit.numQubits();
-    pathWords = (input.size() + 63) / 64;
+    pathWords = ens.wordsPerQubit();
     std::vector<std::uint32_t> opQ0(numOps, UINT32_MAX);
     std::vector<std::uint32_t> opQ1(numOps, UINT32_MAX);
     snapBegin.assign(nq + 1, 0);
@@ -163,7 +145,6 @@ FidelityEstimator::FidelityEstimator(
     const std::size_t numEntries = snapBegin[nq];
     snapPos.resize(numEntries);
     snapBits.assign(numEntries * pathWords, 0);
-    initialBits.assign(nq * pathWords, 0);
     std::vector<std::uint32_t> cursor(snapBegin.begin(),
                                       snapBegin.end() - 1);
     std::vector<std::uint32_t> opEntry0(numOps, UINT32_MAX);
@@ -179,34 +160,34 @@ FidelityEstimator::FidelityEstimator(
         }
     }
 
-    // One pass per path builds every checkpoint, every snapshot
-    // vector, and the ideal output.
-    ckpts.resize(numCkpts);
-    for (auto &level : ckpts)
-        level.reserve(input.size());
+    // One ensemble sweep builds every checkpoint, every snapshot row,
+    // and the ideal outputs: checkpoints are whole-ensemble copies,
+    // snapshots are row copies taken right after the toggling op.
+    ckpts.reserve(numCkpts);
+    for (std::uint32_t i = 0; i < numOps; ++i) {
+        if (i % ckptStride == 0)
+            ckpts.push_back(ens);
+        exec.runSpanEnsemble(ens, i, i + 1, nullptr, 0);
+        if (opEntry0[i] != UINT32_MAX)
+            std::copy(ens.row(opQ0[i]), ens.row(opQ0[i]) + pathWords,
+                      snapBits.begin() +
+                          std::size_t(opEntry0[i]) * pathWords);
+        if (opEntry1[i] != UINT32_MAX)
+            std::copy(ens.row(opQ1[i]), ens.row(opQ1[i]) + pathWords,
+                      snapBits.begin() +
+                          std::size_t(opEntry1[i]) * pathWords);
+    }
+    if (numOps % ckptStride == 0)
+        ckpts.push_back(ens);
+    idealEns = std::move(ens);
+
+    // Gather the per-path ideal outputs (the accumulation code works
+    // on scalar bit vectors and hash keys).
     ideals.reserve(input.size());
     for (std::size_t k = 0; k < input.size(); ++k) {
-        const std::size_t kw = k >> 6;
-        const std::uint64_t km = std::uint64_t(1) << (k & 63);
-        for (std::size_t b = 0; b < addrQubits.size(); ++b)
-            if ((input.addresses[k] >> b) & 1)
-                initialBits[addrQubits[b] * pathWords + kw] |= km;
-
-        PathState p = inputs[k];
-        for (std::uint32_t i = 0; i < numOps; ++i) {
-            if (i % ckptStride == 0)
-                ckpts[i / ckptStride].push_back(p);
-            exec.applyOpAt(i, p);
-            if (opEntry0[i] != UINT32_MAX && p.bits.get(opQ0[i]))
-                snapBits[std::size_t(opEntry0[i]) * pathWords + kw] |=
-                    km;
-            if (opEntry1[i] != UINT32_MAX && p.bits.get(opQ1[i]))
-                snapBits[std::size_t(opEntry1[i]) * pathWords + kw] |=
-                    km;
-        }
-        if (numOps % ckptStride == 0)
-            ckpts[numOps / ckptStride].push_back(p);
-
+        PathState p(circuit.numQubits());
+        idealEns.gatherPath(k, p.bits);
+        p.phase = idealEns.phase(k);
         QRAMSIM_ASSERT(std::abs(p.phase.real() - 1.0) < 1e-12 &&
                        std::abs(p.phase.imag()) < 1e-12,
                        "ideal path acquired a phase; circuit contains "
@@ -310,6 +291,21 @@ FidelityEstimator::accumulatePath(ShotAccumulator &acc, std::size_t k,
 }
 
 void
+FidelityEstimator::accumulateIdealPath(
+    ShotAccumulator &acc, std::size_t k,
+    std::complex<double> phase) const
+{
+    // accumulatePath specialized to outBits == ideals[k].bits with
+    // every per-path invariant precomputed; bit-identical to the
+    // general form for paths that land on their ideal output.
+    acc.fullOverlap +=
+        std::conj(input.amps[k]) * input.amps[k] * phase;
+    acc.groups[idealAnc[k]].sum +=
+        std::conj(input.amps[idealVisOwner[k]]) * input.amps[k] *
+        phase;
+}
+
+void
 FidelityEstimator::shotFlat(const FlatRealization &errors,
                             ShotWorkspace &ws, double &fullOut,
                             double &reducedOut) const
@@ -347,7 +343,7 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
                 std::upper_bound(lo, hi, events[e].pos);
             const std::uint64_t *vec =
                 it == lo
-                    ? initialBits.data() + std::size_t(q) * pathWords
+                    ? ckpts.front().row(q)
                     : snapBits.data() +
                           std::size_t(it - snapPos.data() - 1) *
                               pathWords;
@@ -356,15 +352,8 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
         }
         for (std::size_t k = 0; k < input.size(); ++k) {
             const bool neg = (ws.parity[k >> 6] >> (k & 63)) & 1;
-            const std::complex<double> phase =
-                neg ? -ideals[k].phase : ideals[k].phase;
-            // accumulatePath specialized to outBits == ideals[k].bits
-            // with every per-path invariant precomputed.
-            acc.fullOverlap +=
-                std::conj(input.amps[k]) * input.amps[k] * phase;
-            acc.groups[idealAnc[k]].sum +=
-                std::conj(input.amps[idealVisOwner[k]]) *
-                input.amps[k] * phase;
+            accumulateIdealPath(
+                acc, k, neg ? -ideals[k].phase : ideals[k].phase);
         }
         fullOut = acc.full();
         reducedOut = acc.reduced();
@@ -378,13 +367,82 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
     const std::uint32_t ckpt =
         std::min(events[0].pos / ckptStride, lastCkpt);
     const std::uint32_t from = ckpt * ckptStride;
+
+    if (replay == ReplayEngine::Scalar) {
+        // Path-by-path oracle: the pre-ensemble replay loop, fed from
+        // the materialized per-path checkpoint copies.
+        for (std::size_t k = 0; k < input.size(); ++k) {
+            ws.path = scalarCkpts[ckpt][k];
+            exec.runSpan(ws.path, from, numOps, events, numEvents);
+            accumulatePath(acc, k, ws.path.bits, ws.path.phase);
+        }
+        fullOut = acc.full();
+        reducedOut = acc.reduced();
+        return;
+    }
+
+    // Ensemble replay: one word-level sweep advances all paths, then
+    // a row-wise XOR against the ideal ensemble marks the paths that
+    // deviated. Non-deviating paths accumulate from precomputed ideal
+    // lookups (same arithmetic, same order); only deviating paths are
+    // gathered back to a scalar bit vector.
+    ws.ens = ckpts[ckpt];
+    exec.runSpanEnsemble(ws.ens, from, numOps, events, numEvents);
+
+    const std::size_t nq = exec.circuit().numQubits();
+    ws.dev.assign(pathWords, 0);
+    {
+        const std::uint64_t *noisy = ws.ens.rowData();
+        const std::uint64_t *ideal = idealEns.rowData();
+        for (std::size_t q = 0; q < nq; ++q) {
+            const std::uint64_t *a = noisy + q * pathWords;
+            const std::uint64_t *b = ideal + q * pathWords;
+            for (std::size_t w = 0; w < pathWords; ++w)
+                ws.dev[w] |= a[w] ^ b[w];
+        }
+    }
+
+    if (ws.path.bits.size() != nq)
+        ws.path = PathState(nq);
     for (std::size_t k = 0; k < input.size(); ++k) {
-        ws.path = ckpts[ckpt][k];
-        exec.runSpan(ws.path, from, numOps, events, numEvents);
-        accumulatePath(acc, k, ws.path.bits, ws.path.phase);
+        const std::complex<double> phase = ws.ens.phase(k);
+        if (!((ws.dev[k >> 6] >> (k & 63)) & 1)) {
+            accumulateIdealPath(acc, k, phase);
+        } else {
+            ws.ens.gatherPath(k, ws.path.bits);
+            accumulatePath(acc, k, ws.path.bits, phase);
+        }
     }
     fullOut = acc.full();
     reducedOut = acc.reduced();
+}
+
+void
+FidelityEstimator::setReplayEngine(ReplayEngine engine)
+{
+    if (engine == ReplayEngine::Ensemble) {
+        // Release the scalar oracle's duplicate of the checkpoint
+        // data; it is re-materialized on the next switch to Scalar.
+        scalarCkpts.clear();
+        scalarCkpts.shrink_to_fit();
+    }
+    if (engine == ReplayEngine::Scalar && scalarCkpts.empty()) {
+        // Materialize per-path checkpoint copies so the scalar oracle
+        // replays exactly like the pre-ensemble estimator (checkpoint
+        // copy + scalar sweep, no per-shot transpose).
+        scalarCkpts.resize(ckpts.size());
+        const std::size_t nq = exec.circuit().numQubits();
+        for (std::size_t c = 0; c < ckpts.size(); ++c) {
+            scalarCkpts[c].reserve(input.size());
+            for (std::size_t k = 0; k < input.size(); ++k) {
+                PathState p(nq);
+                ckpts[c].gatherPath(k, p.bits);
+                p.phase = ckpts[c].phase(k);
+                scalarCkpts[c].push_back(std::move(p));
+            }
+        }
+    }
+    replay = engine;
 }
 
 void
@@ -437,15 +495,18 @@ FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
             sumR2 += r * r;
         }
     } else {
-        // Parallel: shot s draws from Rng(mix64(seed, s)); the result
-        // depends only on (seed, shots). Per-shot values are reduced
-        // in shot order so the sums are thread-count invariant too.
+        // Parallel: shot s draws from its own counter-based
+        // CounterRng(seed, s) stream — two multiplies to construct
+        // instead of a 312-word twister fill, so wide circuits no
+        // longer pay a per-shot seeding tax. The result depends only
+        // on (seed, shots). Per-shot values are reduced in shot order
+        // so the sums are thread-count invariant too.
         std::vector<double> fs(shots, 0.0), rs(shots, 0.0);
         auto worker = [&](std::size_t begin, std::size_t end) {
             FlatRealization errors;
             ShotWorkspace ws;
             for (std::size_t s = begin; s < end; ++s) {
-                Rng rng(mix64(seed ^ mix64(s)));
+                CounterRng rng(seed, s);
                 noise.sampleFlat(exec, rng, errors);
                 shotFlat(errors, ws, fs[s], rs[s]);
             }

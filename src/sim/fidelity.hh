@@ -36,12 +36,19 @@
  *                         bit-across-paths snapshot and no gate is
  *                         replayed at all; the cached ideal output
  *                         supplies bits and base phase;
- *  - general realization: replay starts at the checkpoint preceding
- *                         the first event rather than at the input.
+ *  - general realization: one bit-sliced ensemble replay per shot
+ *                         (common/pathensemble.hh) starting at the
+ *                         checkpoint preceding the first event — every
+ *                         word-level op advances 64 paths at once, and
+ *                         only the paths that deviated from the ideal
+ *                         trajectory are gathered back to scalar
+ *                         bit vectors for accumulation.
  *
- * All three produce bit-identical results to full propagation. The
- * shot loop can additionally run on multiple threads with
- * deterministic per-shot RNG streams (see estimate()).
+ * All three produce bit-identical results to full propagation (the
+ * ensemble applies the identical ordered flips and phase factors to
+ * each path as the scalar engine). The shot loop can additionally run
+ * on multiple threads with deterministic per-shot counter-based RNG
+ * streams (see estimate()).
  */
 
 #ifndef QRAMSIM_SIM_FIDELITY_HH
@@ -95,6 +102,14 @@ class FidelityEstimator
 {
   public:
     /**
+     * Which engine replays general (X-containing) realizations. Both
+     * produce bit-identical results; Scalar is the path-by-path
+     * oracle kept for differential tests and as the perf baseline the
+     * ensemble speedup is measured against.
+     */
+    enum class ReplayEngine { Ensemble, Scalar };
+
+    /**
      * @param circuit      the query circuit (all non-address qubits
      *                     assumed initialized |0>)
      * @param addressQubits address register, LSB-first
@@ -105,6 +120,16 @@ class FidelityEstimator
                       const std::vector<Qubit> &addressQubits,
                       Qubit busQubit,
                       const AddressSuperposition &input);
+
+    /**
+     * Select the general-realization replay engine (default:
+     * Ensemble). Switching to Scalar materializes per-path checkpoint
+     * copies from the ensemble checkpoints on first use, so the
+     * scalar oracle pays no per-shot transpose.
+     */
+    void setReplayEngine(ReplayEngine engine);
+
+    ReplayEngine replayEngine() const { return replay; }
 
     /** Fidelities of a single error realization. */
     void shotFidelity(const ErrorRealization &errors,
@@ -121,7 +146,8 @@ class FidelityEstimator
      * every realization from one Rng(seed) stream — bit-identical to
      * the original estimator for a fixed seed. With threads > 1
      * (0 = hardware concurrency) shot s draws from its own
-     * deterministically derived stream, so the result depends only on
+     * counter-based CounterRng(seed, s) stream (cheap to construct,
+     * no sequential seeking), so the result depends only on
      * (seed, shots), not on the thread count, and agrees with the
      * sequential estimate within Monte Carlo error.
      */
@@ -144,8 +170,10 @@ class FidelityEstimator
     /** Reusable per-thread scratch for shot evaluation. */
     struct ShotWorkspace
     {
-        PathState path;                    ///< general-path replay state
+        PathState path;                    ///< scalar replay / gather
+        PathEnsemble ens;                  ///< ensemble replay state
         std::vector<std::uint64_t> parity; ///< Z-path sign bits per path
+        std::vector<std::uint64_t> dev;    ///< per-path deviation mask
     };
 
     /** Shot evaluation with caller-provided scratch. */
@@ -158,12 +186,22 @@ class FidelityEstimator
                         const BitVec &outBits,
                         std::complex<double> outPhase) const;
 
+    /**
+     * accumulatePath specialized to a path that landed on its ideal
+     * output (the Z-only and ensemble non-deviating fast paths).
+     */
+    void accumulateIdealPath(ShotAccumulator &acc, std::size_t k,
+                             std::complex<double> phase) const;
+
     FeynmanExecutor exec;
     std::vector<Qubit> addrQubits;
     Qubit bus;
     AddressSuperposition input;
 
     std::vector<PathState> ideals;       ///< cached ideal outputs
+
+    /** The ideal outputs in ensemble layout (deviation-mask oracle). */
+    PathEnsemble idealEns;
 
     /** ancillaPart(ideals[k].bits), precomputed for the Z-only path. */
     std::vector<BitVec> idealAnc;
@@ -185,28 +223,38 @@ class FidelityEstimator
     std::vector<std::uint64_t> visMaskWords;
 
     /**
-     * ckpts[c][k]: path k's ideal state after the first c*ckptStride
-     * compiled ops — the replay starting points for noisy shots.
+     * ckpts[c]: the whole ensemble's ideal state after the first
+     * c*ckptStride compiled ops — the replay starting points for
+     * noisy shots. ckpts[0] is the input ensemble itself, so its rows
+     * double as the Z-parity tables' initial bit-across-paths
+     * vectors.
      */
-    std::vector<std::vector<PathState>> ckpts;
+    std::vector<PathEnsemble> ckpts;
     std::uint32_t ckptStride = 1;
+
+    /** Replay engine for general realizations. */
+    ReplayEngine replay = ReplayEngine::Ensemble;
+
+    /**
+     * Per-path checkpoint copies, gathered lazily from 'ckpts' when
+     * the Scalar engine is selected (empty otherwise).
+     */
+    std::vector<std::vector<PathState>> scalarCkpts;
 
     /// @name Z-parity tables
     ///
     /// For a Z-only realization no bit ever deviates from the ideal
     /// trajectory, so each event (pos, q) contributes a sign given by
-    /// the *ideal* bit of q at pos — a shot-independent quantity. We
-    /// precompute, for every qubit, the packed bit-across-paths vector
-    /// at each position where it toggles; a shot then XORs one such
-    /// vector per event into a parity accumulator and never replays
-    /// any gate at all.
+    /// the *ideal* bit of q at pos — a shot-independent quantity.
+    /// These tables are rows in the ensemble layout: for every qubit,
+    /// the bit-across-paths row captured at each position where it
+    /// toggles (the initial rows live in ckpts[0]); a shot then XORs
+    /// one such row per event into a parity accumulator and never
+    /// replays any gate at all.
     /// @{
 
-    /** Words per packed path vector: (numPaths + 63) / 64. */
+    /** Words per packed path row: PathEnsemble::wordsPerQubit(). */
     std::size_t pathWords = 0;
-
-    /** initialBits[q*pathWords + w]: qubit q's input bit per path. */
-    std::vector<std::uint64_t> initialBits;
 
     /** snapBegin[q]..snapBegin[q+1]: qubit q's toggle entries. */
     std::vector<std::uint32_t> snapBegin;

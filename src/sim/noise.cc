@@ -28,11 +28,14 @@ drawPauli(const PauliRates &r, std::uint32_t qubit, Rng &rng,
 
 /**
  * Flat-realization twin of drawPauli: one uniform() per call, same
- * thresholds, so the consumed RNG stream is identical.
+ * thresholds, so the consumed RNG stream is identical. Templated over
+ * the generator so the sequential Mersenne stream and the threaded
+ * counter stream share one sampling body.
  */
+template <class R>
 inline void
 drawPauliFlat(const PauliRates &r, std::uint32_t pos,
-              std::uint32_t qubit, Rng &rng, FlatRealization &out)
+              std::uint32_t qubit, R &rng, FlatRealization &out)
 {
     double u = rng.uniform();
     if (u < r.x)
@@ -93,9 +96,10 @@ QubitChannelNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
     return real;
 }
 
+template <class R>
 void
-QubitChannelNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
-                              FlatRealization &out) const
+QubitChannelNoise::sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
+                                  FlatRealization &out) const
 {
     out.clear();
     const std::size_t depth = exec.schedule().depth();
@@ -114,6 +118,21 @@ QubitChannelNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
         for (std::uint32_t q = 0; q < nq; ++q)
             drawPauliFlat(rates, momentEnd[t], q, rng, out);
     }
+}
+
+void
+QubitChannelNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                              FlatRealization &out) const
+{
+    sampleFlatImpl(exec, rng, out);
+}
+
+void
+QubitChannelNoise::sampleFlat(const FeynmanExecutor &exec,
+                              CounterRng &rng,
+                              FlatRealization &out) const
+{
+    sampleFlatImpl(exec, rng, out);
 }
 
 PauliRates
@@ -170,9 +189,10 @@ GateNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
     return real;
 }
 
+template <class R>
 void
-GateNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
-                      FlatRealization &out) const
+GateNoise::sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
+                          FlatRealization &out) const
 {
     out.clear();
     const auto &gates = exec.circuit().gates();
@@ -202,6 +222,20 @@ GateNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
     out.sortByPos();
 }
 
+void
+GateNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                      FlatRealization &out) const
+{
+    sampleFlatImpl(exec, rng, out);
+}
+
+void
+GateNoise::sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
+                      FlatRealization &out) const
+{
+    sampleFlatImpl(exec, rng, out);
+}
+
 ErrorRealization
 DeviceNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
 {
@@ -222,9 +256,10 @@ DeviceNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
     return real;
 }
 
+template <class R>
 void
-DeviceNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
-                        FlatRealization &out) const
+DeviceNoise::sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
+                            FlatRealization &out) const
 {
     out.clear();
     const auto &gates = exec.circuit().gates();
@@ -242,6 +277,20 @@ DeviceNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
             drawPauliFlat(r, pos, q, rng, out);
     }
     out.sortByPos();
+}
+
+void
+DeviceNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+                        FlatRealization &out) const
+{
+    sampleFlatImpl(exec, rng, out);
+}
+
+void
+DeviceNoise::sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
+                        FlatRealization &out) const
+{
+    sampleFlatImpl(exec, rng, out);
 }
 
 } // namespace qramsim

@@ -90,6 +90,15 @@ class NoiseModel
     virtual void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                             FlatRealization &out) const;
 
+    /**
+     * Counter-stream twin for the threaded shot loop: identical event
+     * distribution and draw sequence, fed by a cheap per-shot
+     * counter-based generator instead of a seeked sequential RNG.
+     */
+    virtual void sampleFlat(const FeynmanExecutor &exec,
+                            CounterRng &rng,
+                            FlatRealization &out) const = 0;
+
     virtual std::string name() const = 0;
 };
 
@@ -118,6 +127,9 @@ class QubitChannelNoise : public NoiseModel
     void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                     FlatRealization &out) const override;
 
+    void sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
+                    FlatRealization &out) const override;
+
     std::string name() const override { return "qubit-channel"; }
 
     /**
@@ -132,6 +144,10 @@ class QubitChannelNoise : public NoiseModel
     }
 
   private:
+    template <class R>
+    void sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
+                        FlatRealization &out) const;
+
     PauliRates rates;
     unsigned rounds;
 };
@@ -162,11 +178,18 @@ class GateNoise : public NoiseModel
     void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                     FlatRealization &out) const override;
 
+    void sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
+                    FlatRealization &out) const override;
+
     std::string name() const override { return "gate"; }
 
   private:
     /** Effective (decomposition-weighted) rates for one gate. */
     PauliRates effectiveRates(const Gate &g) const;
+
+    template <class R>
+    void sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
+                        FlatRealization &out) const;
 
     PauliRates rates;
     bool weighted;
@@ -204,9 +227,16 @@ class DeviceNoise : public NoiseModel
     void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                     FlatRealization &out) const override;
 
+    void sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
+                    FlatRealization &out) const override;
+
     std::string name() const override { return "device"; }
 
   private:
+    template <class R>
+    void sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
+                        FlatRealization &out) const;
+
     PauliRates rates1q;
     PauliRates rates2q;
 };
