@@ -25,33 +25,41 @@ main(int argc, char **argv)
                   "Xu et al., MICRO'23, Fig. 11");
     const double epsBase = 1e-3;
     const unsigned maxM = 5, maxK = 3;
+    const std::vector<double> epsR = {1.0, 10.0, 100.0};
 
     for (bool phaseFlip : {true, false}) {
-        for (double er : {1.0, 10.0, 100.0}) {
-            const double eps = epsBase / er;
+        // One circuit build and ONE set of noise realizations per
+        // (m, k) cell, shared across the three eps_r planes (scaled
+        // thresholds, common random numbers).
+        std::vector<std::vector<FidelityResult>> cells(maxM *
+                                                       (maxK + 1));
+        for (unsigned m = 1; m <= maxM; ++m) {
+            for (unsigned k = 0; k <= maxK; ++k) {
+                Rng rng(args.seed + m * 8 + k);
+                Memory mem = Memory::random(m + k, rng);
+                QueryCircuit qc = VirtualQram(m, k).build(mem);
+                FidelityEstimator est(
+                    qc.circuit, qc.addressQubits, qc.busQubit,
+                    AddressSuperposition::uniform(m + k));
+                QubitChannelNoise noise(
+                    phaseFlip ? PauliRates::phaseFlip(epsBase)
+                              : PauliRates::bitFlip(epsBase),
+                    QubitChannelNoise::virtualQramRounds(m, k));
+                cells[(m - 1) * (maxK + 1) + k] = bench::sweepEpsR(
+                    est, noise, epsR, args.shots,
+                    args.seed + m * 64 + k * 8, args.threads);
+            }
+        }
+        for (std::size_t i = 0; i < epsR.size(); ++i) {
+            const double er = epsR[i];
             Table t(std::string(phaseFlip ? "Z" : "X") +
                         " error, eps_r = " + Table::fmt(er, 0),
                     {"m\\k", "k=0", "k=1", "k=2", "k=3"});
             for (unsigned m = 1; m <= maxM; ++m) {
                 std::vector<std::string> row{Table::fmt(m)};
-                for (unsigned k = 0; k <= maxK; ++k) {
-                    Rng rng(args.seed + m * 8 + k);
-                    Memory mem = Memory::random(m + k, rng);
-                    QueryCircuit qc = VirtualQram(m, k).build(mem);
-                    FidelityEstimator est(
-                        qc.circuit, qc.addressQubits, qc.busQubit,
-                        AddressSuperposition::uniform(m + k));
-                    QubitChannelNoise noise(
-                        phaseFlip ? PauliRates::phaseFlip(eps)
-                                  : PauliRates::bitFlip(eps),
-                        QubitChannelNoise::virtualQramRounds(m, k));
-                    FidelityResult r = est.estimate(
-                        noise, args.shots,
-                        args.seed + m * 64 + k * 8 +
-                            std::uint64_t(er),
-                        args.threads);
-                    row.push_back(Table::fmt(r.reduced));
-                }
+                for (unsigned k = 0; k <= maxK; ++k)
+                    row.push_back(Table::fmt(
+                        cells[(m - 1) * (maxK + 1) + k][i].reduced));
                 t.addRow(row);
             }
             bench::emit(t, args,

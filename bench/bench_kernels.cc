@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Row-kernel microbenchmark: rows/sec for each SIMD kernel
+ * (common/simd.hh) at every tier the host CPU supports, appended as a
+ * "kernels" record to the perf trajectory (BENCH_simulator.json) so
+ * kernel-level regressions stay visible independently of the
+ * end-to-end shot rate.
+ *
+ *   bench_kernels --json FILE [--paths N] [--budget-ms T]
+ *
+ * One "row" is one kernel application over a full bit-across-paths
+ * row of N paths (the PathEnsemble layout: padded stride, 64-byte
+ * aligned, tail bits masked by the valid row).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hh"
+#include "common/pathensemble.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+
+using namespace qramsim;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Run fn(iters) with doubling counts until it fills budgetSec. */
+template <typename F>
+double
+itersPerSecond(F &&fn, double budgetSec)
+{
+    std::size_t iters = 1024;
+    for (;;) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn(iters);
+        double dt = secondsSince(t0);
+        if (dt >= budgetSec)
+            return static_cast<double>(iters) / dt;
+        iters = dt <= 0.0
+                    ? iters * 8
+                    : static_cast<std::size_t>(
+                          static_cast<double>(iters) *
+                          std::min(8.0, 1.25 * budgetSec / dt)) +
+                          1;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    std::size_t paths = 4096;
+    double budgetSec = 0.05;
+    for (int i = 1; i < argc; ++i) {
+        auto want = [&](const char *flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (want("--json"))
+            jsonPath = argv[++i];
+        else if (want("--paths"))
+            paths = std::strtoull(argv[++i], nullptr, 10);
+        else if (want("--budget-ms"))
+            budgetSec = std::strtod(argv[++i], nullptr) / 1000.0;
+    }
+
+    // An 8-row ensemble provides the aligned layout, the valid-mask
+    // row, and control rows; contents are random valid bit patterns.
+    PathEnsemble ens(8, paths);
+    const std::size_t nw = ens.wordsPerQubit();
+    CounterRng rng(0xbadc0ffee, 1);
+    for (std::size_t q = 0; q < ens.numQubits(); ++q)
+        for (std::size_t w = 0; w < nw; ++w)
+            ens.row(q)[w] = rng.bits() & ens.validMask(w);
+
+    const EnsembleCtrl ctrls[2] = {{2, 0}, {3, ~std::uint64_t(0)}};
+    simd::AlignedWords dev(nw, 0);
+    std::uint64_t sink = 0;
+
+    std::printf("qramsim kernel bench | %zu paths, %zu-word rows\n",
+                paths, nw);
+
+    std::string tiersJson;
+    for (simd::Tier tier : {simd::Tier::Scalar, simd::Tier::Avx2,
+                            simd::Tier::Avx512}) {
+        if (!simd::tierSupported(tier))
+            continue;
+        const simd::RowKernels &K = simd::kernels(tier);
+        std::uint64_t *t0 = ens.row(0);
+        std::uint64_t *t1 = ens.row(1);
+        const std::uint64_t *rows = ens.rowData();
+        const std::uint64_t *vmask = ens.validMaskRow();
+
+        const double xorFire = itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i)
+                    K.xorFire(t0, rows, nw, ctrls, 2, vmask, nw);
+                sink ^= t0[0];
+            },
+            budgetSec);
+        const double swapFire = itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i)
+                    K.swapFire(t0, t1, rows, nw, ctrls, 1, vmask, nw);
+                sink ^= t1[0];
+            },
+            budgetSec);
+        const double xorRow = itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i)
+                    K.xorRow(t0, vmask, nw);
+                sink ^= t0[0];
+            },
+            budgetSec);
+        const double diffOr = itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    dev.assign(nw, 0);
+                    sink ^= K.diffOr(dev.data(), t0, t1, nw);
+                }
+            },
+            budgetSec);
+
+        std::printf("  %-6s xor_fire %.3g  swap_fire %.3g  "
+                    "xor_row %.3g  diff_or %.3g rows/s\n",
+                    simd::tierName(tier), xorFire, swapFire, xorRow,
+                    diffOr);
+
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "%s      {\n"
+                      "        \"tier\": \"%s\",\n"
+                      "        \"xor_fire_rows_per_sec\": %.6g,\n"
+                      "        \"swap_fire_rows_per_sec\": %.6g,\n"
+                      "        \"xor_row_rows_per_sec\": %.6g,\n"
+                      "        \"diff_or_rows_per_sec\": %.6g\n"
+                      "      }",
+                      tiersJson.empty() ? "" : ",\n",
+                      simd::tierName(tier), xorFire, swapFire, xorRow,
+                      diffOr);
+        tiersJson += buf;
+    }
+    if (sink == 0xdeadbeefdeadbeefull) // defeat dead-code elimination
+        std::printf("  (sink)\n");
+
+    if (jsonPath.empty())
+        return 0;
+
+    std::string record;
+    record += "  {\n"
+              "    \"bench\": \"kernels\",\n"
+              "    \"date\": \"" + bench::isoDateUtc() + "\",\n"
+              "    \"git\": \"" + bench::gitRevision() + "\",\n"
+              "    \"active_tier\": \"";
+    record += simd::tierName(simd::activeTier());
+    record += "\",\n";
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  "    \"paths\": %zu,\n    \"row_words\": %zu,\n",
+                  paths, nw);
+    record += head;
+    record += "    \"tiers\": [\n" + tiersJson + "\n    ]\n  }";
+
+    if (!bench::appendJsonRecord(jsonPath, record)) {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 1;
+    }
+    std::printf("  appended record to %s\n", jsonPath.c_str());
+    return 0;
+}

@@ -31,6 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.hh"
+#include "common/simd.hh"
 #include "qram/bucket_brigade.hh"
 #include "qram/virtual_qram.hh"
 #include "sim/fidelity.hh"
@@ -305,39 +307,44 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
     std::printf("    ensemble replay: %.3g shots/s, speedup %.2fx\n",
                 depolEnsembleSps, ensembleSpeedup);
 
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
+    // Append one dated record to the trajectory array (legacy
+    // single-object files are wrapped on first append).
+    char record[2048];
+    std::snprintf(
+        record, sizeof record,
+        "  {\n"
+        "    \"bench\": \"simulator\",\n"
+        "    \"date\": \"%s\",\n"
+        "    \"git\": \"%s\",\n"
+        "    \"workload\": \"bucket_brigade_gate_noise\",\n"
+        "    \"simd_tier\": \"%s\",\n"
+        "    \"m\": %u,\n"
+        "    \"qubits\": %zu,\n"
+        "    \"gates\": %zu,\n"
+        "    \"paths\": %zu,\n"
+        "    \"noise\": \"gate phase-flip 1e-3 (weighted)\",\n"
+        "    \"seed_engine_shots_per_sec\": %.6g,\n"
+        "    \"seed_engine_paths_gates_per_sec\": %.6g,\n"
+        "    \"compiled_engine_shots_per_sec\": %.6g,\n"
+        "    \"compiled_engine_paths_gates_per_sec\": %.6g,\n"
+        "    \"compiled_mt_shots_per_sec\": %.6g,\n"
+        "    \"threads\": %u,\n"
+        "    \"speedup\": %.4g,\n"
+        "    \"depol_noise\": \"gate depolarizing 1e-3 (weighted)\",\n"
+        "    \"depol_scalar_shots_per_sec\": %.6g,\n"
+        "    \"depol_ensemble_shots_per_sec\": %.6g,\n"
+        "    \"ensemble_speedup\": %.4g\n"
+        "  }",
+        bench::isoDateUtc().c_str(), bench::gitRevision().c_str(),
+        simd::tierName(simd::activeTier()), m, qc.circuit.numQubits(),
+        gates, paths, seedSps, seedSps * perShot, compiledSps,
+        compiledSps * perShot, compiledMtSps, threads, speedup,
+        depolScalarSps, depolEnsembleSps, ensembleSpeedup);
+    if (!bench::appendJsonRecord(path, record)) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return 1;
     }
-    std::fprintf(
-        f,
-        "{\n"
-        "  \"bench\": \"simulator\",\n"
-        "  \"workload\": \"bucket_brigade_gate_noise\",\n"
-        "  \"m\": %u,\n"
-        "  \"qubits\": %zu,\n"
-        "  \"gates\": %zu,\n"
-        "  \"paths\": %zu,\n"
-        "  \"noise\": \"gate phase-flip 1e-3 (weighted)\",\n"
-        "  \"seed_engine_shots_per_sec\": %.6g,\n"
-        "  \"seed_engine_paths_gates_per_sec\": %.6g,\n"
-        "  \"compiled_engine_shots_per_sec\": %.6g,\n"
-        "  \"compiled_engine_paths_gates_per_sec\": %.6g,\n"
-        "  \"compiled_mt_shots_per_sec\": %.6g,\n"
-        "  \"threads\": %u,\n"
-        "  \"speedup\": %.4g,\n"
-        "  \"depol_noise\": \"gate depolarizing 1e-3 (weighted)\",\n"
-        "  \"depol_scalar_shots_per_sec\": %.6g,\n"
-        "  \"depol_ensemble_shots_per_sec\": %.6g,\n"
-        "  \"ensemble_speedup\": %.4g\n"
-        "}\n",
-        m, qc.circuit.numQubits(), gates, paths, seedSps,
-        seedSps * perShot, compiledSps, compiledSps * perShot,
-        compiledMtSps, threads, speedup, depolScalarSps,
-        depolEnsembleSps, ensembleSpeedup);
-    std::fclose(f);
-    std::printf("  wrote %s\n", path.c_str());
+    std::printf("  appended record to %s\n", path.c_str());
     return 0;
 }
 

@@ -2,19 +2,28 @@
  * @file
  * Shared plumbing for the table/figure benchmark binaries: flag
  * parsing (--shots N, --csv DIR, --seed S, --threads N — the latter
- * also reads the QRAMSIM_THREADS environment variable) and the
- * standard header each binary prints so outputs are self-describing.
+ * also reads the QRAMSIM_THREADS environment variable), the standard
+ * header each binary prints so outputs are self-describing, the
+ * eps_r sweep wrapper over FidelityEstimator::estimateSweep, and the
+ * appendable perf-trajectory record writer (BENCH_simulator.json is a
+ * JSON array of dated records, one appended per bench run).
  */
 
 #ifndef QRAMSIM_BENCH_BENCH_UTIL_HH
 #define QRAMSIM_BENCH_BENCH_UTIL_HH
 
+#include <sys/stat.h>
+
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
+#include "sim/fidelity.hh"
 
 namespace qramsim::bench {
 
@@ -90,6 +99,138 @@ emit(const Table &t, const BenchArgs &args, const std::string &stem)
     t.print();
     if (!args.csvDir.empty())
         t.writeCsv(args.csvDir + "/" + stem + ".csv");
+}
+
+/**
+ * Batched eps_r sweep: one estimateSweep call shares a single set of
+ * noise realizations (common random numbers, scaled thresholds)
+ * across all sweep points instead of resampling per point. @p noise
+ * must carry the *base* rates (eps_r = 1); point i runs at rates
+ * scaled by 1 / epsR[i].
+ */
+inline std::vector<FidelityResult>
+sweepEpsR(const FidelityEstimator &est, const NoiseModel &noise,
+          const std::vector<double> &epsR, std::size_t shots,
+          std::uint64_t seed, unsigned threads)
+{
+    std::vector<double> factors(epsR.size());
+    for (std::size_t i = 0; i < epsR.size(); ++i)
+        factors[i] = 1.0 / epsR[i];
+    return est.estimateSweep(noise, factors, shots, seed, threads);
+}
+
+/** Today's date (UTC) as YYYY-MM-DD, for trajectory records. */
+inline std::string
+isoDateUtc()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[16];
+    std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+    return buf;
+}
+
+/**
+ * The commit the benchmark binary was built from: GITHUB_SHA when CI
+ * sets it, `git rev-parse` otherwise, "unknown" outside a checkout.
+ */
+inline std::string
+gitRevision()
+{
+    if (const char *sha = std::getenv("GITHUB_SHA")) {
+        std::string s(sha);
+        if (s.size() > 12)
+            s.resize(12);
+        if (!s.empty())
+            return s;
+    }
+    std::string rev = "unknown";
+    if (std::FILE *p =
+            popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+        char buf[64];
+        if (std::fgets(buf, sizeof buf, p)) {
+            std::string s(buf);
+            while (!s.empty() &&
+                   std::isspace(static_cast<unsigned char>(s.back())))
+                s.pop_back();
+            if (!s.empty())
+                rev = s;
+        }
+        pclose(p);
+    }
+    return rev;
+}
+
+/**
+ * Append one JSON object to the trajectory file at @p path, keeping
+ * the file a valid JSON array of records. An existing array gains one
+ * element; a legacy single-object file is wrapped into an array
+ * first; anything else (missing, empty, unparsable) starts a fresh
+ * array. @p record must be a complete JSON object with no trailing
+ * newline.
+ */
+inline bool
+appendJsonRecord(const std::string &path, const std::string &record)
+{
+    std::string old;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        char buf[4096];
+        std::size_t nr;
+        while ((nr = std::fread(buf, 1, sizeof buf, f)) > 0)
+            old.append(buf, nr);
+        std::fclose(f);
+    }
+    auto rtrim = [](std::string &s) {
+        while (!s.empty() &&
+               std::isspace(static_cast<unsigned char>(s.back())))
+            s.pop_back();
+    };
+    const std::size_t first = old.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos)
+        old.erase(0, first);
+    else
+        old.clear();
+    rtrim(old);
+
+    std::string out;
+    if (!old.empty() && old.front() == '[' && old.back() == ']') {
+        std::string head = old.substr(0, old.size() - 1);
+        rtrim(head);
+        const bool wasEmpty = !head.empty() && head.back() == '[';
+        out = head + (wasEmpty ? "\n" : ",\n") + record + "\n]\n";
+    } else if (!old.empty() && old.front() == '{' &&
+               old.back() == '}') {
+        out = "[\n" + old + ",\n" + record + "\n]\n";
+    } else {
+        out = "[\n" + record + "\n]\n";
+    }
+
+    // Write-temp-then-rename so a crash mid-write can never truncate
+    // the accumulated trajectory. Non-regular targets (e.g. the CI
+    // smoke runs against /dev/null) must not be renamed over — a
+    // device node would be replaced by a regular file — so those are
+    // written directly.
+    struct stat st;
+    const bool regular =
+        ::stat(path.c_str(), &st) != 0 || S_ISREG(st.st_mode);
+    const std::string tmp = path + ".tmp";
+    std::FILE *f =
+        std::fopen((regular ? tmp : path).c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    if (std::fclose(f) != 0 || !ok) {
+        if (regular)
+            std::remove(tmp.c_str());
+        return false;
+    }
+    if (regular && std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace qramsim::bench

@@ -12,11 +12,15 @@
  * diagonal ops multiply path-dependent factors.
  *
  * Layout: row q occupies words [q * wordsPerQubit(), (q + 1) *
- * wordsPerQubit()); bit k of word w in a row is path 64 * w + k. Bits
- * of the last word at positions >= numPaths() are tail bits; every
- * operation preserves the invariant that tail bits are zero (kernels
- * mask fire words with validMask(w)), so row-level equality and
- * popcounts never see garbage.
+ * wordsPerQubit()); bit k of word w in a row is path 64 * w + k. The
+ * row stride is padded up to simd::kRowAlignWords and the storage is
+ * 64-byte aligned, so every row starts on a cache-line boundary and
+ * the SIMD kernels (common/simd.hh) sweep whole rows in full vector
+ * steps. Bits of the last data word at positions >= numPaths() and
+ * all bits of the padding words are tail bits; every operation
+ * preserves the invariant that tail bits are zero (kernels mask fire
+ * words with the validMask row), so row-level equality and popcounts
+ * never see garbage.
  */
 
 #ifndef QRAMSIM_COMMON_PATHENSEMBLE_HH
@@ -29,21 +33,9 @@
 
 #include "common/bitvec.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace qramsim {
-
-/**
- * One ensemble control term: op fires for the paths whose bit of
- * @c qubit matches the polarity. A compiled op's control list is a
- * conjunction of these; evaluating them over one row word yields a
- * 64-path fire mask.
- */
-struct EnsembleCtrl
-{
-    std::uint32_t qubit;
-    /** 0 for a positive control, ~0ull for a negative one. */
-    std::uint64_t invert;
-};
 
 /**
  * Fixed-shape-after-construction ensemble of paths: per-qubit packed
@@ -56,16 +48,30 @@ class PathEnsemble
 
     /** All-zero ensemble of @p npaths paths over @p nqubits qubits. */
     PathEnsemble(std::size_t nqubits, std::size_t npaths)
-        : nq(nqubits), np(npaths), pw((npaths + 63) / 64),
-          bits(nqubits * ((npaths + 63) / 64), 0),
+        : nq(nqubits), np(npaths), dw((npaths + 63) / 64),
+          pw(padStride((npaths + 63) / 64)),
+          bits(nqubits * padStride((npaths + 63) / 64), 0),
+          vmask(padStride((npaths + 63) / 64), 0),
           phases(npaths, {1.0, 0.0})
-    {}
+    {
+        for (std::size_t w = 0; w < dw; ++w)
+            vmask[w] = ~std::uint64_t(0);
+        if (np & 63)
+            vmask[dw - 1] = (std::uint64_t(1) << (np & 63)) - 1;
+    }
 
     std::size_t numQubits() const { return nq; }
     std::size_t numPaths() const { return np; }
 
-    /** Words per qubit row: (numPaths + 63) / 64. */
+    /**
+     * Row stride in words: (numPaths + 63) / 64 rounded up to
+     * simd::kRowAlignWords so each row is 64-byte aligned. Words past
+     * the data words are padding and always zero.
+     */
     std::size_t wordsPerQubit() const { return pw; }
+
+    /** Words actually holding path bits: (numPaths + 63) / 64. */
+    std::size_t dataWords() const { return dw; }
 
     /// @name Row access
     ///
@@ -87,16 +93,21 @@ class PathEnsemble
 
     /**
      * Mask of valid (non-tail) path bits in row word @p w — all ones
-     * except possibly the last word. Fire masks are ANDed with this so
-     * broadcast ops never touch tail bits.
+     * except possibly the last data word, and zero for the padding
+     * words. Fire masks are ANDed with this so broadcast ops never
+     * touch tail bits.
      */
     std::uint64_t
     validMask(std::size_t w) const
     {
-        if (w + 1 < pw || (np & 63) == 0)
-            return ~std::uint64_t(0);
-        return (std::uint64_t(1) << (np & 63)) - 1;
+        return w < pw ? vmask[w] : 0;
     }
+
+    /**
+     * The valid-mask row itself (wordsPerQubit() words, aligned) —
+     * what the SIMD kernels seed their fire masks from.
+     */
+    const std::uint64_t *validMaskRow() const { return vmask.data(); }
 
     /// @}
 
@@ -176,17 +187,28 @@ class PathEnsemble
     bool operator!=(const PathEnsemble &o) const { return !(*this == o); }
 
   private:
+    static std::size_t
+    padStride(std::size_t words)
+    {
+        const std::size_t a = simd::kRowAlignWords;
+        return (words + a - 1) / a * a;
+    }
+
     std::size_t nq = 0;  ///< qubits (rows)
     std::size_t np = 0;  ///< paths (columns)
-    std::size_t pw = 0;  ///< words per row
-    std::vector<std::uint64_t> bits;
+    std::size_t dw = 0;  ///< data words per row
+    std::size_t pw = 0;  ///< padded row stride in words
+    simd::AlignedWords bits;
+    simd::AlignedWords vmask; ///< validMask per row word (pads zero)
     std::vector<std::complex<double>> phases;
 };
 
 /**
  * Evaluate @p n ensemble control terms over row word @p w of @p ens:
  * the returned mask has bit k set iff every control matches for path
- * 64*w + k. Tail bits are already masked off via validMask.
+ * 64*w + k. Tail bits are already masked off via validMask. The word
+ * twin of the SIMD fire-mask kernels, used by the diagonal-op bit
+ * walks.
  */
 inline std::uint64_t
 ensembleFireMask(const PathEnsemble &ens, const EnsembleCtrl *ctrls,

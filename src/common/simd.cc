@@ -1,0 +1,392 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QRAMSIM_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace qramsim::simd {
+
+namespace {
+
+// ------------------------------------------------------------- scalar
+
+void
+xorFireScalar(std::uint64_t *target, const std::uint64_t *rows,
+              std::size_t stride, const EnsembleCtrl *ctrls,
+              std::size_t nc, const std::uint64_t *vmask, std::size_t nw)
+{
+    for (std::size_t w = 0; w < nw; ++w) {
+        std::uint64_t fire = vmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= rows[std::size_t(ctrls[c].qubit) * stride + w] ^
+                    ctrls[c].invert;
+        target[w] ^= fire;
+    }
+}
+
+void
+swapFireScalar(std::uint64_t *t0, std::uint64_t *t1,
+               const std::uint64_t *rows, std::size_t stride,
+               const EnsembleCtrl *ctrls, std::size_t nc,
+               const std::uint64_t *vmask, std::size_t nw)
+{
+    for (std::size_t w = 0; w < nw; ++w) {
+        std::uint64_t fire = vmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= rows[std::size_t(ctrls[c].qubit) * stride + w] ^
+                    ctrls[c].invert;
+        const std::uint64_t diff = (t0[w] ^ t1[w]) & fire;
+        t0[w] ^= diff;
+        t1[w] ^= diff;
+    }
+}
+
+void
+xorRowScalar(std::uint64_t *dst, const std::uint64_t *src,
+             std::size_t nw)
+{
+    for (std::size_t w = 0; w < nw; ++w)
+        dst[w] ^= src[w];
+}
+
+std::uint64_t
+diffOrScalar(std::uint64_t *dev, const std::uint64_t *a,
+             const std::uint64_t *b, std::size_t nw)
+{
+    std::uint64_t any = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+        const std::uint64_t d = a[w] ^ b[w];
+        dev[w] |= d;
+        any |= d;
+    }
+    return any;
+}
+
+constexpr RowKernels kScalar = {xorFireScalar, swapFireScalar,
+                                xorRowScalar, diffOrScalar};
+
+#ifdef QRAMSIM_SIMD_X86
+
+// -------------------------------------------------------------- AVX2
+
+__attribute__((target("avx2"))) void
+xorFireAvx2(std::uint64_t *target, const std::uint64_t *rows,
+            std::size_t stride, const EnsembleCtrl *ctrls,
+            std::size_t nc, const std::uint64_t *vmask, std::size_t nw)
+{
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+        __m256i fire = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(vmask + w));
+        for (std::size_t c = 0; c < nc; ++c) {
+            const __m256i row = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    rows + std::size_t(ctrls[c].qubit) * stride + w));
+            fire = _mm256_and_si256(
+                fire, _mm256_xor_si256(
+                          row, _mm256_set1_epi64x(static_cast<long long>(
+                                   ctrls[c].invert))));
+        }
+        __m256i *t = reinterpret_cast<__m256i *>(target + w);
+        _mm256_storeu_si256(
+            t, _mm256_xor_si256(_mm256_loadu_si256(t), fire));
+    }
+    if (w < nw)
+        xorFireScalar(target + w, rows + w, stride, ctrls, nc,
+                      vmask + w, nw - w);
+}
+
+__attribute__((target("avx2"))) void
+swapFireAvx2(std::uint64_t *t0, std::uint64_t *t1,
+             const std::uint64_t *rows, std::size_t stride,
+             const EnsembleCtrl *ctrls, std::size_t nc,
+             const std::uint64_t *vmask, std::size_t nw)
+{
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+        __m256i fire = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(vmask + w));
+        for (std::size_t c = 0; c < nc; ++c) {
+            const __m256i row = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    rows + std::size_t(ctrls[c].qubit) * stride + w));
+            fire = _mm256_and_si256(
+                fire, _mm256_xor_si256(
+                          row, _mm256_set1_epi64x(static_cast<long long>(
+                                   ctrls[c].invert))));
+        }
+        __m256i *p0 = reinterpret_cast<__m256i *>(t0 + w);
+        __m256i *p1 = reinterpret_cast<__m256i *>(t1 + w);
+        const __m256i v0 = _mm256_loadu_si256(p0);
+        const __m256i v1 = _mm256_loadu_si256(p1);
+        const __m256i diff =
+            _mm256_and_si256(_mm256_xor_si256(v0, v1), fire);
+        _mm256_storeu_si256(p0, _mm256_xor_si256(v0, diff));
+        _mm256_storeu_si256(p1, _mm256_xor_si256(v1, diff));
+    }
+    if (w < nw)
+        swapFireScalar(t0 + w, t1 + w, rows + w, stride, ctrls, nc,
+                       vmask + w, nw - w);
+}
+
+__attribute__((target("avx2"))) void
+xorRowAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t nw)
+{
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+        __m256i *d = reinterpret_cast<__m256i *>(dst + w);
+        _mm256_storeu_si256(
+            d, _mm256_xor_si256(
+                   _mm256_loadu_si256(d),
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i *>(src + w))));
+    }
+    for (; w < nw; ++w)
+        dst[w] ^= src[w];
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+diffOrAvx2(std::uint64_t *dev, const std::uint64_t *a,
+           const std::uint64_t *b, std::size_t nw)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+        const __m256i d = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + w)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + w)));
+        __m256i *dv = reinterpret_cast<__m256i *>(dev + w);
+        _mm256_storeu_si256(dv,
+                            _mm256_or_si256(_mm256_loadu_si256(dv), d));
+        acc = _mm256_or_si256(acc, d);
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t any = lanes[0] | lanes[1] | lanes[2] | lanes[3];
+    for (; w < nw; ++w) {
+        const std::uint64_t d = a[w] ^ b[w];
+        dev[w] |= d;
+        any |= d;
+    }
+    return any;
+}
+
+constexpr RowKernels kAvx2 = {xorFireAvx2, swapFireAvx2, xorRowAvx2,
+                              diffOrAvx2};
+
+// ----------------------------------------------------------- AVX-512
+
+__attribute__((target("avx512f"))) void
+xorFireAvx512(std::uint64_t *target, const std::uint64_t *rows,
+              std::size_t stride, const EnsembleCtrl *ctrls,
+              std::size_t nc, const std::uint64_t *vmask, std::size_t nw)
+{
+    std::size_t w = 0;
+    for (; w + 8 <= nw; w += 8) {
+        __m512i fire = _mm512_loadu_si512(vmask + w);
+        for (std::size_t c = 0; c < nc; ++c) {
+            const __m512i row = _mm512_loadu_si512(
+                rows + std::size_t(ctrls[c].qubit) * stride + w);
+            fire = _mm512_and_si512(
+                fire, _mm512_xor_si512(
+                          row, _mm512_set1_epi64(static_cast<long long>(
+                                   ctrls[c].invert))));
+        }
+        _mm512_storeu_si512(
+            target + w,
+            _mm512_xor_si512(_mm512_loadu_si512(target + w), fire));
+    }
+    if (w < nw)
+        xorFireScalar(target + w, rows + w, stride, ctrls, nc,
+                      vmask + w, nw - w);
+}
+
+__attribute__((target("avx512f"))) void
+swapFireAvx512(std::uint64_t *t0, std::uint64_t *t1,
+               const std::uint64_t *rows, std::size_t stride,
+               const EnsembleCtrl *ctrls, std::size_t nc,
+               const std::uint64_t *vmask, std::size_t nw)
+{
+    std::size_t w = 0;
+    for (; w + 8 <= nw; w += 8) {
+        __m512i fire = _mm512_loadu_si512(vmask + w);
+        for (std::size_t c = 0; c < nc; ++c) {
+            const __m512i row = _mm512_loadu_si512(
+                rows + std::size_t(ctrls[c].qubit) * stride + w);
+            fire = _mm512_and_si512(
+                fire, _mm512_xor_si512(
+                          row, _mm512_set1_epi64(static_cast<long long>(
+                                   ctrls[c].invert))));
+        }
+        const __m512i v0 = _mm512_loadu_si512(t0 + w);
+        const __m512i v1 = _mm512_loadu_si512(t1 + w);
+        const __m512i diff =
+            _mm512_and_si512(_mm512_xor_si512(v0, v1), fire);
+        _mm512_storeu_si512(t0 + w, _mm512_xor_si512(v0, diff));
+        _mm512_storeu_si512(t1 + w, _mm512_xor_si512(v1, diff));
+    }
+    if (w < nw)
+        swapFireScalar(t0 + w, t1 + w, rows + w, stride, ctrls, nc,
+                       vmask + w, nw - w);
+}
+
+__attribute__((target("avx512f"))) void
+xorRowAvx512(std::uint64_t *dst, const std::uint64_t *src,
+             std::size_t nw)
+{
+    std::size_t w = 0;
+    for (; w + 8 <= nw; w += 8)
+        _mm512_storeu_si512(
+            dst + w, _mm512_xor_si512(_mm512_loadu_si512(dst + w),
+                                      _mm512_loadu_si512(src + w)));
+    for (; w < nw; ++w)
+        dst[w] ^= src[w];
+}
+
+__attribute__((target("avx512f"))) std::uint64_t
+diffOrAvx512(std::uint64_t *dev, const std::uint64_t *a,
+             const std::uint64_t *b, std::size_t nw)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= nw; w += 8) {
+        const __m512i d = _mm512_xor_si512(_mm512_loadu_si512(a + w),
+                                           _mm512_loadu_si512(b + w));
+        _mm512_storeu_si512(
+            dev + w,
+            _mm512_or_si512(_mm512_loadu_si512(dev + w), d));
+        acc = _mm512_or_si512(acc, d);
+    }
+    std::uint64_t any =
+        static_cast<std::uint64_t>(_mm512_reduce_or_epi64(acc));
+    for (; w < nw; ++w) {
+        const std::uint64_t d = a[w] ^ b[w];
+        dev[w] |= d;
+        any |= d;
+    }
+    return any;
+}
+
+constexpr RowKernels kAvx512 = {xorFireAvx512, swapFireAvx512,
+                                xorRowAvx512, diffOrAvx512};
+
+#endif // QRAMSIM_SIMD_X86
+
+Tier
+detectBestTier()
+{
+#ifdef QRAMSIM_SIMD_X86
+    if (__builtin_cpu_supports("avx512f"))
+        return Tier::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return Tier::Avx2;
+#endif
+    return Tier::Scalar;
+}
+
+Tier
+initialTier()
+{
+    if (const char *env = std::getenv("QRAMSIM_SIMD")) {
+        if (std::strcmp(env, "scalar") == 0)
+            return Tier::Scalar;
+        if (std::strcmp(env, "avx2") == 0 &&
+            tierSupported(Tier::Avx2))
+            return Tier::Avx2;
+        if (std::strcmp(env, "avx512") == 0 &&
+            tierSupported(Tier::Avx512))
+            return Tier::Avx512;
+        warn("QRAMSIM_SIMD='", env,
+             "' unknown or unsupported on this CPU; using ",
+             tierName(detectBestTier()));
+    }
+    return detectBestTier();
+}
+
+std::atomic<Tier> &
+activeTierSlot()
+{
+    static std::atomic<Tier> tier{initialTier()};
+    return tier;
+}
+
+} // namespace
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Scalar: return "scalar";
+      case Tier::Avx2:   return "avx2";
+      case Tier::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+bool
+tierSupported(Tier t)
+{
+    switch (t) {
+      case Tier::Scalar:
+        return true;
+#ifdef QRAMSIM_SIMD_X86
+      case Tier::Avx2:
+        return __builtin_cpu_supports("avx2");
+      case Tier::Avx512:
+        return __builtin_cpu_supports("avx512f");
+#endif
+      default:
+        return false;
+    }
+}
+
+Tier
+bestSupportedTier()
+{
+    return detectBestTier();
+}
+
+const RowKernels &
+kernels(Tier t)
+{
+#ifdef QRAMSIM_SIMD_X86
+    if (t == Tier::Avx512)
+        return kAvx512;
+    if (t == Tier::Avx2)
+        return kAvx2;
+#endif
+    (void)t;
+    return kScalar;
+}
+
+Tier
+activeTier()
+{
+    return activeTierSlot().load(std::memory_order_relaxed);
+}
+
+Tier
+setActiveTier(Tier t)
+{
+    if (!tierSupported(t))
+        t = bestSupportedTier();
+    activeTierSlot().store(t, std::memory_order_relaxed);
+    return t;
+}
+
+const RowKernels &
+activeKernels()
+{
+    return kernels(activeTier());
+}
+
+} // namespace qramsim::simd

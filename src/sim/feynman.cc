@@ -309,20 +309,25 @@ namespace {
  * Apply one error event to the whole ensemble. Per-path arithmetic is
  * identical (value and order) to applyErrorWords on each path: sign
  * flips for the paths whose bit is set, then the bit flip / global i.
+ * Bit flips are whole-row XORs of the valid mask (SIMD kernel);
+ * phase updates walk the set bits.
  */
 void
-applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens)
+applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens,
+                   const simd::RowKernels &K)
 {
     std::uint64_t *r = ens.row(e.qubit);
     const std::size_t pw = ens.wordsPerQubit();
+    // Phase walks only visit data words — padding words are zero by
+    // invariant, so they can never contribute a set bit.
+    const std::size_t dw = ens.dataWords();
     std::complex<double> *ph = ens.phaseData();
     switch (e.pauli) {
       case PauliKind::X:
-        for (std::size_t w = 0; w < pw; ++w)
-            r[w] ^= ens.validMask(w);
+        K.xorRow(r, ens.validMaskRow(), pw);
         break;
       case PauliKind::Z:
-        for (std::size_t w = 0; w < pw; ++w) {
+        for (std::size_t w = 0; w < dw; ++w) {
             std::uint64_t m = r[w];
             while (m) {
                 const std::size_t k =
@@ -335,7 +340,7 @@ applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens)
         break;
       case PauliKind::Y: {
         // Y = i X Z: sign from Z on |1>, then flip, global i.
-        for (std::size_t w = 0; w < pw; ++w) {
+        for (std::size_t w = 0; w < dw; ++w) {
             std::uint64_t m = r[w];
             while (m) {
                 const std::size_t k =
@@ -344,8 +349,8 @@ applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens)
                 m &= m - 1;
                 ph[k] = -ph[k];
             }
-            r[w] ^= ens.validMask(w);
         }
+        K.xorRow(r, ens.validMaskRow(), pw);
         const std::size_t np = ens.numPaths();
         const std::complex<double> im(0.0, 1.0);
         for (std::size_t k = 0; k < np; ++k)
@@ -355,20 +360,96 @@ applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens)
     }
 }
 
+/**
+ * Apply one decoded compiled op to one ensemble. X/Swap dispatch to
+ * the fire-mask row kernels; diagonal ops walk the firing set bits
+ * and multiply phases (same constants, same order as the scalar
+ * engine — the bit-identity contract).
+ */
+inline void
+applyOpEnsemble(CompiledStream::Op op, std::uint32_t q0,
+                std::uint32_t q1, const EnsembleCtrl *ec,
+                std::size_t nc, PathEnsemble &ens,
+                const simd::RowKernels &K)
+{
+    const std::size_t pw = ens.wordsPerQubit();
+    // Diagonal-op phase walks only visit data words — fire masks on
+    // padding words are provably zero.
+    const std::size_t dw = ens.dataWords();
+    std::uint64_t *rows = ens.rowData();
+    std::complex<double> *ph = ens.phaseData();
+
+    switch (op) {
+      case CompiledStream::Op::X:
+        K.xorFire(rows + std::size_t(q0) * pw, rows, pw, ec, nc,
+                  ens.validMaskRow(), pw);
+        break;
+      case CompiledStream::Op::Swap:
+        K.swapFire(rows + std::size_t(q0) * pw,
+                   rows + std::size_t(q1) * pw, rows, pw, ec, nc,
+                   ens.validMaskRow(), pw);
+        break;
+      case CompiledStream::Op::Z: {
+        const std::uint64_t *t = rows + std::size_t(q0) * pw;
+        for (std::size_t w = 0; w < dw; ++w) {
+            std::uint64_t m = t[w] & ensembleFireMask(ens, ec, nc, w);
+            while (m) {
+                const std::size_t k =
+                    w * 64 +
+                    static_cast<std::size_t>(__builtin_ctzll(m));
+                m &= m - 1;
+                ph[k] = -ph[k];
+            }
+        }
+        break;
+      }
+      case CompiledStream::Op::S:
+      case CompiledStream::Op::T:
+      case CompiledStream::Op::Tdg: {
+        constexpr double r = std::numbers::sqrt2 / 2.0;
+        const std::complex<double> factor =
+            op == CompiledStream::Op::S
+                ? std::complex<double>(0.0, 1.0)
+                : (op == CompiledStream::Op::T
+                       ? std::complex<double>(r, r)
+                       : std::complex<double>(r, -r));
+        const std::uint64_t *t = rows + std::size_t(q0) * pw;
+        for (std::size_t w = 0; w < dw; ++w) {
+            std::uint64_t m = t[w] & ensembleFireMask(ens, ec, nc, w);
+            while (m) {
+                const std::size_t k =
+                    w * 64 +
+                    static_cast<std::size_t>(__builtin_ctzll(m));
+                m &= m - 1;
+                ph[k] *= factor;
+            }
+        }
+        break;
+      }
+      case CompiledStream::Op::H:
+        QRAMSIM_PANIC("H gate is not basis-preserving; "
+                      "teleportation gadgets must not reach the "
+                      "path simulator");
+    }
+}
+
 } // namespace
 
 void
-FeynmanExecutor::runSpanEnsemble(PathEnsemble &ens, std::uint32_t from,
-                                 std::uint32_t to,
-                                 const FlatEvent *events,
-                                 std::size_t numEvents) const
+FeynmanExecutor::runSpanEnsembleBatch(EnsembleReplaySlot *slots,
+                                      std::size_t n,
+                                      std::uint32_t to) const
 {
-    QRAMSIM_ASSERT(ens.numQubits() == circ.numQubits(),
-                   "ensemble width mismatch");
-    const std::size_t pw = ens.wordsPerQubit();
-    std::uint64_t *rows = ens.rowData();
-    std::complex<double> *ph = ens.phaseData();
-    std::size_t ev = 0;
+    const simd::RowKernels &K = simd::activeKernels();
+    std::uint32_t from = to;
+    for (std::size_t b = 0; b < n; ++b) {
+        QRAMSIM_ASSERT(slots[b].ens->numQubits() == circ.numQubits(),
+                       "ensemble width mismatch");
+        QRAMSIM_ASSERT(slots[b].from <= to,
+                       "replay slot starts beyond span end");
+        slots[b].ev = 0;
+        from = std::min(from, slots[b].from);
+    }
 
     const std::uint8_t *kind = cs.kind.data();
     const std::uint32_t *tq0 = cs.tq0.data();
@@ -377,82 +458,40 @@ FeynmanExecutor::runSpanEnsemble(PathEnsemble &ens, std::uint32_t from,
     const EnsembleCtrl *ectrl = cs.ectrl.data();
 
     for (std::uint32_t i = from; i < to; ++i) {
-        while (ev < numEvents && events[ev].pos <= i)
-            applyErrorEnsemble(events[ev++], ens);
-
+        // Shared decode: one op fetch serves every shot in the batch.
+        const auto op = static_cast<CompiledStream::Op>(kind[i]);
+        const std::uint32_t q0 = tq0[i], q1 = tq1[i];
         const EnsembleCtrl *ec = ectrl + ectrlBegin[i];
         const std::size_t nc = ectrlBegin[i + 1] - ectrlBegin[i];
 
-        switch (static_cast<CompiledStream::Op>(kind[i])) {
-          case CompiledStream::Op::X: {
-            std::uint64_t *t = rows + std::size_t(tq0[i]) * pw;
-            for (std::size_t w = 0; w < pw; ++w)
-                t[w] ^= ensembleFireMask(ens, ec, nc, w);
-            break;
-          }
-          case CompiledStream::Op::Swap: {
-            std::uint64_t *t0 = rows + std::size_t(tq0[i]) * pw;
-            std::uint64_t *t1 = rows + std::size_t(tq1[i]) * pw;
-            for (std::size_t w = 0; w < pw; ++w) {
-                const std::uint64_t diff =
-                    (t0[w] ^ t1[w]) & ensembleFireMask(ens, ec, nc, w);
-                t0[w] ^= diff;
-                t1[w] ^= diff;
-            }
-            break;
-          }
-          case CompiledStream::Op::Z: {
-            const std::uint64_t *t = rows + std::size_t(tq0[i]) * pw;
-            for (std::size_t w = 0; w < pw; ++w) {
-                std::uint64_t m =
-                    t[w] & ensembleFireMask(ens, ec, nc, w);
-                while (m) {
-                    const std::size_t k =
-                        w * 64 +
-                        static_cast<std::size_t>(__builtin_ctzll(m));
-                    m &= m - 1;
-                    ph[k] = -ph[k];
-                }
-            }
-            break;
-          }
-          case CompiledStream::Op::S:
-          case CompiledStream::Op::T:
-          case CompiledStream::Op::Tdg: {
-            constexpr double r = std::numbers::sqrt2 / 2.0;
-            const auto op = static_cast<CompiledStream::Op>(kind[i]);
-            const std::complex<double> factor =
-                op == CompiledStream::Op::S
-                    ? std::complex<double>(0.0, 1.0)
-                    : (op == CompiledStream::Op::T
-                           ? std::complex<double>(r, r)
-                           : std::complex<double>(r, -r));
-            const std::uint64_t *t = rows + std::size_t(tq0[i]) * pw;
-            for (std::size_t w = 0; w < pw; ++w) {
-                std::uint64_t m =
-                    t[w] & ensembleFireMask(ens, ec, nc, w);
-                while (m) {
-                    const std::size_t k =
-                        w * 64 +
-                        static_cast<std::size_t>(__builtin_ctzll(m));
-                    m &= m - 1;
-                    ph[k] *= factor;
-                }
-            }
-            break;
-          }
-          case CompiledStream::Op::H:
-            QRAMSIM_PANIC("H gate is not basis-preserving; "
-                          "teleportation gadgets must not reach the "
-                          "path simulator");
+        for (std::size_t b = 0; b < n; ++b) {
+            EnsembleReplaySlot &s = slots[b];
+            if (i < s.from)
+                continue;
+            while (s.ev < s.numEvents && s.events[s.ev].pos <= i)
+                applyErrorEnsemble(s.events[s.ev++], *s.ens, K);
+            applyOpEnsemble(op, q0, q1, ec, nc, *s.ens, K);
         }
     }
 
-    while (ev < numEvents) {
-        QRAMSIM_ASSERT(events[ev].pos <= to,
-                       "error event beyond replay span");
-        applyErrorEnsemble(events[ev++], ens);
+    for (std::size_t b = 0; b < n; ++b) {
+        EnsembleReplaySlot &s = slots[b];
+        while (s.ev < s.numEvents) {
+            QRAMSIM_ASSERT(s.events[s.ev].pos <= to,
+                           "error event beyond replay span");
+            applyErrorEnsemble(s.events[s.ev++], *s.ens, K);
+        }
     }
+}
+
+void
+FeynmanExecutor::runSpanEnsemble(PathEnsemble &ens, std::uint32_t from,
+                                 std::uint32_t to,
+                                 const FlatEvent *events,
+                                 std::size_t numEvents) const
+{
+    EnsembleReplaySlot slot{&ens, events, numEvents, from, 0};
+    runSpanEnsembleBatch(&slot, 1, to);
 }
 
 PathEnsemble

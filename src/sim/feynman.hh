@@ -252,7 +252,8 @@ class FeynmanExecutor
     ///
     /// Propagates every path of a shot at once through the qubit-major
     /// layout: each op evaluates its controls into a 64-path fire mask
-    /// per row word and applies target updates word-wide, and every
+    /// per row word and applies target updates word-wide (through the
+    /// runtime-dispatched row kernels of common/simd.hh), and every
     /// error event becomes a whole-row operation. Sequentially
     /// bit-identical (bits and phases) to running the scalar engine
     /// path by path: each path sees the identical ordered sequence of
@@ -267,6 +268,34 @@ class FeynmanExecutor
     void runSpanEnsemble(PathEnsemble &ens, std::uint32_t from,
                          std::uint32_t to, const FlatEvent *events,
                          std::size_t numEvents) const;
+
+    /**
+     * One shot of a batched ensemble replay: an ensemble positioned
+     * at stream position @c from plus its realization's remaining
+     * events (all positions in [from, to] of the batch call). The
+     * cursor is internal state of runSpanEnsembleBatch.
+     */
+    struct EnsembleReplaySlot
+    {
+        PathEnsemble *ens;
+        const FlatEvent *events;
+        std::size_t numEvents;
+        std::uint32_t from;
+        std::size_t ev = 0; ///< event cursor (managed by the batch)
+    };
+
+    /**
+     * Batched twin of runSpanEnsemble: advance @p n shots' ensembles
+     * through the op stream to position @p to in ONE pass — each op
+     * is decoded once and applied to every shot whose span covers it
+     * (shots join at their own @c from), with per-shot events fired
+     * at their positions. Each shot's op/event sequence is exactly
+     * its solo runSpanEnsemble sequence, so results are bit-identical
+     * shot by shot; the batch only shares instruction decode and
+     * keeps the stream's working set hot across shots.
+     */
+    void runSpanEnsembleBatch(EnsembleReplaySlot *slots, std::size_t n,
+                              std::uint32_t to) const;
 
     /** Noiseless ensemble propagation (whole stream). */
     PathEnsemble runIdealEnsemble(const PathEnsemble &input) const;

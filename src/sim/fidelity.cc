@@ -251,7 +251,14 @@ FidelityEstimator::accumulatePath(ShotAccumulator &acc, std::size_t k,
                                   const BitVec &outBits,
                                   std::complex<double> outPhase) const
 {
-    const std::uint64_t key = visibleKey(outBits);
+    accumulatePathKeyed(acc, k, outBits, visibleKey(outBits), outPhase);
+}
+
+void
+FidelityEstimator::accumulatePathKeyed(
+    ShotAccumulator &acc, std::size_t k, const BitVec &outBits,
+    std::uint64_t key, std::complex<double> outPhase) const
+{
     const auto it = visIndex.find(key);
 
     // Full-state overlap: the noisy output contributes iff it lands
@@ -305,6 +312,128 @@ FidelityEstimator::accumulateIdealPath(
         phase;
 }
 
+// Z-only realization: no bit ever deviates from the ideal
+// trajectory (Z errors do not flip, and no reversible gate maps a
+// Z component onto an X component — see analysis/lightcone), so
+// every event's sign is the precomputed ideal bit of its qubit at
+// its position. XOR the per-event snapshot vectors into one
+// parity-per-path accumulator (the Z-parity row-reduction kernel);
+// no gate is replayed at all. This stays bit-identical even for
+// circuits with diagonal phase ops: multiplying by -1 is exact and
+// commutes exactly through complex products, so out.phase ==
+// +-ideals[k].phase to the last ulp.
+void
+FidelityEstimator::shotZOnly(const FlatRealization &errors,
+                             ShotWorkspace &ws, double &fullOut,
+                             double &reducedOut) const
+{
+    const simd::RowKernels &K = simd::activeKernels();
+    const FlatEvent *events = errors.events.data();
+    const std::size_t numEvents = errors.events.size();
+
+    ShotAccumulator acc;
+    ws.parity.assign(pathWords, 0);
+    for (std::size_t e = 0; e < numEvents; ++e) {
+        const std::uint32_t q = events[e].qubit;
+        const std::uint32_t *lo = snapPos.data() + snapBegin[q];
+        const std::uint32_t *hi = snapPos.data() + snapBegin[q + 1];
+        const std::uint32_t *it =
+            std::upper_bound(lo, hi, events[e].pos);
+        const std::uint64_t *vec =
+            it == lo
+                ? ckpts.front().row(q)
+                : snapBits.data() +
+                      std::size_t(it - snapPos.data() - 1) *
+                          pathWords;
+        K.xorRow(ws.parity.data(), vec, pathWords);
+    }
+    for (std::size_t k = 0; k < input.size(); ++k) {
+        const bool neg = (ws.parity[k >> 6] >> (k & 63)) & 1;
+        accumulateIdealPath(acc, k,
+                            neg ? -ideals[k].phase : ideals[k].phase);
+    }
+    fullOut = acc.full();
+    reducedOut = acc.reduced();
+}
+
+void
+FidelityEstimator::accumulateEnsembleShot(ShotWorkspace &ws,
+                                          ShotAccumulator &acc) const
+{
+    const simd::RowKernels &K = simd::activeKernels();
+    const std::size_t nq = exec.circuit().numQubits();
+    const std::uint64_t *noisy = ws.ens.rowData();
+    const std::uint64_t *ideal = idealEns.rowData();
+
+    // Row-wise deviation masks against the ideal cache, recording the
+    // qubits (rows) where any path deviated — for sparse noise that
+    // set is the lightcone of the shot's events, a few rows out of
+    // hundreds.
+    ws.dev.assign(pathWords, 0);
+    ws.devRows.clear();
+    for (std::size_t q = 0; q < nq; ++q) {
+        if (K.diffOr(ws.dev.data(), noisy + q * pathWords,
+                     ideal + q * pathWords, pathWords))
+            ws.devRows.push_back(static_cast<std::uint32_t>(q));
+    }
+
+    // Visible keys by word transpose of the visible rows only
+    // (address bits + bus; <= 64 rows), and only for words that hold
+    // a deviating path — non-deviating paths never read a key.
+    if (!ws.devRows.empty()) {
+        ws.keys.assign(input.size(), 0);
+        for (std::size_t w = 0; w < pathWords; ++w) {
+            if (!ws.dev[w])
+                continue;
+            const std::size_t base = w * 64;
+            for (std::size_t b = 0; b < addrQubits.size(); ++b) {
+                std::uint64_t m = ws.ens.row(addrQubits[b])[w];
+                while (m) {
+                    const std::size_t k = static_cast<std::size_t>(
+                        __builtin_ctzll(m));
+                    m &= m - 1;
+                    ws.keys[base + k] |= std::uint64_t(1) << b;
+                }
+            }
+            std::uint64_t m = ws.ens.row(bus)[w];
+            while (m) {
+                const std::size_t k =
+                    static_cast<std::size_t>(__builtin_ctzll(m));
+                m &= m - 1;
+                ws.keys[base + k] |= std::uint64_t(1)
+                                     << addrQubits.size();
+            }
+        }
+    }
+
+    // Accumulate: non-deviating paths from precomputed ideal lookups
+    // (same arithmetic, same order as the scalar engine); deviating
+    // paths materialize their output as a word copy of the ideal
+    // output plus flips on the deviating rows — no per-qubit
+    // gatherPath walk.
+    if (ws.path.bits.size() != nq)
+        ws.path = PathState(nq);
+    std::uint64_t *outw = ws.path.bits.wordData();
+    const std::size_t onw = ws.path.bits.numWords();
+    for (std::size_t k = 0; k < input.size(); ++k) {
+        const std::complex<double> phase = ws.ens.phase(k);
+        if (!((ws.dev[k >> 6] >> (k & 63)) & 1)) {
+            accumulateIdealPath(acc, k, phase);
+            continue;
+        }
+        const std::uint64_t *iw = ideals[k].bits.wordData();
+        std::copy(iw, iw + onw, outw);
+        const std::size_t kw = k >> 6;
+        const std::uint64_t km = std::uint64_t(1) << (k & 63);
+        for (std::uint32_t q : ws.devRows)
+            if ((noisy[q * pathWords + kw] ^
+                 ideal[q * pathWords + kw]) &
+                km)
+                outw[q >> 6] ^= std::uint64_t(1) << (q & 63);
+        accumulatePathKeyed(acc, k, ws.path.bits, ws.keys[k], phase);
+    }
+}
+
 void
 FidelityEstimator::shotFlat(const FlatRealization &errors,
                             ShotWorkspace &ws, double &fullOut,
@@ -315,6 +444,10 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
         reducedOut = emptyReduced;
         return;
     }
+    if (errors.zOnly) {
+        shotZOnly(errors, ws, fullOut, reducedOut);
+        return;
+    }
 
     const std::uint32_t numOps =
         static_cast<std::uint32_t>(exec.stream().size());
@@ -322,43 +455,6 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
     const std::size_t numEvents = errors.events.size();
 
     ShotAccumulator acc;
-
-    // Z-only realization: no bit ever deviates from the ideal
-    // trajectory (Z errors do not flip, and no reversible gate maps a
-    // Z component onto an X component — see analysis/lightcone), so
-    // every event's sign is the precomputed ideal bit of its qubit at
-    // its position. XOR the per-event snapshot vectors into one
-    // parity-per-path accumulator; no gate is replayed at all. This
-    // stays bit-identical even for circuits with diagonal phase ops:
-    // multiplying by -1 is exact and commutes exactly through complex
-    // products, so out.phase == +-ideals[k].phase to the last ulp.
-    if (errors.zOnly) {
-        ws.parity.assign(pathWords, 0);
-        for (std::size_t e = 0; e < numEvents; ++e) {
-            const std::uint32_t q = events[e].qubit;
-            const std::uint32_t *lo = snapPos.data() + snapBegin[q];
-            const std::uint32_t *hi =
-                snapPos.data() + snapBegin[q + 1];
-            const std::uint32_t *it =
-                std::upper_bound(lo, hi, events[e].pos);
-            const std::uint64_t *vec =
-                it == lo
-                    ? ckpts.front().row(q)
-                    : snapBits.data() +
-                          std::size_t(it - snapPos.data() - 1) *
-                              pathWords;
-            for (std::size_t w = 0; w < pathWords; ++w)
-                ws.parity[w] ^= vec[w];
-        }
-        for (std::size_t k = 0; k < input.size(); ++k) {
-            const bool neg = (ws.parity[k >> 6] >> (k & 63)) & 1;
-            accumulateIdealPath(
-                acc, k, neg ? -ideals[k].phase : ideals[k].phase);
-        }
-        fullOut = acc.full();
-        reducedOut = acc.reduced();
-        return;
-    }
 
     // General realization: replay from the checkpoint preceding the
     // first event to the end of the stream.
@@ -382,39 +478,70 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
     }
 
     // Ensemble replay: one word-level sweep advances all paths, then
-    // a row-wise XOR against the ideal ensemble marks the paths that
-    // deviated. Non-deviating paths accumulate from precomputed ideal
-    // lookups (same arithmetic, same order); only deviating paths are
-    // gathered back to a scalar bit vector.
+    // the ensemble-native accumulation classifies and scores them.
     ws.ens = ckpts[ckpt];
     exec.runSpanEnsemble(ws.ens, from, numOps, events, numEvents);
-
-    const std::size_t nq = exec.circuit().numQubits();
-    ws.dev.assign(pathWords, 0);
-    {
-        const std::uint64_t *noisy = ws.ens.rowData();
-        const std::uint64_t *ideal = idealEns.rowData();
-        for (std::size_t q = 0; q < nq; ++q) {
-            const std::uint64_t *a = noisy + q * pathWords;
-            const std::uint64_t *b = ideal + q * pathWords;
-            for (std::size_t w = 0; w < pathWords; ++w)
-                ws.dev[w] |= a[w] ^ b[w];
-        }
-    }
-
-    if (ws.path.bits.size() != nq)
-        ws.path = PathState(nq);
-    for (std::size_t k = 0; k < input.size(); ++k) {
-        const std::complex<double> phase = ws.ens.phase(k);
-        if (!((ws.dev[k >> 6] >> (k & 63)) & 1)) {
-            accumulateIdealPath(acc, k, phase);
-        } else {
-            ws.ens.gatherPath(k, ws.path.bits);
-            accumulatePath(acc, k, ws.path.bits, phase);
-        }
-    }
+    accumulateEnsembleShot(ws, acc);
     fullOut = acc.full();
     reducedOut = acc.reduced();
+}
+
+void
+FidelityEstimator::evalShots(const FlatRealization *reals,
+                             std::size_t n,
+                             std::vector<ShotWorkspace> &wss,
+                             double *fs, double *rs) const
+{
+    if (wss.size() < kReplayBatch)
+        wss.resize(kReplayBatch);
+    const std::uint32_t numOps =
+        static_cast<std::uint32_t>(exec.stream().size());
+    const std::uint32_t lastCkpt =
+        static_cast<std::uint32_t>(ckpts.size() - 1);
+
+    // General realizations queue up and replay kReplayBatch at a time
+    // through one shared ensemble pass; empty / Z-only / scalar-oracle
+    // realizations resolve immediately. Results land at their own
+    // indices, so the caller's reduction order is untouched.
+    std::size_t queue[kReplayBatch];
+    FeynmanExecutor::EnsembleReplaySlot slots[kReplayBatch];
+    std::size_t qn = 0;
+
+    auto flush = [&]() {
+        for (std::size_t b = 0; b < qn; ++b) {
+            const FlatRealization &r = reals[queue[b]];
+            const std::uint32_t ckpt = std::min(
+                r.events[0].pos / ckptStride, lastCkpt);
+            wss[b].ens = ckpts[ckpt];
+            slots[b] = {&wss[b].ens, r.events.data(),
+                        r.events.size(), ckpt * ckptStride, 0};
+        }
+        exec.runSpanEnsembleBatch(slots, qn, numOps);
+        for (std::size_t b = 0; b < qn; ++b) {
+            ShotAccumulator acc;
+            accumulateEnsembleShot(wss[b], acc);
+            fs[queue[b]] = acc.full();
+            rs[queue[b]] = acc.reduced();
+        }
+        qn = 0;
+    };
+
+    for (std::size_t j = 0; j < n; ++j) {
+        const FlatRealization &r = reals[j];
+        if (r.empty()) {
+            fs[j] = emptyFull;
+            rs[j] = emptyReduced;
+        } else if (r.zOnly) {
+            shotZOnly(r, wss[0], fs[j], rs[j]);
+        } else if (replay == ReplayEngine::Scalar) {
+            shotFlat(r, wss[0], fs[j], rs[j]);
+        } else {
+            queue[qn++] = j;
+            if (qn == kReplayBatch)
+                flush();
+        }
+    }
+    flush();
 }
 
 void
@@ -480,19 +607,28 @@ FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
     double sumF = 0.0, sumF2 = 0.0, sumR = 0.0, sumR2 = 0.0;
 
     if (threads <= 1 || shots <= 1) {
-        // Sequential: one RNG stream consumed shot by shot, matching
-        // the original estimator draw for draw.
+        // Sequential: one RNG stream, consumed in shot order.
+        // Sampling a chunk of shots ahead draws the identical
+        // sequence the per-shot loop would (sampling reads only the
+        // RNG), and per-shot values are reduced in shot order, so
+        // this stays bit-identical to the original estimator while
+        // letting evalShots batch the general replays.
         Rng rng(seed);
-        FlatRealization errors;
-        ShotWorkspace ws;
-        for (std::size_t s = 0; s < shots; ++s) {
-            noise.sampleFlat(exec, rng, errors);
-            double f = 0.0, r = 0.0;
-            shotFlat(errors, ws, f, r);
-            sumF += f;
-            sumF2 += f * f;
-            sumR += r;
-            sumR2 += r * r;
+        const std::size_t chunk = std::min(shots, kShotChunk);
+        std::vector<FlatRealization> reals(chunk);
+        std::vector<ShotWorkspace> wss;
+        std::vector<double> fs(chunk), rs(chunk);
+        for (std::size_t base = 0; base < shots; base += chunk) {
+            const std::size_t nThis = std::min(chunk, shots - base);
+            for (std::size_t j = 0; j < nThis; ++j)
+                noise.sampleFlat(exec, rng, reals[j]);
+            evalShots(reals.data(), nThis, wss, fs.data(), rs.data());
+            for (std::size_t j = 0; j < nThis; ++j) {
+                sumF += fs[j];
+                sumF2 += fs[j] * fs[j];
+                sumR += rs[j];
+                sumR2 += rs[j] * rs[j];
+            }
         }
     } else {
         // Parallel: shot s draws from its own counter-based
@@ -503,12 +639,19 @@ FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
         // so the sums are thread-count invariant too.
         std::vector<double> fs(shots, 0.0), rs(shots, 0.0);
         auto worker = [&](std::size_t begin, std::size_t end) {
-            FlatRealization errors;
-            ShotWorkspace ws;
-            for (std::size_t s = begin; s < end; ++s) {
-                CounterRng rng(seed, s);
-                noise.sampleFlat(exec, rng, errors);
-                shotFlat(errors, ws, fs[s], rs[s]);
+            std::vector<FlatRealization> reals(
+                std::min(end - begin, kShotChunk));
+            std::vector<ShotWorkspace> wss;
+            for (std::size_t base = begin; base < end;
+                 base += kShotChunk) {
+                const std::size_t nThis =
+                    std::min(kShotChunk, end - base);
+                for (std::size_t j = 0; j < nThis; ++j) {
+                    CounterRng rng(seed, base + j);
+                    noise.sampleFlat(exec, rng, reals[j]);
+                }
+                evalShots(reals.data(), nThis, wss, fs.data() + base,
+                          rs.data() + base);
             }
         };
         std::vector<std::thread> pool;
@@ -544,6 +687,104 @@ FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
         res.reducedStderr = std::sqrt(varR / (n - 1));
     }
     return res;
+}
+
+std::vector<FidelityResult>
+FidelityEstimator::estimateSweep(const NoiseModel &noise,
+                                 const std::vector<double> &factors,
+                                 std::size_t shots, std::uint64_t seed,
+                                 unsigned threads) const
+{
+    const std::size_t npts = factors.size();
+    std::vector<FidelityResult> out(npts);
+    if (npts == 0 || shots == 0)
+        return out;
+    noise.prepare(exec);
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    if (threads > 1 && shots > 1) {
+        threads = static_cast<unsigned>(
+            std::min<std::size_t>(threads, shots));
+    }
+
+    std::vector<double> sumF(npts, 0.0), sumF2(npts, 0.0),
+        sumR(npts, 0.0), sumR2(npts, 0.0);
+
+    if (threads <= 1 || shots <= 1) {
+        Rng rng(seed);
+        std::vector<FlatRealization> reals(npts);
+        std::vector<ShotWorkspace> wss;
+        std::vector<double> fs(npts), rs(npts);
+        for (std::size_t s = 0; s < shots; ++s) {
+            const bool ok = noise.sampleFlatSweep(
+                exec, rng, factors.data(), npts, reals.data());
+            QRAMSIM_ASSERT(ok, "noise model '", noise.name(),
+                           "' has no sweep sampler");
+            // One shot's sweep points replay as one ensemble batch.
+            evalShots(reals.data(), npts, wss, fs.data(), rs.data());
+            for (std::size_t j = 0; j < npts; ++j) {
+                sumF[j] += fs[j];
+                sumF2[j] += fs[j] * fs[j];
+                sumR[j] += rs[j];
+                sumR2[j] += rs[j] * rs[j];
+            }
+        }
+    } else {
+        std::vector<double> fs(shots * npts, 0.0),
+            rs(shots * npts, 0.0);
+        auto worker = [&](std::size_t begin, std::size_t end) {
+            std::vector<FlatRealization> reals(npts);
+            std::vector<ShotWorkspace> wss;
+            for (std::size_t s = begin; s < end; ++s) {
+                CounterRng rng(seed, s);
+                const bool ok = noise.sampleFlatSweep(
+                    exec, rng, factors.data(), npts, reals.data());
+                QRAMSIM_ASSERT(ok, "noise model '", noise.name(),
+                               "' has no sweep sampler");
+                evalShots(reals.data(), npts, wss,
+                          fs.data() + s * npts, rs.data() + s * npts);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        const std::size_t chunk = (shots + threads - 1) / threads;
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::size_t begin = std::size_t(t) * chunk;
+            const std::size_t end = std::min(begin + chunk, shots);
+            if (begin >= end)
+                break;
+            pool.emplace_back(worker, begin, end);
+        }
+        for (auto &th : pool)
+            th.join();
+        for (std::size_t s = 0; s < shots; ++s) {
+            for (std::size_t j = 0; j < npts; ++j) {
+                const double f = fs[s * npts + j];
+                const double r = rs[s * npts + j];
+                sumF[j] += f;
+                sumF2[j] += f * f;
+                sumR[j] += r;
+                sumR2[j] += r * r;
+            }
+        }
+    }
+
+    const double n = static_cast<double>(shots);
+    for (std::size_t j = 0; j < npts; ++j) {
+        FidelityResult &res = out[j];
+        res.shots = shots;
+        res.full = sumF[j] / n;
+        res.reduced = sumR[j] / n;
+        if (shots > 1) {
+            double varF =
+                std::max(0.0, sumF2[j] / n - res.full * res.full);
+            double varR = std::max(0.0, sumR2[j] / n -
+                                            res.reduced * res.reduced);
+            res.fullStderr = std::sqrt(varF / (n - 1));
+            res.reducedStderr = std::sqrt(varR / (n - 1));
+        }
+    }
+    return out;
 }
 
 } // namespace qramsim

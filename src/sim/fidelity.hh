@@ -150,10 +150,32 @@ class FidelityEstimator
      * no sequential seeking), so the result depends only on
      * (seed, shots), not on the thread count, and agrees with the
      * sequential estimate within Monte Carlo error.
+     *
+     * Internally shots are sampled ahead in chunks (same RNG stream,
+     * same draw order) and the general realizations of a chunk are
+     * replayed as one batched ensemble pass per kReplayBatch shots —
+     * shot-by-shot results and their reduction order are unchanged,
+     * so both modes stay bit-identical to the per-shot loop.
      */
     FidelityResult estimate(const NoiseModel &noise, std::size_t shots,
                             std::uint64_t seed,
                             unsigned threads = 1) const;
+
+    /**
+     * Batched eps_r-sweep estimation: one FidelityResult per rate
+     * scale factor, with every sweep point of a shot built from the
+     * SAME uniform draws (NoiseModel::sampleFlatSweep — common random
+     * numbers, so the sweep is smooth in the factor and the sampling
+     * cost is paid once per shot instead of once per point). The
+     * points of a shot are replayed as one batched ensemble pass.
+     * Requires a model with sweep support (QubitChannelNoise);
+     * panics otherwise. A single factor f reproduces estimate() with
+     * all rates scaled by f bit for bit.
+     */
+    std::vector<FidelityResult>
+    estimateSweep(const NoiseModel &noise,
+                  const std::vector<double> &factors, std::size_t shots,
+                  std::uint64_t seed, unsigned threads = 1) const;
 
     const FeynmanExecutor &executor() const { return exec; }
 
@@ -167,24 +189,62 @@ class FidelityEstimator
     /** Copy of @p bits with address+bus positions cleared. */
     BitVec ancillaPart(const BitVec &bits) const;
 
+    /** General-realization shots replayed per batched ensemble pass. */
+    static constexpr std::size_t kReplayBatch = 8;
+
+    /** Shots sampled ahead per chunk of the estimate loop. */
+    static constexpr std::size_t kShotChunk = 64;
+
     /** Reusable per-thread scratch for shot evaluation. */
     struct ShotWorkspace
     {
-        PathState path;                    ///< scalar replay / gather
-        PathEnsemble ens;                  ///< ensemble replay state
-        std::vector<std::uint64_t> parity; ///< Z-path sign bits per path
-        std::vector<std::uint64_t> dev;    ///< per-path deviation mask
+        PathState path;           ///< scalar replay / outBits scratch
+        PathEnsemble ens;         ///< ensemble replay state
+        simd::AlignedWords parity; ///< Z-path sign bits per path
+        simd::AlignedWords dev;    ///< per-path deviation mask
+        std::vector<std::uint32_t> devRows; ///< qubits with deviation
+        std::vector<std::uint64_t> keys;    ///< row-wise visible keys
     };
 
     /** Shot evaluation with caller-provided scratch. */
     void shotFlat(const FlatRealization &errors, ShotWorkspace &ws,
                   double &fullOut, double &reducedOut) const;
 
+    /** The Z-only fast path of shotFlat (no gate replayed at all). */
+    void shotZOnly(const FlatRealization &errors, ShotWorkspace &ws,
+                   double &fullOut, double &reducedOut) const;
+
+    /**
+     * Evaluate @p n presampled realizations into fs/rs. Empty and
+     * Z-only realizations take their fast paths; general ones are
+     * replayed in batches of kReplayBatch through one ensemble pass
+     * each (ReplayEngine::Scalar falls back to per-shot replay).
+     * Per-realization results are identical to shotFlat's.
+     */
+    void evalShots(const FlatRealization *reals, std::size_t n,
+                   std::vector<ShotWorkspace> &ws, double *fs,
+                   double *rs) const;
+
     /** Accumulation core shared by shotFlat and the empty-shot cache. */
     struct ShotAccumulator;
+
+    /**
+     * Ensemble-native accumulation of a replayed shot: deviation
+     * masks row-wise against the ideal cache, visible keys gathered
+     * by word transpose from the visible rows only, and deviating
+     * paths materialized as ideal-output word copies plus sparse
+     * deviating-row flips — no per-qubit gatherPath walk.
+     */
+    void accumulateEnsembleShot(ShotWorkspace &ws,
+                                ShotAccumulator &acc) const;
     void accumulatePath(ShotAccumulator &acc, std::size_t k,
                         const BitVec &outBits,
                         std::complex<double> outPhase) const;
+
+    /** accumulatePath with the visible key already computed. */
+    void accumulatePathKeyed(ShotAccumulator &acc, std::size_t k,
+                             const BitVec &outBits, std::uint64_t key,
+                             std::complex<double> outPhase) const;
 
     /**
      * accumulatePath specialized to a path that landed on its ideal
@@ -262,8 +322,9 @@ class FidelityEstimator
     /** snapPos[e]: stream position the entry is valid from. */
     std::vector<std::uint32_t> snapPos;
 
-    /** snapBits[e*pathWords..]: bit-across-paths after the toggle. */
-    std::vector<std::uint64_t> snapBits;
+    /** snapBits[e*pathWords..]: bit-across-paths after the toggle
+     *  (aligned rows at the ensemble stride, kernel-ready). */
+    simd::AlignedWords snapBits;
 
     /// @}
 

@@ -120,6 +120,83 @@ QubitChannelNoise::sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
     }
 }
 
+template <class R>
+void
+QubitChannelNoise::sampleFlatSweepImpl(const FeynmanExecutor &exec,
+                                       R &rng, const double *factors,
+                                       std::size_t n,
+                                       FlatRealization *outs) const
+{
+    // Per-point thresholds built exactly as drawPauliFlat sees them
+    // for rates.scaled(factors[j]) — x*f, x*f + y*f, x*f + y*f + z*f
+    // — so a single-point sweep is draw-for-draw identical to
+    // sampleFlat with the scaled model.
+    std::vector<double> tx(n), txy(n), txyz(n);
+    double cut = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        const double f = factors[j];
+        tx[j] = rates.x * f;
+        txy[j] = tx[j] + rates.y * f;
+        txyz[j] = txy[j] + rates.z * f;
+        cut = std::max(cut, txyz[j]);
+    }
+
+    for (std::size_t j = 0; j < n; ++j)
+        outs[j].clear();
+
+    // One uniform per exposure site, shared by every sweep point
+    // (common random numbers): the same site layout and draw order as
+    // sampleFlatImpl.
+    auto site = [&](std::uint32_t pos, std::uint32_t q) {
+        const double u = rng.uniform();
+        if (u >= cut)
+            return; // no event at any sweep point
+        for (std::size_t j = 0; j < n; ++j) {
+            if (u < tx[j])
+                outs[j].push(pos, q, PauliKind::X);
+            else if (u < txy[j])
+                outs[j].push(pos, q, PauliKind::Y);
+            else if (u < txyz[j])
+                outs[j].push(pos, q, PauliKind::Z);
+        }
+    };
+
+    const std::size_t depth = exec.schedule().depth();
+    const std::size_t nq = exec.circuit().numQubits();
+    const auto &momentEnd = exec.stream().momentEndPos;
+    if (rounds == 0 || rounds >= depth) {
+        for (std::size_t t = 0; t < depth; ++t)
+            for (std::uint32_t q = 0; q < nq; ++q)
+                site(momentEnd[t], q);
+        return;
+    }
+    for (unsigned r = 0; r < rounds; ++r) {
+        std::size_t t = (std::size_t(r) * depth) / rounds;
+        for (std::uint32_t q = 0; q < nq; ++q)
+            site(momentEnd[t], q);
+    }
+}
+
+bool
+QubitChannelNoise::sampleFlatSweep(const FeynmanExecutor &exec,
+                                   Rng &rng, const double *factors,
+                                   std::size_t n,
+                                   FlatRealization *outs) const
+{
+    sampleFlatSweepImpl(exec, rng, factors, n, outs);
+    return true;
+}
+
+bool
+QubitChannelNoise::sampleFlatSweep(const FeynmanExecutor &exec,
+                                   CounterRng &rng,
+                                   const double *factors, std::size_t n,
+                                   FlatRealization *outs) const
+{
+    sampleFlatSweepImpl(exec, rng, factors, n, outs);
+    return true;
+}
+
 void
 QubitChannelNoise::sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                               FlatRealization &out) const

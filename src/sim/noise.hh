@@ -99,6 +99,37 @@ class NoiseModel
                             CounterRng &rng,
                             FlatRealization &out) const = 0;
 
+    /**
+     * Sweep sampling for batched eps_r sweeps
+     * (FidelityEstimator::estimateSweep): draw ONE shot's worth of
+     * uniforms and emit, for each rate scale factor factors[j], the
+     * realization sampleFlat would produce with every rate multiplied
+     * by factors[j] given the same draws — common random numbers
+     * across the sweep, so the per-shot sampling cost is paid once
+     * instead of once per sweep point and the resulting curves are
+     * smooth in the factor. outs[j] receives point j's realization.
+     * A model without a sweep sampler returns false (the base
+     * implementation); callers must check.
+     */
+    virtual bool
+    sampleFlatSweep(const FeynmanExecutor &exec, Rng &rng,
+                    const double *factors, std::size_t n,
+                    FlatRealization *outs) const
+    {
+        (void)exec; (void)rng; (void)factors; (void)n; (void)outs;
+        return false;
+    }
+
+    /** Counter-stream twin of the sweep sampler. */
+    virtual bool
+    sampleFlatSweep(const FeynmanExecutor &exec, CounterRng &rng,
+                    const double *factors, std::size_t n,
+                    FlatRealization *outs) const
+    {
+        (void)exec; (void)rng; (void)factors; (void)n; (void)outs;
+        return false;
+    }
+
     virtual std::string name() const = 0;
 };
 
@@ -130,6 +161,14 @@ class QubitChannelNoise : public NoiseModel
     void sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
                     FlatRealization &out) const override;
 
+    bool sampleFlatSweep(const FeynmanExecutor &exec, Rng &rng,
+                         const double *factors, std::size_t n,
+                         FlatRealization *outs) const override;
+
+    bool sampleFlatSweep(const FeynmanExecutor &exec, CounterRng &rng,
+                         const double *factors, std::size_t n,
+                         FlatRealization *outs) const override;
+
     std::string name() const override { return "qubit-channel"; }
 
     /**
@@ -147,6 +186,11 @@ class QubitChannelNoise : public NoiseModel
     template <class R>
     void sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
                         FlatRealization &out) const;
+
+    template <class R>
+    void sampleFlatSweepImpl(const FeynmanExecutor &exec, R &rng,
+                             const double *factors, std::size_t n,
+                             FlatRealization *outs) const;
 
     PauliRates rates;
     unsigned rounds;

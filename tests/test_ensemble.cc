@@ -65,13 +65,21 @@ TEST(Ensemble, ScatterGatherRoundTrip)
 TEST(Ensemble, ValidMaskCoversExactPaths)
 {
     PathEnsemble full(3, 128);
-    EXPECT_EQ(full.wordsPerQubit(), 2u);
+    EXPECT_EQ(full.dataWords(), 2u);
+    EXPECT_EQ(full.wordsPerQubit() % simd::kRowAlignWords, 0u);
     EXPECT_EQ(full.validMask(0), ~std::uint64_t(0));
     EXPECT_EQ(full.validMask(1), ~std::uint64_t(0));
     PathEnsemble partial(3, 65);
-    EXPECT_EQ(partial.wordsPerQubit(), 2u);
+    EXPECT_EQ(partial.dataWords(), 2u);
     EXPECT_EQ(partial.validMask(0), ~std::uint64_t(0));
     EXPECT_EQ(partial.validMask(1), 1u);
+    // Padding words past the data words are never valid, and the
+    // valid-mask row mirrors validMask() word for word.
+    for (std::size_t w = partial.dataWords();
+         w < partial.wordsPerQubit(); ++w)
+        EXPECT_EQ(partial.validMask(w), 0u);
+    for (std::size_t w = 0; w < partial.wordsPerQubit(); ++w)
+        EXPECT_EQ(partial.validMaskRow()[w], partial.validMask(w));
 }
 
 // --- Scalar vs ensemble vs reference interpreter ----------------------

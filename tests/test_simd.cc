@@ -1,0 +1,365 @@
+/**
+ * @file
+ * SIMD row-kernel and dispatch tests.
+ *
+ * The AVX2/AVX-512 kernels must be bit-identical to the scalar tier
+ * on arbitrary row patterns (including non-vector-multiple widths and
+ * partial valid masks), the PathEnsemble layout must deliver the
+ * alignment/padding contract the kernels assume, and the whole engine
+ * — ensemble propagation and the fidelity estimator, batched replay
+ * and sweep sampling included — must produce bit-identical results at
+ * every tier the host CPU supports. Tiers the CPU lacks are skipped
+ * (the scalar tier always runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/pathensemble.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "qram/bucket_brigade.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+
+namespace qramsim {
+namespace {
+
+/** Restore the dispatch tier on scope exit. */
+struct TierGuard
+{
+    simd::Tier prev;
+
+    explicit TierGuard(simd::Tier t) : prev(simd::activeTier())
+    {
+        simd::setActiveTier(t);
+    }
+
+    ~TierGuard() { simd::setActiveTier(prev); }
+};
+
+std::vector<simd::Tier>
+supportedTiers()
+{
+    std::vector<simd::Tier> tiers;
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512})
+        if (simd::tierSupported(t))
+            tiers.push_back(t);
+    return tiers;
+}
+
+// --- Kernel-level bit identity ----------------------------------------
+
+TEST(Simd, KernelsBitIdenticalAcrossTiersOnRandomRows)
+{
+    Rng rng(20260731);
+    const simd::RowKernels &S = simd::kernels(simd::Tier::Scalar);
+
+    for (simd::Tier tier : supportedTiers()) {
+        if (tier == simd::Tier::Scalar)
+            continue;
+        SCOPED_TRACE(simd::tierName(tier));
+        const simd::RowKernels &K = simd::kernels(tier);
+
+        for (int trial = 0; trial < 200; ++trial) {
+            // Widths straddle vector boundaries: 1..20 words covers
+            // sub-AVX2, sub-AVX512 and unaligned-tail shapes.
+            const std::size_t nw = 1 + rng.below(20);
+            const std::size_t nrows = 4;
+            simd::AlignedWords rows(nrows * nw);
+            for (auto &w : rows)
+                w = rng.bits();
+            simd::AlignedWords vmask(nw);
+            for (auto &w : vmask)
+                w = rng.below(4) == 0 ? rng.bits() : ~std::uint64_t(0);
+
+            EnsembleCtrl ctrls[3];
+            const std::size_t nc = rng.below(4);
+            for (std::size_t c = 0; c < nc; ++c)
+                ctrls[c] = {static_cast<std::uint32_t>(
+                                rng.below(nrows)),
+                            rng.bernoulli(0.5) ? ~std::uint64_t(0)
+                                               : std::uint64_t(0)};
+
+            // xorFire
+            simd::AlignedWords a(nw), b(nw);
+            for (std::size_t w = 0; w < nw; ++w)
+                a[w] = b[w] = rng.bits();
+            S.xorFire(a.data(), rows.data(), nw, ctrls, nc,
+                      vmask.data(), nw);
+            K.xorFire(b.data(), rows.data(), nw, ctrls, nc,
+                      vmask.data(), nw);
+            EXPECT_EQ(a, b);
+
+            // swapFire
+            simd::AlignedWords a0(nw), a1(nw), b0(nw), b1(nw);
+            for (std::size_t w = 0; w < nw; ++w) {
+                a0[w] = b0[w] = rng.bits();
+                a1[w] = b1[w] = rng.bits();
+            }
+            S.swapFire(a0.data(), a1.data(), rows.data(), nw, ctrls,
+                       nc, vmask.data(), nw);
+            K.swapFire(b0.data(), b1.data(), rows.data(), nw, ctrls,
+                       nc, vmask.data(), nw);
+            EXPECT_EQ(a0, b0);
+            EXPECT_EQ(a1, b1);
+
+            // xorRow
+            for (std::size_t w = 0; w < nw; ++w)
+                a[w] = b[w] = rng.bits();
+            S.xorRow(a.data(), rows.data(), nw);
+            K.xorRow(b.data(), rows.data(), nw);
+            EXPECT_EQ(a, b);
+
+            // diffOr: accumulated mask and return value
+            simd::AlignedWords devA(nw), devB(nw);
+            for (std::size_t w = 0; w < nw; ++w)
+                devA[w] = devB[w] = rng.bits();
+            const std::uint64_t *x = rows.data();
+            const std::uint64_t *y = rows.data() + nw;
+            const std::uint64_t anyA =
+                S.diffOr(devA.data(), x, y, nw);
+            const std::uint64_t anyB =
+                K.diffOr(devB.data(), x, y, nw);
+            EXPECT_EQ(devA, devB);
+            EXPECT_EQ(anyA, anyB);
+
+            // diffOr on identical rows must report no deviation.
+            EXPECT_EQ(S.diffOr(devA.data(), x, x, nw),
+                      K.diffOr(devB.data(), x, x, nw));
+            EXPECT_EQ(S.diffOr(devA.data(), x, x, nw), 0u);
+        }
+    }
+}
+
+// --- Layout contract --------------------------------------------------
+
+TEST(Simd, PathEnsembleRowsAlignedAndPadded)
+{
+    for (std::size_t np : {std::size_t(1), std::size_t(63),
+                           std::size_t(64), std::size_t(65),
+                           std::size_t(127), std::size_t(128),
+                           std::size_t(200), std::size_t(513)}) {
+        SCOPED_TRACE(np);
+        PathEnsemble ens(10, np);
+        EXPECT_EQ(ens.dataWords(), (np + 63) / 64);
+        EXPECT_EQ(ens.wordsPerQubit() % simd::kRowAlignWords, 0u);
+        EXPECT_GE(ens.wordsPerQubit(), ens.dataWords());
+        for (std::size_t q = 0; q < ens.numQubits(); ++q)
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ens.row(q)) %
+                          simd::kRowAlign,
+                      0u);
+        for (std::size_t w = 0; w < ens.wordsPerQubit(); ++w)
+            EXPECT_EQ(ens.validMaskRow()[w], ens.validMask(w));
+        for (std::size_t w = ens.dataWords();
+             w < ens.wordsPerQubit(); ++w)
+            EXPECT_EQ(ens.validMask(w), 0u);
+    }
+}
+
+TEST(Simd, TailAndPaddingStayZeroThroughPropagation)
+{
+    // Paths not a multiple of 64 leave tail bits in the last data
+    // word and whole padding words; both must stay zero through noisy
+    // ensemble propagation at every tier.
+    Rng rng(4242);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    FeynmanExecutor exec(qc.circuit);
+    GateNoise noise(PauliRates::depolarizing(0.02));
+
+    for (std::size_t np : {std::size_t(3), std::size_t(65),
+                           std::size_t(70)}) {
+        PathEnsemble in(qc.circuit.numQubits(), np);
+        for (std::size_t k = 0; k < np; ++k)
+            for (unsigned b = 0; b < 3; ++b)
+                in.set(qc.addressQubits[b], k, (k >> b) & 1);
+
+        for (simd::Tier tier : supportedTiers()) {
+            SCOPED_TRACE(simd::tierName(tier));
+            TierGuard guard(tier);
+            ErrorRealization errors = noise.sample(exec, rng);
+            FlatRealization flat;
+            exec.flatten(errors, flat);
+            PathEnsemble out = exec.runFlatEnsemble(in, flat);
+            for (std::size_t q = 0; q < out.numQubits(); ++q)
+                for (std::size_t w = 0; w < out.wordsPerQubit(); ++w)
+                    EXPECT_EQ(out.row(q)[w] & ~out.validMask(w), 0u)
+                        << "q=" << q << " w=" << w;
+        }
+    }
+}
+
+// --- Engine-level bit identity across tiers ---------------------------
+
+TEST(Simd, EnsemblePropagationBitIdenticalAcrossTiers)
+{
+    Rng rng(90125);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    FeynmanExecutor exec(qc.circuit);
+    const std::size_t nq = qc.circuit.numQubits();
+    GateNoise noise(PauliRates::depolarizing(5e-3));
+
+    // 65 paths: duplicate some addresses so the tail word is in play.
+    const std::size_t np = 65;
+    std::vector<PathState> inputs;
+    PathEnsemble in(nq, np);
+    for (std::size_t k = 0; k < np; ++k) {
+        PathState p(nq);
+        for (unsigned b = 0; b < 3; ++b)
+            p.bits.set(qc.addressQubits[b], (k >> b) & 1);
+        in.scatterPath(k, p.bits);
+        inputs.push_back(std::move(p));
+    }
+
+    for (int shot = 0; shot < 4; ++shot) {
+        ErrorRealization errors = noise.sample(exec, rng);
+        FlatRealization flat;
+        exec.flatten(errors, flat);
+
+        BitVec gathered(nq);
+        for (simd::Tier tier : supportedTiers()) {
+            SCOPED_TRACE(simd::tierName(tier));
+            TierGuard guard(tier);
+            PathEnsemble out = exec.runFlatEnsemble(in, flat);
+            for (std::size_t k = 0; k < np; ++k) {
+                PathState ref =
+                    exec.runNoisyReference(inputs[k], errors);
+                out.gatherPath(k, gathered);
+                EXPECT_EQ(gathered, ref.bits) << "path " << k;
+                EXPECT_EQ(out.phase(k), ref.phase) << "path " << k;
+            }
+        }
+    }
+}
+
+TEST(Simd, EstimatorBitIdenticalAcrossTiers)
+{
+    // Fixed-seed estimates (empty, Z-only and batched general replay
+    // paths all exercised) must not depend on the dispatch tier.
+    Rng rng(60309);
+    Memory mem = Memory::random(4, rng);
+    QueryCircuit qc = VirtualQram(3, 1).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(4));
+    GateNoise depol(PauliRates::depolarizing(3e-3));
+    QubitChannelNoise zchan(PauliRates::phaseFlip(2e-3));
+
+    FidelityResult depolRef, zRef;
+    bool first = true;
+    for (simd::Tier tier : supportedTiers()) {
+        SCOPED_TRACE(simd::tierName(tier));
+        TierGuard guard(tier);
+        FidelityResult d = est.estimate(depol, 48, 2023);
+        FidelityResult z = est.estimate(zchan, 48, 2024);
+        if (first) {
+            depolRef = d;
+            zRef = z;
+            first = false;
+            continue;
+        }
+        EXPECT_EQ(d.full, depolRef.full);
+        EXPECT_EQ(d.reduced, depolRef.reduced);
+        EXPECT_EQ(d.fullStderr, depolRef.fullStderr);
+        EXPECT_EQ(z.full, zRef.full);
+        EXPECT_EQ(z.reduced, zRef.reduced);
+        EXPECT_EQ(z.reducedStderr, zRef.reducedStderr);
+    }
+}
+
+// --- Batched replay and sweep sampling --------------------------------
+
+TEST(Simd, BatchedEstimateIdenticalToPerShotLoop)
+{
+    // estimate() samples shots ahead and replays general realizations
+    // in batched ensemble passes; the result must match a manual
+    // shot-by-shot loop (same RNG stream, same reduction order) bit
+    // for bit — threaded mode included (thread-count invariance).
+    Rng rng(5150);
+    Memory mem = Memory::random(4, rng);
+    QueryCircuit qc = VirtualQram(3, 1).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(4));
+    GateNoise noise(PauliRates::depolarizing(4e-3));
+
+    const std::size_t shots = 160; // > kShotChunk: several chunks
+    const std::uint64_t seed = 31337;
+
+    noise.prepare(est.executor());
+    Rng shotRng(seed);
+    FlatRealization errors;
+    double sumF = 0.0, sumF2 = 0.0, sumR = 0.0, sumR2 = 0.0;
+    for (std::size_t s = 0; s < shots; ++s) {
+        noise.sampleFlat(est.executor(), shotRng, errors);
+        double f = 0.0, r = 0.0;
+        est.shotFidelity(errors, f, r);
+        sumF += f;
+        sumF2 += f * f;
+        sumR += r;
+        sumR2 += r * r;
+    }
+    const double n = static_cast<double>(shots);
+
+    FidelityResult batched = est.estimate(noise, shots, seed);
+    EXPECT_EQ(batched.full, sumF / n);
+    EXPECT_EQ(batched.reduced, sumR / n);
+
+    FidelityResult mt2 = est.estimate(noise, shots, seed, 2);
+    FidelityResult mt4 = est.estimate(noise, shots, seed, 4);
+    EXPECT_EQ(mt2.full, mt4.full);
+    EXPECT_EQ(mt2.reduced, mt4.reduced);
+    EXPECT_EQ(mt2.fullStderr, mt4.fullStderr);
+}
+
+TEST(Simd, SweepPointsMatchScaledEstimatesBitForBit)
+{
+    // Every point of estimateSweep must equal estimate() with the
+    // rates scaled by that point's factor: the sweep draws the same
+    // uniforms and compares them against identically computed
+    // thresholds.
+    Rng rng(8086);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = VirtualQram(2, 1).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(3));
+
+    const PauliRates base{1e-3, 5e-4, 2e-3};
+    const unsigned rounds = QubitChannelNoise::virtualQramRounds(2, 1);
+    QubitChannelNoise noise(base, rounds);
+
+    const std::vector<double> factors = {1.0, 0.1, 3.0};
+    const std::size_t shots = 96;
+    const std::uint64_t seed = 777;
+
+    std::vector<FidelityResult> sweep =
+        est.estimateSweep(noise, factors, shots, seed);
+    ASSERT_EQ(sweep.size(), factors.size());
+    for (std::size_t j = 0; j < factors.size(); ++j) {
+        SCOPED_TRACE(factors[j]);
+        QubitChannelNoise scaled(base.scaled(factors[j]), rounds);
+        FidelityResult ref = est.estimate(scaled, shots, seed);
+        EXPECT_EQ(sweep[j].full, ref.full);
+        EXPECT_EQ(sweep[j].reduced, ref.reduced);
+        EXPECT_EQ(sweep[j].fullStderr, ref.fullStderr);
+        EXPECT_EQ(sweep[j].reducedStderr, ref.reducedStderr);
+    }
+
+    // Threaded sweep: per-shot counter streams, so each point matches
+    // the threaded scaled estimate bit for bit too.
+    std::vector<FidelityResult> sweepMt =
+        est.estimateSweep(noise, factors, shots, seed, 3);
+    for (std::size_t j = 0; j < factors.size(); ++j) {
+        QubitChannelNoise scaled(base.scaled(factors[j]), rounds);
+        FidelityResult ref = est.estimate(scaled, shots, seed, 3);
+        EXPECT_EQ(sweepMt[j].full, ref.full);
+        EXPECT_EQ(sweepMt[j].reduced, ref.reduced);
+    }
+}
+
+} // namespace
+} // namespace qramsim
