@@ -13,11 +13,121 @@
  * family (the intrinsic Z bias), and larger m needs larger eps_r.
  */
 
+#include <chrono>
+
 #include "bench_util.hh"
 #include "qram/virtual_qram.hh"
 #include "sim/fidelity.hh"
 
 using namespace qramsim;
+
+namespace {
+
+using bench::secondsSince;
+
+/**
+ * With --shards N > 1: time the heaviest sweep of the figure (m = 6,
+ * phase-flip) single-process vs N forked shard workers, cross-check
+ * the merge against the single-process counter-stream sweep bit for
+ * bit, and append a "sharded_sweep" record to the perf trajectory.
+ */
+void
+shardedSpeedupRecord(const bench::BenchArgs &args,
+                     const std::vector<double> &epsR, double epsBase)
+{
+    const unsigned m = 6;
+    Rng rng(args.seed + m);
+    Memory mem = Memory::random(m, rng);
+    QueryCircuit qc = VirtualQram(m, 0).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(m));
+    QubitChannelNoise noise(
+        PauliRates::phaseFlip(epsBase),
+        QubitChannelNoise::virtualQramRounds(m, 0));
+    const std::uint64_t seed = args.seed + m * 1000;
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto single = bench::sweepEpsR(est, noise, epsR, args.shots,
+                                         seed, args.threads);
+    const double singleSec = secondsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    const auto sharded = bench::sweepEpsRSharded(
+        est, noise, epsR, args.shots, seed, args.shards,
+        args.threads);
+    const double shardedSec = secondsSince(t0);
+
+    // The sharded merge must reproduce the single-process
+    // counter-stream sweep exactly. When the timed baseline already
+    // ran counter streams (--threads > 1) it doubles as the
+    // reference; otherwise (sequential one-Rng baseline, compared
+    // statistically, not bitwise) run the reference once more. With
+    // shots <= 1 estimateSweep always falls back to the sequential
+    // stream, so no counter-stream reference exists — skip the check
+    // (and record that it was skipped).
+    const bool checked = args.shots > 1;
+    if (checked) {
+        const auto counterRef =
+            (args.threads > 1)
+                ? single
+                : bench::sweepEpsR(est, noise, epsR, args.shots, seed,
+                                   2);
+        bool identical = true;
+        for (std::size_t i = 0; i < epsR.size(); ++i)
+            identical =
+                identical && sharded[i].full == counterRef[i].full &&
+                sharded[i].reduced == counterRef[i].reduced &&
+                sharded[i].fullStderr == counterRef[i].fullStderr &&
+                sharded[i].reducedStderr ==
+                    counterRef[i].reducedStderr;
+        if (!identical) {
+            std::fprintf(stderr,
+                         "sharded merge diverged from the "
+                         "single-process counter-stream sweep\n");
+            std::exit(1);
+        }
+    }
+
+    const double speedup = shardedSec > 0.0 ? singleSec / shardedSec
+                                            : 0.0;
+    std::printf("sharded sweep (m=%u, %zu shots x %zu points): "
+                "%.3fs single-process, %.3fs with %u shards "
+                "(%.2fx), merge %s\n",
+                m, args.shots, epsR.size(), singleSec, shardedSec,
+                args.shards, speedup,
+                checked ? "bit-identical" : "check skipped (shots<=1)");
+    if (args.jsonPath.empty())
+        return;
+    char record[768];
+    std::snprintf(
+        record, sizeof record,
+        "  {\n"
+        "    \"bench\": \"sharded_sweep\",\n"
+        "    \"date\": \"%s\",\n"
+        "    \"git\": \"%s\",\n"
+        "    \"workload\": \"virtual_qram m=6 k=0 phase-flip "
+        "eps_r sweep\",\n"
+        "    \"shots\": %zu,\n"
+        "    \"points\": %zu,\n"
+        "    \"shards\": %u,\n"
+        "    \"threads\": %u,\n"
+        "    \"single_proc_sec\": %.6g,\n"
+        "    \"sharded_sec\": %.6g,\n"
+        "    \"speedup\": %.4g,\n"
+        "    \"merge_bit_identical\": %s\n"
+        "  }",
+        bench::isoDateUtc().c_str(), bench::gitRevision().c_str(),
+        args.shots, epsR.size(), args.shards, args.threads,
+        singleSec, shardedSec, speedup,
+        checked ? "true" : "false");
+    if (!bench::appendJsonRecord(args.jsonPath, record))
+        std::fprintf(stderr, "cannot write %s\n",
+                     args.jsonPath.c_str());
+    else
+        std::printf("appended sharded_sweep record to %s\n",
+                    args.jsonPath.c_str());
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -48,10 +158,9 @@ main(int argc, char **argv)
                 phaseFlip ? PauliRates::phaseFlip(epsBase)
                           : PauliRates::bitFlip(epsBase),
                 QubitChannelNoise::virtualQramRounds(m, 0));
-            byM.push_back(bench::sweepEpsR(est, noise, epsR,
-                                           args.shots,
-                                           args.seed + m * 1000,
-                                           args.threads));
+            byM.push_back(bench::sweepEpsRSharded(
+                est, noise, epsR, args.shots, args.seed + m * 1000,
+                args.shards, args.threads));
         }
         for (std::size_t i = 0; i < epsR.size(); ++i) {
             std::vector<std::string> row{Table::fmt(epsR[i], 1)};
@@ -61,5 +170,7 @@ main(int argc, char **argv)
         }
         bench::emit(t, args, phaseFlip ? "fig10_z" : "fig10_x");
     }
+    if (args.shards > 1)
+        shardedSpeedupRecord(args, epsR, epsBase);
     return 0;
 }

@@ -45,9 +45,11 @@ main(int argc, char **argv)
                     phaseFlip ? PauliRates::phaseFlip(epsBase)
                               : PauliRates::bitFlip(epsBase),
                     QubitChannelNoise::virtualQramRounds(m, k));
-                cells[(m - 1) * (maxK + 1) + k] = bench::sweepEpsR(
-                    est, noise, epsR, args.shots,
-                    args.seed + m * 64 + k * 8, args.threads);
+                cells[(m - 1) * (maxK + 1) + k] =
+                    bench::sweepEpsRSharded(
+                        est, noise, epsR, args.shots,
+                        args.seed + m * 64 + k * 8, args.shards,
+                        args.threads);
             }
         }
         for (std::size_t i = 0; i < epsR.size(); ++i) {

@@ -6,11 +6,18 @@
  * kernel-level regressions stay visible independently of the
  * end-to-end shot rate.
  *
- *   bench_kernels --json FILE [--paths N] [--budget-ms T]
+ *   bench_kernels --json FILE [--paths N] [--budget-ms T] [--m M]
  *
  * One "row" is one kernel application over a full bit-across-paths
  * row of N paths (the PathEnsemble layout: padded stride, 64-byte
  * aligned, tail bits masked by the valid row).
+ *
+ * The record also carries a replay-batch width sweep: estimator
+ * shots/sec on a bucket-brigade m=M depolarizing workload (general
+ * replay path) at each batch width, plus the best width — per-host
+ * tuning data for the QRAMSIM_REPLAY_BATCH / setReplayBatch knob.
+ * Every width produces bit-identical results, so this is purely a
+ * throughput surface.
  */
 
 #include <chrono>
@@ -22,18 +29,14 @@
 #include "common/pathensemble.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
+#include "qram/bucket_brigade.hh"
+#include "sim/fidelity.hh"
 
 using namespace qramsim;
 
 namespace {
 
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
+using bench::secondsSince;
 
 /** Run fn(iters) with doubling counts until it fills budgetSec. */
 template <typename F>
@@ -64,6 +67,7 @@ main(int argc, char **argv)
     std::string jsonPath;
     std::size_t paths = 4096;
     double budgetSec = 0.05;
+    unsigned m = 6;
     for (int i = 1; i < argc; ++i) {
         auto want = [&](const char *flag) {
             return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -74,6 +78,9 @@ main(int argc, char **argv)
             paths = std::strtoull(argv[++i], nullptr, 10);
         else if (want("--budget-ms"))
             budgetSec = std::strtod(argv[++i], nullptr) / 1000.0;
+        else if (want("--m"))
+            m = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
     }
 
     // An 8-row ensemble provides the aligned layout, the valid-mask
@@ -155,6 +162,43 @@ main(int argc, char **argv)
     if (sink == 0xdeadbeefdeadbeefull) // defeat dead-code elimination
         std::printf("  (sink)\n");
 
+    // Replay-batch width sweep: depolarizing gate noise keeps nearly
+    // every shot on the general (batched-ensemble) replay path, so
+    // the shots/sec surface over the width exposes the best batch
+    // for this host's cache hierarchy.
+    Rng rng2(7);
+    Memory mem = Memory::random(m, rng2);
+    QueryCircuit qc = BucketBrigadeQram(m).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(m));
+    GateNoise depol(PauliRates::depolarizing(1e-3));
+    std::printf("  replay-batch sweep (bucket-brigade m=%u, "
+                "depolarizing):\n", m);
+    std::string batchJson;
+    std::size_t bestWidth = 0;
+    double bestSps = 0.0;
+    for (std::size_t width : {1, 2, 4, 8, 16, 32, 64}) {
+        est.setReplayBatch(width);
+        // One "iter" is one Monte Carlo shot here.
+        const double sps = itersPerSecond(
+            [&](std::size_t shots) {
+                est.estimate(depol, shots, 11);
+            },
+            budgetSec);
+        std::printf("    width %2zu: %.3g shots/s\n", width, sps);
+        if (sps > bestSps) {
+            bestSps = sps;
+            bestWidth = width;
+        }
+        char bbuf[160];
+        std::snprintf(bbuf, sizeof bbuf,
+                      "%s      {\"width\": %zu, "
+                      "\"shots_per_sec\": %.6g}",
+                      batchJson.empty() ? "" : ",\n", width, sps);
+        batchJson += bbuf;
+    }
+    std::printf("    best width: %zu\n", bestWidth);
+
     if (jsonPath.empty())
         return 0;
 
@@ -171,7 +215,13 @@ main(int argc, char **argv)
                   "    \"paths\": %zu,\n    \"row_words\": %zu,\n",
                   paths, nw);
     record += head;
-    record += "    \"tiers\": [\n" + tiersJson + "\n    ]\n  }";
+    record += "    \"tiers\": [\n" + tiersJson + "\n    ],\n";
+    char batchHead[96];
+    std::snprintf(batchHead, sizeof batchHead,
+                  "    \"replay_batch_m\": %u,\n"
+                  "    \"best_replay_batch\": %zu,\n", m, bestWidth);
+    record += batchHead;
+    record += "    \"replay_batch\": [\n" + batchJson + "\n    ]\n  }";
 
     if (!bench::appendJsonRecord(jsonPath, record)) {
         std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());

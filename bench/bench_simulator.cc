@@ -178,13 +178,7 @@ class SeedEstimator
     std::vector<std::uint64_t> idealVisible;
 };
 
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
+using bench::secondsSince;
 
 /** Run fn(shots) with doubling shot counts until it fills budgetSec. */
 template <typename F>

@@ -1,10 +1,12 @@
 /**
  * @file
  * Shared plumbing for the table/figure benchmark binaries: flag
- * parsing (--shots N, --csv DIR, --seed S, --threads N — the latter
- * also reads the QRAMSIM_THREADS environment variable), the standard
- * header each binary prints so outputs are self-describing, the
- * eps_r sweep wrapper over FidelityEstimator::estimateSweep, and the
+ * parsing (--shots N, --csv DIR, --seed S, --threads N, --shards N,
+ * --json FILE — threads also reads the QRAMSIM_THREADS environment
+ * variable), the standard header each binary prints so outputs are
+ * self-describing, the eps_r sweep wrappers over
+ * FidelityEstimator::estimateSweep (single-process and fork-sharded
+ * through the sim/sharding.hh plan → execute → merge path), and the
  * appendable perf-trajectory record writer (BENCH_simulator.json is a
  * JSON array of dated records, one appended per bench run).
  */
@@ -13,8 +15,11 @@
 #define QRAMSIM_BENCH_BENCH_UTIL_HH
 
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "sim/fidelity.hh"
+#include "sim/sharding.hh"
 
 namespace qramsim::bench {
 
@@ -40,6 +47,16 @@ struct BenchArgs
      * when set; --threads overrides.
      */
     unsigned threads = 1;
+
+    /**
+     * Worker processes for sweeps (--shards N): shot ranges are
+     * partitioned, forked out, and merged through the sharding
+     * subsystem (sweepEpsRSharded); 1 = single-process.
+     */
+    unsigned shards = 1;
+
+    /** Perf-trajectory file to append dated records to (--json). */
+    std::string jsonPath;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -68,7 +85,20 @@ struct BenchArgs
                 a.seed = std::strtoull(argv[++i], nullptr, 10);
             else if (want("--csv"))
                 a.csvDir = argv[++i];
-            else if (want("--threads")) {
+            else if (want("--json"))
+                a.jsonPath = argv[++i];
+            else if (want("--shards")) {
+                const char *arg = argv[++i];
+                char *end = nullptr;
+                unsigned long v = std::strtoul(arg, &end, 10);
+                if (end != arg && *end == '\0' && v > 0 &&
+                    arg[0] != '-')
+                    a.shards = static_cast<unsigned>(v);
+                else
+                    std::fprintf(stderr,
+                                 "warning: ignoring malformed "
+                                 "--shards '%s'\n", arg);
+            } else if (want("--threads")) {
                 const char *arg = argv[++i];
                 char *end = nullptr;
                 unsigned long v = std::strtoul(arg, &end, 10);
@@ -83,6 +113,15 @@ struct BenchArgs
         return a;
     }
 };
+
+/** Seconds elapsed since @p t0 (bench timing convention). */
+inline double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
 
 /** Print the standard experiment banner. */
 inline void
@@ -117,6 +156,105 @@ sweepEpsR(const FidelityEstimator &est, const NoiseModel &noise,
     for (std::size_t i = 0; i < epsR.size(); ++i)
         factors[i] = 1.0 / epsR[i];
     return est.estimateSweep(noise, factors, shots, seed, threads);
+}
+
+/**
+ * Run a sharded sweep of raw rate-scale @p factors across
+ * @p shards forked worker processes: partition the shot budget
+ * (SweepPlan::partition, counter streams), fork one worker per
+ * shard, ship each PartialEstimate back through a pipe as JSON (the
+ * same serialization remote shards use), merge, finalize. The merged
+ * results are bit-identical to the single-process counter-stream
+ * estimateSweep (threads > 1) for any shard count. Panics on worker
+ * failure — this is bench plumbing, not a job scheduler.
+ */
+inline std::vector<FidelityResult>
+sweepFactorsSharded(const FidelityEstimator &est,
+                    const NoiseModel &noise,
+                    const std::vector<double> &factors,
+                    std::size_t shots, std::uint64_t seed,
+                    unsigned shards, unsigned threads)
+{
+    if (shards <= 1)
+        return est.estimateSweep(noise, factors, shots, seed,
+                                 threads);
+    SweepPlan plan =
+        SweepPlan::partition(shots, shards, seed, factors);
+    struct Worker
+    {
+        pid_t pid;
+        int fd;
+    };
+    std::vector<Worker> workers;
+    workers.reserve(plan.shards.size());
+    for (ShardSpec spec : plan.shards) {
+        int fds[2];
+        QRAMSIM_ASSERT(pipe(fds) == 0, "pipe failed");
+        pid_t pid = fork();
+        QRAMSIM_ASSERT(pid >= 0, "fork failed");
+        if (pid == 0) {
+            // Worker: evaluate the shard, stream its partial JSON to
+            // the parent, and exit without running atexit handlers.
+            close(fds[0]);
+            spec.threads = threads;
+            const std::string json =
+                est.runShard(noise, spec).toJson();
+            std::size_t off = 0;
+            while (off < json.size()) {
+                ssize_t nw = write(fds[1], json.data() + off,
+                                   json.size() - off);
+                if (nw <= 0)
+                    _exit(3);
+                off += static_cast<std::size_t>(nw);
+            }
+            close(fds[1]);
+            _exit(0);
+        }
+        close(fds[1]);
+        workers.push_back({pid, fds[0]});
+    }
+
+    // Drain every pipe in turn (workers run concurrently; a worker
+    // blocked on a full pipe resumes when its turn comes — no
+    // circular wait), then reap.
+    std::vector<PartialEstimate> parts;
+    parts.reserve(workers.size());
+    for (const Worker &w : workers) {
+        std::string json;
+        char buf[1 << 16];
+        ssize_t nr;
+        while ((nr = read(w.fd, buf, sizeof buf)) > 0)
+            json.append(buf, static_cast<std::size_t>(nr));
+        close(w.fd);
+        int status = 0;
+        QRAMSIM_ASSERT(waitpid(w.pid, &status, 0) == w.pid,
+                       "waitpid failed");
+        QRAMSIM_ASSERT(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                       "shard worker failed");
+        PartialEstimate part;
+        std::string err;
+        QRAMSIM_ASSERT(PartialEstimate::fromJson(json, part, &err),
+                       "bad shard partial: ", err);
+        parts.push_back(std::move(part));
+    }
+    PartialEstimate merged;
+    std::string err;
+    QRAMSIM_ASSERT(mergePartials(std::move(parts), merged, &err),
+                   "shard merge failed: ", err);
+    return merged.finalize();
+}
+
+/** Sharded twin of sweepEpsR (factors = 1 / eps_r). */
+inline std::vector<FidelityResult>
+sweepEpsRSharded(const FidelityEstimator &est, const NoiseModel &noise,
+                 const std::vector<double> &epsR, std::size_t shots,
+                 std::uint64_t seed, unsigned shards, unsigned threads)
+{
+    std::vector<double> factors(epsR.size());
+    for (std::size_t i = 0; i < epsR.size(); ++i)
+        factors[i] = 1.0 / epsR[i];
+    return sweepFactorsSharded(est, noise, factors, shots, seed,
+                               shards, threads);
 }
 
 /** Today's date (UTC) as YYYY-MM-DD, for trajectory records. */

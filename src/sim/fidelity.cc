@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 namespace qramsim {
@@ -93,6 +95,20 @@ FidelityEstimator::FidelityEstimator(
 {
     QRAMSIM_ASSERT(addrQubits.size() + 1 <= 64,
                    "visible register too wide to pack");
+
+    // Replay-batch width: QRAMSIM_REPLAY_BATCH overrides the default;
+    // malformed values are ignored loudly (like QRAMSIM_THREADS).
+    if (const char *env = std::getenv("QRAMSIM_REPLAY_BATCH")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        // strtoul wraps negatives to huge values; reject them too.
+        if (end != env && *end == '\0' && v > 0 && env[0] != '-')
+            setReplayBatch(static_cast<std::size_t>(v));
+        else
+            std::fprintf(stderr,
+                         "warning: ignoring malformed "
+                         "QRAMSIM_REPLAY_BATCH='%s'\n", env);
+    }
 
     // The working state of the construction pass is the bit-sliced
     // ensemble itself: address bits scattered column-wise, phases 1.
@@ -488,23 +504,27 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
 
 void
 FidelityEstimator::evalShots(const FlatRealization *reals,
-                             std::size_t n,
-                             std::vector<ShotWorkspace> &wss,
+                             std::size_t n, EvalScratch &scratch,
                              double *fs, double *rs) const
 {
-    if (wss.size() < kReplayBatch)
-        wss.resize(kReplayBatch);
+    std::vector<ShotWorkspace> &wss = scratch.wss;
+    if (wss.size() < replayBatchN)
+        wss.resize(replayBatchN);
+    if (scratch.queue.size() < replayBatchN) {
+        scratch.queue.resize(replayBatchN);
+        scratch.slots.resize(replayBatchN);
+    }
     const std::uint32_t numOps =
         static_cast<std::uint32_t>(exec.stream().size());
     const std::uint32_t lastCkpt =
         static_cast<std::uint32_t>(ckpts.size() - 1);
 
-    // General realizations queue up and replay kReplayBatch at a time
+    // General realizations queue up and replay replayBatchN at a time
     // through one shared ensemble pass; empty / Z-only / scalar-oracle
     // realizations resolve immediately. Results land at their own
     // indices, so the caller's reduction order is untouched.
-    std::size_t queue[kReplayBatch];
-    FeynmanExecutor::EnsembleReplaySlot slots[kReplayBatch];
+    std::size_t *queue = scratch.queue.data();
+    FeynmanExecutor::EnsembleReplaySlot *slots = scratch.slots.data();
     std::size_t qn = 0;
 
     auto flush = [&]() {
@@ -537,7 +557,7 @@ FidelityEstimator::evalShots(const FlatRealization *reals,
             shotFlat(r, wss[0], fs[j], rs[j]);
         } else {
             queue[qn++] = j;
-            if (qn == kReplayBatch)
+            if (qn == replayBatchN)
                 flush();
         }
     }
@@ -592,101 +612,227 @@ FidelityEstimator::shotFidelity(const ErrorRealization &errors,
     shotFlat(flat, ws, fullOut, reducedOut);
 }
 
+std::size_t
+FidelityEstimator::setReplayBatch(std::size_t n)
+{
+    replayBatchN = std::clamp<std::size_t>(n, 1, kShotChunk);
+    return replayBatchN;
+}
+
+PartialEstimate
+FidelityEstimator::runShard(const NoiseModel &noise,
+                            const ShardSpec &spec) const
+{
+    return runShardImpl(noise, spec, /*keepRows=*/true);
+}
+
+PartialEstimate
+FidelityEstimator::runShardImpl(const NoiseModel &noise,
+                                const ShardSpec &spec,
+                                bool keepRows) const
+{
+    QRAMSIM_ASSERT(spec.shotBegin <= spec.shotEnd &&
+                   spec.shotEnd <= spec.totalShots,
+                   "malformed shard shot range");
+    const std::size_t npts =
+        spec.factors.empty() ? 1 : spec.factors.size();
+    if (spec.factors.empty())
+        noise.prepare(exec);
+    else
+        noise.prepareSweep(exec, spec.factors.data(), npts);
+
+    PartialEstimate part;
+    part.shotBegin = spec.shotBegin;
+    part.shotEnd = spec.shotEnd;
+    part.totalShots = spec.totalShots;
+    part.seed = spec.seed;
+    part.stream = spec.stream;
+    part.factors = spec.factors;
+    part.numPoints = npts;
+    const std::size_t n = spec.shots();
+
+    unsigned threads = spec.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    if (spec.stream == ShotStream::Sequential)
+        threads = 1; // one Mersenne stream cannot be split
+    if (threads > 1) {
+        threads = static_cast<unsigned>(std::min<std::size_t>(
+            threads, std::max<std::size_t>(1, n)));
+    }
+
+    // Summary-only mode (estimate()/estimateSweep() single-threaded):
+    // values are reduced chunk by chunk in shot order — identical
+    // arithmetic — without materializing O(shots) rows. The threaded
+    // mode always keeps rows; it needs them for the deterministic
+    // shot-order reduction anyway.
+    const bool summaryOnly = !keepRows && threads <= 1;
+    if (!summaryOnly) {
+        part.full.assign(n * npts, 0.0);
+        part.reduced.assign(n * npts, 0.0);
+    }
+    std::vector<double> aF(npts, 0.0), aF2(npts, 0.0),
+        aR(npts, 0.0), aR2(npts, 0.0);
+
+    // Rows are indexed by GLOBAL shot: the value of (shot s, point j)
+    // lives at [(s - shotBegin)*npts + j]. All loops below run over
+    // global shot indices so per-shot draws are partition-invariant.
+    auto rowsAt = [&](std::size_t globalShot) {
+        return (globalShot - spec.shotBegin) * npts;
+    };
+
+    // The per-chunk evaluation bodies (plain estimate vs sweep),
+    // shared by every stream/thread dispatch below. Each evaluates
+    // global shots [begin, end) using makeRng(s) for shot s's draws.
+    auto plainRange = [&](auto makeRng, std::size_t begin,
+                          std::size_t end) {
+        std::vector<FlatRealization> reals(std::min<std::size_t>(
+            std::max<std::size_t>(1, end - begin), kShotChunk));
+        EvalScratch scratch;
+        std::vector<double> fbuf, rbuf;
+        if (summaryOnly) {
+            fbuf.resize(reals.size());
+            rbuf.resize(reals.size());
+        }
+        for (std::size_t base = begin; base < end;
+             base += kShotChunk) {
+            const std::size_t nThis = std::min(kShotChunk, end - base);
+            for (std::size_t j = 0; j < nThis; ++j) {
+                auto &&rng = makeRng(base + j);
+                noise.sampleFlat(exec, rng, reals[j]);
+            }
+            double *fs = summaryOnly ? fbuf.data()
+                                     : part.full.data() + rowsAt(base);
+            double *rs = summaryOnly
+                             ? rbuf.data()
+                             : part.reduced.data() + rowsAt(base);
+            evalShots(reals.data(), nThis, scratch, fs, rs);
+            if (summaryOnly) {
+                for (std::size_t j = 0; j < nThis; ++j) {
+                    aF[0] += fs[j];
+                    aF2[0] += fs[j] * fs[j];
+                    aR[0] += rs[j];
+                    aR2[0] += rs[j] * rs[j];
+                }
+            }
+        }
+    };
+    auto sweepRange = [&](auto makeRng, std::size_t begin,
+                          std::size_t end) {
+        std::vector<FlatRealization> reals(npts);
+        EvalScratch scratch;
+        std::vector<double> fbuf, rbuf;
+        if (summaryOnly) {
+            fbuf.resize(npts);
+            rbuf.resize(npts);
+        }
+        for (std::size_t s = begin; s < end; ++s) {
+            auto &&rng = makeRng(s);
+            const bool ok = noise.sampleFlatSweep(
+                exec, rng, spec.factors.data(), npts, reals.data());
+            QRAMSIM_ASSERT(ok, "noise model '", noise.name(),
+                           "' has no sweep sampler");
+            // One shot's sweep points replay as one ensemble batch.
+            double *fs = summaryOnly ? fbuf.data()
+                                     : part.full.data() + rowsAt(s);
+            double *rs = summaryOnly ? rbuf.data()
+                                     : part.reduced.data() + rowsAt(s);
+            evalShots(reals.data(), npts, scratch, fs, rs);
+            if (summaryOnly) {
+                for (std::size_t j = 0; j < npts; ++j) {
+                    aF[j] += fs[j];
+                    aF2[j] += fs[j] * fs[j];
+                    aR[j] += rs[j];
+                    aR2[j] += rs[j] * rs[j];
+                }
+            }
+        }
+    };
+
+    // Stream / thread dispatch, shared by both bodies.
+    auto dispatch = [&](auto &&range) {
+        if (spec.stream == ShotStream::Sequential) {
+            // The sequential stream draws shots [0, shotEnd) in order
+            // from one Rng(seed); a shard not starting at 0
+            // fast-forwards by sampling-and-discarding the earlier
+            // shots. Exact — every sampler consumes a fixed number of
+            // uniforms per shot, and sampleFlat consumes the
+            // identical draw sequence as sampleFlatSweep, so it
+            // serves as the cheaper skipper for sweep shards too.
+            Rng rng(spec.seed);
+            FlatRealization skip;
+            for (std::size_t s = 0; s < spec.shotBegin; ++s)
+                noise.sampleFlat(exec, rng, skip);
+            range([&](std::size_t) -> Rng & { return rng; },
+                  spec.shotBegin, spec.shotEnd);
+        } else if (threads <= 1) {
+            range([&](std::size_t s) {
+                      return CounterRng(spec.seed, s);
+                  },
+                  spec.shotBegin, spec.shotEnd);
+        } else {
+            // In-process shards: each worker thread evaluates a
+            // contiguous sub-range through the same counter streams.
+            std::vector<std::thread> pool;
+            pool.reserve(threads);
+            const std::size_t chunk = (n + threads - 1) / threads;
+            for (unsigned t = 0; t < threads; ++t) {
+                const std::size_t begin =
+                    spec.shotBegin + std::size_t(t) * chunk;
+                const std::size_t end =
+                    std::min(begin + chunk, spec.shotEnd);
+                if (begin >= end)
+                    break;
+                pool.emplace_back([&range, &spec, begin, end] {
+                    range([&spec](std::size_t s) {
+                              return CounterRng(spec.seed, s);
+                          },
+                          begin, end);
+                });
+            }
+            for (auto &th : pool)
+                th.join();
+        }
+    };
+
+    if (spec.factors.empty())
+        dispatch(plainRange);
+    else
+        dispatch(sweepRange);
+
+    if (summaryOnly) {
+        part.sumF = std::move(aF);
+        part.sumF2 = std::move(aF2);
+        part.sumR = std::move(aR);
+        part.sumR2 = std::move(aR2);
+    } else {
+        part.recomputeSums();
+    }
+    return part;
+}
+
 FidelityResult
 FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
                             std::uint64_t seed, unsigned threads) const
 {
-    noise.prepare(exec);
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
-    if (threads > 1 && shots > 1) {
-        threads = static_cast<unsigned>(
-            std::min<std::size_t>(threads, shots));
-    }
 
-    double sumF = 0.0, sumF2 = 0.0, sumR = 0.0, sumR2 = 0.0;
-
-    if (threads <= 1 || shots <= 1) {
-        // Sequential: one RNG stream, consumed in shot order.
-        // Sampling a chunk of shots ahead draws the identical
-        // sequence the per-shot loop would (sampling reads only the
-        // RNG), and per-shot values are reduced in shot order, so
-        // this stays bit-identical to the original estimator while
-        // letting evalShots batch the general replays.
-        Rng rng(seed);
-        const std::size_t chunk = std::min(shots, kShotChunk);
-        std::vector<FlatRealization> reals(chunk);
-        std::vector<ShotWorkspace> wss;
-        std::vector<double> fs(chunk), rs(chunk);
-        for (std::size_t base = 0; base < shots; base += chunk) {
-            const std::size_t nThis = std::min(chunk, shots - base);
-            for (std::size_t j = 0; j < nThis; ++j)
-                noise.sampleFlat(exec, rng, reals[j]);
-            evalShots(reals.data(), nThis, wss, fs.data(), rs.data());
-            for (std::size_t j = 0; j < nThis; ++j) {
-                sumF += fs[j];
-                sumF2 += fs[j] * fs[j];
-                sumR += rs[j];
-                sumR2 += rs[j] * rs[j];
-            }
-        }
-    } else {
-        // Parallel: shot s draws from its own counter-based
-        // CounterRng(seed, s) stream — two multiplies to construct
-        // instead of a 312-word twister fill, so wide circuits no
-        // longer pay a per-shot seeding tax. The result depends only
-        // on (seed, shots). Per-shot values are reduced in shot order
-        // so the sums are thread-count invariant too.
-        std::vector<double> fs(shots, 0.0), rs(shots, 0.0);
-        auto worker = [&](std::size_t begin, std::size_t end) {
-            std::vector<FlatRealization> reals(
-                std::min(end - begin, kShotChunk));
-            std::vector<ShotWorkspace> wss;
-            for (std::size_t base = begin; base < end;
-                 base += kShotChunk) {
-                const std::size_t nThis =
-                    std::min(kShotChunk, end - base);
-                for (std::size_t j = 0; j < nThis; ++j) {
-                    CounterRng rng(seed, base + j);
-                    noise.sampleFlat(exec, rng, reals[j]);
-                }
-                evalShots(reals.data(), nThis, wss, fs.data() + base,
-                          rs.data() + base);
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        const std::size_t chunk = (shots + threads - 1) / threads;
-        for (unsigned t = 0; t < threads; ++t) {
-            const std::size_t begin = std::size_t(t) * chunk;
-            const std::size_t end = std::min(begin + chunk, shots);
-            if (begin >= end)
-                break;
-            pool.emplace_back(worker, begin, end);
-        }
-        for (auto &th : pool)
-            th.join();
-        for (std::size_t s = 0; s < shots; ++s) {
-            sumF += fs[s];
-            sumF2 += fs[s] * fs[s];
-            sumR += rs[s];
-            sumR2 += rs[s] * rs[s];
-        }
-    }
-
-    FidelityResult res;
-    res.shots = shots;
-    const double n = static_cast<double>(shots);
-    res.full = sumF / n;
-    res.reduced = sumR / n;
-    if (shots > 1) {
-        double varF = std::max(0.0, sumF2 / n - res.full * res.full);
-        double varR =
-            std::max(0.0, sumR2 / n - res.reduced * res.reduced);
-        res.fullStderr = std::sqrt(varF / (n - 1));
-        res.reducedStderr = std::sqrt(varR / (n - 1));
-    }
-    return res;
+    // One full-range shard through the sharding layer. The sequential
+    // mode keeps the one-Rng(seed) stream (bit-identical to the seed
+    // estimator); the threaded mode is the counter-stream shard split
+    // across in-process workers, with per-shot rows reduced in shot
+    // order — both exactly as before the sharding refactor.
+    ShardSpec spec;
+    spec.shotEnd = spec.totalShots = shots;
+    spec.seed = seed;
+    spec.threads = threads;
+    spec.stream = (threads <= 1 || shots <= 1)
+                      ? ShotStream::Sequential
+                      : ShotStream::Counter;
+    return runShardImpl(noise, spec, /*keepRows=*/false)
+        .finalize()
+        .front();
 }
 
 std::vector<FidelityResult>
@@ -696,95 +842,20 @@ FidelityEstimator::estimateSweep(const NoiseModel &noise,
                                  unsigned threads) const
 {
     const std::size_t npts = factors.size();
-    std::vector<FidelityResult> out(npts);
     if (npts == 0 || shots == 0)
-        return out;
-    noise.prepare(exec);
+        return std::vector<FidelityResult>(npts);
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
-    if (threads > 1 && shots > 1) {
-        threads = static_cast<unsigned>(
-            std::min<std::size_t>(threads, shots));
-    }
 
-    std::vector<double> sumF(npts, 0.0), sumF2(npts, 0.0),
-        sumR(npts, 0.0), sumR2(npts, 0.0);
-
-    if (threads <= 1 || shots <= 1) {
-        Rng rng(seed);
-        std::vector<FlatRealization> reals(npts);
-        std::vector<ShotWorkspace> wss;
-        std::vector<double> fs(npts), rs(npts);
-        for (std::size_t s = 0; s < shots; ++s) {
-            const bool ok = noise.sampleFlatSweep(
-                exec, rng, factors.data(), npts, reals.data());
-            QRAMSIM_ASSERT(ok, "noise model '", noise.name(),
-                           "' has no sweep sampler");
-            // One shot's sweep points replay as one ensemble batch.
-            evalShots(reals.data(), npts, wss, fs.data(), rs.data());
-            for (std::size_t j = 0; j < npts; ++j) {
-                sumF[j] += fs[j];
-                sumF2[j] += fs[j] * fs[j];
-                sumR[j] += rs[j];
-                sumR2[j] += rs[j] * rs[j];
-            }
-        }
-    } else {
-        std::vector<double> fs(shots * npts, 0.0),
-            rs(shots * npts, 0.0);
-        auto worker = [&](std::size_t begin, std::size_t end) {
-            std::vector<FlatRealization> reals(npts);
-            std::vector<ShotWorkspace> wss;
-            for (std::size_t s = begin; s < end; ++s) {
-                CounterRng rng(seed, s);
-                const bool ok = noise.sampleFlatSweep(
-                    exec, rng, factors.data(), npts, reals.data());
-                QRAMSIM_ASSERT(ok, "noise model '", noise.name(),
-                               "' has no sweep sampler");
-                evalShots(reals.data(), npts, wss,
-                          fs.data() + s * npts, rs.data() + s * npts);
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        const std::size_t chunk = (shots + threads - 1) / threads;
-        for (unsigned t = 0; t < threads; ++t) {
-            const std::size_t begin = std::size_t(t) * chunk;
-            const std::size_t end = std::min(begin + chunk, shots);
-            if (begin >= end)
-                break;
-            pool.emplace_back(worker, begin, end);
-        }
-        for (auto &th : pool)
-            th.join();
-        for (std::size_t s = 0; s < shots; ++s) {
-            for (std::size_t j = 0; j < npts; ++j) {
-                const double f = fs[s * npts + j];
-                const double r = rs[s * npts + j];
-                sumF[j] += f;
-                sumF2[j] += f * f;
-                sumR[j] += r;
-                sumR2[j] += r * r;
-            }
-        }
-    }
-
-    const double n = static_cast<double>(shots);
-    for (std::size_t j = 0; j < npts; ++j) {
-        FidelityResult &res = out[j];
-        res.shots = shots;
-        res.full = sumF[j] / n;
-        res.reduced = sumR[j] / n;
-        if (shots > 1) {
-            double varF =
-                std::max(0.0, sumF2[j] / n - res.full * res.full);
-            double varR = std::max(0.0, sumR2[j] / n -
-                                            res.reduced * res.reduced);
-            res.fullStderr = std::sqrt(varF / (n - 1));
-            res.reducedStderr = std::sqrt(varR / (n - 1));
-        }
-    }
-    return out;
+    ShardSpec spec;
+    spec.shotEnd = spec.totalShots = shots;
+    spec.seed = seed;
+    spec.threads = threads;
+    spec.factors = factors;
+    spec.stream = (threads <= 1 || shots <= 1)
+                      ? ShotStream::Sequential
+                      : ShotStream::Counter;
+    return runShardImpl(noise, spec, /*keepRows=*/false).finalize();
 }
 
 } // namespace qramsim

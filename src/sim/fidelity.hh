@@ -61,6 +61,7 @@
 
 #include "sim/feynman.hh"
 #include "sim/noise.hh"
+#include "sim/sharding.hh"
 
 namespace qramsim {
 
@@ -153,7 +154,7 @@ class FidelityEstimator
      *
      * Internally shots are sampled ahead in chunks (same RNG stream,
      * same draw order) and the general realizations of a chunk are
-     * replayed as one batched ensemble pass per kReplayBatch shots —
+     * replayed as one batched ensemble pass per replayBatch() shots —
      * shot-by-shot results and their reduction order are unchanged,
      * so both modes stay bit-identical to the per-shot loop.
      */
@@ -168,14 +169,51 @@ class FidelityEstimator
      * numbers, so the sweep is smooth in the factor and the sampling
      * cost is paid once per shot instead of once per point). The
      * points of a shot are replayed as one batched ensemble pass.
-     * Requires a model with sweep support (QubitChannelNoise);
-     * panics otherwise. A single factor f reproduces estimate() with
-     * all rates scaled by f bit for bit.
+     * Requires a model with sweep support (all bundled models:
+     * QubitChannelNoise, GateNoise, DeviceNoise); panics otherwise.
+     * A single factor f reproduces estimate() with all rates scaled
+     * by f bit for bit.
      */
     std::vector<FidelityResult>
     estimateSweep(const NoiseModel &noise,
                   const std::vector<double> &factors, std::size_t shots,
                   std::uint64_t seed, unsigned threads = 1) const;
+
+    /**
+     * Execute one shard of a partitioned estimate or sweep
+     * (sim/sharding.hh): evaluate the spec's global shot range and
+     * return its mergeable PartialEstimate. Shards share no mutable
+     * state, so disjoint specs may run concurrently, in other
+     * processes, or on other hosts; merging any partition of
+     * [0, totalShots) reproduces the single-process result for the
+     * spec's stream kind bit for bit (Sequential == estimate() with
+     * threads <= 1, Counter == the threaded estimate()). estimate()
+     * and estimateSweep() are themselves thin wrappers over a
+     * single full-range shard.
+     *
+     * Sequential-stream shards with shotBegin > 0 fast-forward the
+     * Mersenne stream by sampling-and-discarding the preceding
+     * shots' draws (noise samplers consume a fixed draw count per
+     * shot); Counter shards start at their first shot for free.
+     * Replay-engine / SIMD-tier pins are NOT applied here (this
+     * method is const) — orchestrators call applyShardPins first.
+     */
+    PartialEstimate runShard(const NoiseModel &noise,
+                             const ShardSpec &spec) const;
+
+    /**
+     * Set the number of general-realization shots replayed per
+     * batched ensemble pass (clamped to [1, kShotChunk]; default 8,
+     * overridable via the QRAMSIM_REPLAY_BATCH environment variable
+     * at construction). Any width produces bit-identical results —
+     * batching never changes per-shot values or reduction order —
+     * so this is purely a throughput knob (bench_kernels records the
+     * best width per host). Returns the applied width. Not
+     * thread-safe against a concurrently running estimate.
+     */
+    std::size_t setReplayBatch(std::size_t n);
+
+    std::size_t replayBatch() const { return replayBatchN; }
 
     const FeynmanExecutor &executor() const { return exec; }
 
@@ -189,11 +227,14 @@ class FidelityEstimator
     /** Copy of @p bits with address+bus positions cleared. */
     BitVec ancillaPart(const BitVec &bits) const;
 
-    /** General-realization shots replayed per batched ensemble pass. */
-    static constexpr std::size_t kReplayBatch = 8;
-
-    /** Shots sampled ahead per chunk of the estimate loop. */
+    /** Shots sampled ahead per chunk of the estimate loop (also the
+     *  upper clamp of the replay-batch width: wider batches could
+     *  never fill from one chunk). */
     static constexpr std::size_t kShotChunk = 64;
+
+    /** General-realization shots replayed per batched ensemble pass
+     *  (runtime knob; see setReplayBatch). */
+    std::size_t replayBatchN = 8;
 
     /** Reusable per-thread scratch for shot evaluation. */
     struct ShotWorkspace
@@ -214,16 +255,38 @@ class FidelityEstimator
     void shotZOnly(const FlatRealization &errors, ShotWorkspace &ws,
                    double &fullOut, double &reducedOut) const;
 
+    /** Reusable per-caller scratch for evalShots (workspaces plus
+     *  the batched-replay queue), so the hot loop never allocates. */
+    struct EvalScratch
+    {
+        std::vector<ShotWorkspace> wss;
+        std::vector<std::size_t> queue;
+        std::vector<FeynmanExecutor::EnsembleReplaySlot> slots;
+    };
+
     /**
      * Evaluate @p n presampled realizations into fs/rs. Empty and
      * Z-only realizations take their fast paths; general ones are
-     * replayed in batches of kReplayBatch through one ensemble pass
+     * replayed in batches of replayBatch() through one ensemble pass
      * each (ReplayEngine::Scalar falls back to per-shot replay).
      * Per-realization results are identical to shotFlat's.
      */
     void evalShots(const FlatRealization *reals, std::size_t n,
-                   std::vector<ShotWorkspace> &ws, double *fs,
+                   EvalScratch &scratch, double *fs,
                    double *rs) const;
+
+    /**
+     * runShard body. With @p keepRows false AND a single-threaded
+     * spec, the per-shot rows are not materialized: values are
+     * reduced chunk by chunk in shot order into the summary sums
+     * (identical arithmetic and order), restoring the O(kShotChunk)
+     * footprint of the plain sequential estimator. Such a partial is
+     * finalize()-able but not mergeable — it is the internal path of
+     * estimate()/estimateSweep() only.
+     */
+    PartialEstimate runShardImpl(const NoiseModel &noise,
+                                 const ShardSpec &spec,
+                                 bool keepRows) const;
 
     /** Accumulation core shared by shotFlat and the empty-shot cache. */
     struct ShotAccumulator;

@@ -46,6 +46,36 @@ drawPauliFlat(const PauliRates &r, std::uint32_t pos,
         out.push(pos, qubit, PauliKind::Z);
 }
 
+/**
+ * Sweep twin of drawPauliFlat: ONE uniform for the exposure site,
+ * compared against per-point thresholds (tx/txy/txyz; @p cut is the
+ * max of txyz, so one compare rejects every point at once) — common
+ * random numbers across the sweep. The threshold layout and
+ * comparison order are exactly drawPauliFlat's per point, which is
+ * what keeps sweep point j draw-for-draw identical to sampleFlat
+ * with the rates scaled by factors[j]. Shared by every model's
+ * sampleFlatSweep so the identity guarantee lives in one place.
+ */
+template <class R>
+inline void
+drawPauliFlatSweep(const double *tx, const double *txy,
+                   const double *txyz, std::size_t n, double cut,
+                   std::uint32_t pos, std::uint32_t qubit, R &rng,
+                   FlatRealization *outs)
+{
+    const double u = rng.uniform();
+    if (u >= cut)
+        return; // no event at any sweep point
+    for (std::size_t j = 0; j < n; ++j) {
+        if (u < tx[j])
+            outs[j].push(pos, qubit, PauliKind::X);
+        else if (u < txy[j])
+            outs[j].push(pos, qubit, PauliKind::Y);
+        else if (u < txyz[j])
+            outs[j].push(pos, qubit, PauliKind::Z);
+    }
+}
+
 /** Cheap structural fingerprint of a gate list (cache invalidation). */
 std::uint64_t
 circuitFingerprint(const Circuit &c)
@@ -120,6 +150,35 @@ QubitChannelNoise::sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
     }
 }
 
+void
+QubitChannelNoise::prepareSweep(const FeynmanExecutor &exec,
+                                const double *factors,
+                                std::size_t n) const
+{
+    prepare(exec);
+    std::lock_guard<std::mutex> lock(prepMutex);
+    if (sweepFactors.size() == n &&
+        std::equal(factors, factors + n, sweepFactors.begin()))
+        return;
+    sweepFactors.clear(); // invalidate while in flux
+    swTx.resize(n);
+    swTxy.resize(n);
+    swTxyz.resize(n);
+    swCut = 0.0;
+    // Per-point thresholds built exactly as drawPauliFlat sees them
+    // for rates.scaled(factors[j]) — x*f, x*f + y*f, x*f + y*f + z*f
+    // — so a single-point sweep is draw-for-draw identical to
+    // sampleFlat with the scaled model.
+    for (std::size_t j = 0; j < n; ++j) {
+        const double f = factors[j];
+        swTx[j] = rates.x * f;
+        swTxy[j] = swTx[j] + rates.y * f;
+        swTxyz[j] = swTxy[j] + rates.z * f;
+        swCut = std::max(swCut, swTxyz[j]);
+    }
+    sweepFactors.assign(factors, factors + n);
+}
+
 template <class R>
 void
 QubitChannelNoise::sampleFlatSweepImpl(const FeynmanExecutor &exec,
@@ -127,38 +186,39 @@ QubitChannelNoise::sampleFlatSweepImpl(const FeynmanExecutor &exec,
                                        std::size_t n,
                                        FlatRealization *outs) const
 {
-    // Per-point thresholds built exactly as drawPauliFlat sees them
-    // for rates.scaled(factors[j]) — x*f, x*f + y*f, x*f + y*f + z*f
-    // — so a single-point sweep is draw-for-draw identical to
-    // sampleFlat with the scaled model.
-    std::vector<double> tx(n), txy(n), txyz(n);
-    double cut = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-        const double f = factors[j];
-        tx[j] = rates.x * f;
-        txy[j] = tx[j] + rates.y * f;
-        txyz[j] = txy[j] + rates.z * f;
-        cut = std::max(cut, txyz[j]);
+    // Read-only cache probe; on a miss (prepareSweep not called for
+    // these factors) compute the thresholds in place.
+    const bool cached =
+        sweepFactors.size() == n &&
+        std::equal(factors, factors + n, sweepFactors.begin());
+    std::vector<double> ltx, ltxy, ltxyz;
+    const double *tx = swTx.data(), *txy = swTxy.data(),
+                 *txyz = swTxyz.data();
+    double cut = swCut;
+    if (!cached) {
+        ltx.resize(n);
+        ltxy.resize(n);
+        ltxyz.resize(n);
+        cut = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double f = factors[j];
+            ltx[j] = rates.x * f;
+            ltxy[j] = ltx[j] + rates.y * f;
+            ltxyz[j] = ltxy[j] + rates.z * f;
+            cut = std::max(cut, ltxyz[j]);
+        }
+        tx = ltx.data();
+        txy = ltxy.data();
+        txyz = ltxyz.data();
     }
 
     for (std::size_t j = 0; j < n; ++j)
         outs[j].clear();
 
-    // One uniform per exposure site, shared by every sweep point
-    // (common random numbers): the same site layout and draw order as
-    // sampleFlatImpl.
+    // One uniform per exposure site, shared by every sweep point:
+    // the same site layout and draw order as sampleFlatImpl.
     auto site = [&](std::uint32_t pos, std::uint32_t q) {
-        const double u = rng.uniform();
-        if (u >= cut)
-            return; // no event at any sweep point
-        for (std::size_t j = 0; j < n; ++j) {
-            if (u < tx[j])
-                outs[j].push(pos, q, PauliKind::X);
-            else if (u < txy[j])
-                outs[j].push(pos, q, PauliKind::Y);
-            else if (u < txyz[j])
-                outs[j].push(pos, q, PauliKind::Z);
-        }
+        drawPauliFlatSweep(tx, txy, txyz, n, cut, pos, q, rng, outs);
     };
 
     const std::size_t depth = exec.schedule().depth();
@@ -213,10 +273,11 @@ QubitChannelNoise::sampleFlat(const FeynmanExecutor &exec,
 }
 
 PauliRates
-GateNoise::effectiveRates(const Gate &g) const
+GateNoise::effectiveRatesFor(const PauliRates &base, const Gate &g,
+                             bool weighted)
 {
     if (!weighted)
-        return rates;
+        return base;
     // Weight by the decomposed two-qubit-gate count: a gate that
     // compiles to w CXs exposes each operand ~w times.
     Cost gc = gateCost(g);
@@ -224,7 +285,13 @@ GateNoise::effectiveRates(const Gate &g) const
     auto scale = [&](double p) {
         return 1.0 - std::pow(1.0 - p, w);
     };
-    return PauliRates{scale(rates.x), scale(rates.y), scale(rates.z)};
+    return PauliRates{scale(base.x), scale(base.y), scale(base.z)};
+}
+
+PauliRates
+GateNoise::effectiveRates(const Gate &g) const
+{
+    return effectiveRatesFor(rates, g, weighted);
 }
 
 void
@@ -245,6 +312,128 @@ GateNoise::prepare(const FeynmanExecutor &exec) const
                               : effectiveRates(g));
     preparedFingerprint = fp;
     preparedFor = c;
+}
+
+void
+GateNoise::prepareSweep(const FeynmanExecutor &exec,
+                        const double *factors, std::size_t n) const
+{
+    prepare(exec);
+    const Circuit *c = &exec.circuit();
+    const std::uint64_t fp = circuitFingerprint(*c);
+    std::lock_guard<std::mutex> lock(prepMutex);
+    if (sweepPreparedFor == c && sweepFingerprint == fp &&
+        sweepFactors.size() == n &&
+        std::equal(factors, factors + n, sweepFactors.begin()))
+        return;
+    sweepPreparedFor = nullptr; // invalidate while in flux
+    const std::size_t ng = c->numGates();
+    swTx.assign(ng * n, 0.0);
+    swTxy.assign(ng * n, 0.0);
+    swTxyz.assign(ng * n, 0.0);
+    swCut.assign(ng, 0.0);
+    const auto &gates = c->gates();
+    for (std::size_t gi = 0; gi < ng; ++gi) {
+        if (gates[gi].kind == GateKind::Barrier)
+            continue;
+        double cut = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            // Same computation, same order, as sampleFlat on a model
+            // built with rates.scaled(factors[j]) — the thresholds
+            // drawPauliFlat would see, so each sweep point is
+            // draw-for-draw identical to that scaled model.
+            const PauliRates er = effectiveRatesFor(
+                rates.scaled(factors[j]), gates[gi], weighted);
+            swTx[gi * n + j] = er.x;
+            swTxy[gi * n + j] = er.x + er.y;
+            swTxyz[gi * n + j] = er.x + er.y + er.z;
+            cut = std::max(cut, swTxyz[gi * n + j]);
+        }
+        swCut[gi] = cut;
+    }
+    sweepFactors.assign(factors, factors + n);
+    sweepFingerprint = fp;
+    sweepPreparedFor = c;
+}
+
+template <class R>
+void
+GateNoise::sampleFlatSweepImpl(const FeynmanExecutor &exec, R &rng,
+                               const double *factors, std::size_t n,
+                               FlatRealization *outs) const
+{
+    for (std::size_t j = 0; j < n; ++j)
+        outs[j].clear();
+    const auto &gates = exec.circuit().gates();
+    const auto &gatePos = exec.stream().gatePos;
+
+    // Read-only table probe; on a miss fall back to per-gate
+    // computation in place (same discipline as sampleFlat).
+    const bool cached =
+        sweepPreparedFor == &exec.circuit() &&
+        sweepFactors.size() == n &&
+        std::equal(factors, factors + n, sweepFactors.begin()) &&
+        swTx.size() == gates.size() * n;
+    std::vector<double> ltx, ltxy, ltxyz;
+    if (!cached) {
+        ltx.resize(n);
+        ltxy.resize(n);
+        ltxyz.resize(n);
+    }
+
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        const double *tx, *txy, *txyz;
+        double cut;
+        if (cached) {
+            tx = swTx.data() + gi * n;
+            txy = swTxy.data() + gi * n;
+            txyz = swTxyz.data() + gi * n;
+            cut = swCut[gi];
+        } else {
+            cut = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                const PauliRates er = effectiveRatesFor(
+                    rates.scaled(factors[j]), g, weighted);
+                ltx[j] = er.x;
+                ltxy[j] = er.x + er.y;
+                ltxyz[j] = er.x + er.y + er.z;
+                cut = std::max(cut, ltxyz[j]);
+            }
+            tx = ltx.data();
+            txy = ltxy.data();
+            txyz = ltxyz.data();
+        }
+        const std::uint32_t pos = gatePos[gi] + 1;
+        for (Qubit q : g.controls)
+            drawPauliFlatSweep(tx, txy, txyz, n, cut, pos, q, rng,
+                               outs);
+        for (Qubit q : g.targets)
+            drawPauliFlatSweep(tx, txy, txyz, n, cut, pos, q, rng,
+                               outs);
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        outs[j].sortByPos();
+}
+
+bool
+GateNoise::sampleFlatSweep(const FeynmanExecutor &exec, Rng &rng,
+                           const double *factors, std::size_t n,
+                           FlatRealization *outs) const
+{
+    sampleFlatSweepImpl(exec, rng, factors, n, outs);
+    return true;
+}
+
+bool
+GateNoise::sampleFlatSweep(const FeynmanExecutor &exec,
+                           CounterRng &rng, const double *factors,
+                           std::size_t n, FlatRealization *outs) const
+{
+    sampleFlatSweepImpl(exec, rng, factors, n, outs);
+    return true;
 }
 
 ErrorRealization
@@ -311,6 +500,117 @@ GateNoise::sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
                       FlatRealization &out) const
 {
     sampleFlatImpl(exec, rng, out);
+}
+
+void
+DeviceNoise::prepareSweep(const FeynmanExecutor &exec,
+                          const double *factors, std::size_t n) const
+{
+    prepare(exec);
+    std::lock_guard<std::mutex> lock(prepMutex);
+    if (sweepFactors.size() == n &&
+        std::equal(factors, factors + n, sweepFactors.begin()))
+        return;
+    sweepFactors.clear(); // invalidate while in flux
+    sw1x.resize(n);
+    sw1xy.resize(n);
+    sw1xyz.resize(n);
+    sw2x.resize(n);
+    sw2xy.resize(n);
+    sw2xyz.resize(n);
+    swCut1 = swCut2 = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        const PauliRates r1 = rates1q.scaled(factors[j]);
+        const PauliRates r2 = rates2q.scaled(factors[j]);
+        sw1x[j] = r1.x;
+        sw1xy[j] = r1.x + r1.y;
+        sw1xyz[j] = r1.x + r1.y + r1.z;
+        sw2x[j] = r2.x;
+        sw2xy[j] = r2.x + r2.y;
+        sw2xyz[j] = r2.x + r2.y + r2.z;
+        swCut1 = std::max(swCut1, sw1xyz[j]);
+        swCut2 = std::max(swCut2, sw2xyz[j]);
+    }
+    sweepFactors.assign(factors, factors + n);
+}
+
+template <class R>
+void
+DeviceNoise::sampleFlatSweepImpl(const FeynmanExecutor &exec, R &rng,
+                                 const double *factors, std::size_t n,
+                                 FlatRealization *outs) const
+{
+    for (std::size_t j = 0; j < n; ++j)
+        outs[j].clear();
+    const auto &gates = exec.circuit().gates();
+    const auto &gatePos = exec.stream().gatePos;
+
+    const bool cached =
+        sweepFactors.size() == n &&
+        std::equal(factors, factors + n, sweepFactors.begin());
+    std::vector<double> l1x, l1xy, l1xyz, l2x, l2xy, l2xyz;
+    const double *t1x = sw1x.data(), *t1xy = sw1xy.data(),
+                 *t1xyz = sw1xyz.data(), *t2x = sw2x.data(),
+                 *t2xy = sw2xy.data(), *t2xyz = sw2xyz.data();
+    double cut1 = swCut1, cut2 = swCut2;
+    if (!cached) {
+        l1x.resize(n); l1xy.resize(n); l1xyz.resize(n);
+        l2x.resize(n); l2xy.resize(n); l2xyz.resize(n);
+        cut1 = cut2 = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const PauliRates r1 = rates1q.scaled(factors[j]);
+            const PauliRates r2 = rates2q.scaled(factors[j]);
+            l1x[j] = r1.x;
+            l1xy[j] = r1.x + r1.y;
+            l1xyz[j] = r1.x + r1.y + r1.z;
+            l2x[j] = r2.x;
+            l2xy[j] = r2.x + r2.y;
+            l2xyz[j] = r2.x + r2.y + r2.z;
+            cut1 = std::max(cut1, l1xyz[j]);
+            cut2 = std::max(cut2, l2xyz[j]);
+        }
+        t1x = l1x.data(); t1xy = l1xy.data(); t1xyz = l1xyz.data();
+        t2x = l2x.data(); t2xy = l2xy.data(); t2xyz = l2xyz.data();
+    }
+
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        const bool multi = g.aritytotal() >= 2;
+        const double *tx = multi ? t2x : t1x;
+        const double *txy = multi ? t2xy : t1xy;
+        const double *txyz = multi ? t2xyz : t1xyz;
+        const double cut = multi ? cut2 : cut1;
+        const std::uint32_t pos = gatePos[gi] + 1;
+        for (Qubit q : g.controls)
+            drawPauliFlatSweep(tx, txy, txyz, n, cut, pos, q, rng,
+                               outs);
+        for (Qubit q : g.targets)
+            drawPauliFlatSweep(tx, txy, txyz, n, cut, pos, q, rng,
+                               outs);
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        outs[j].sortByPos();
+}
+
+bool
+DeviceNoise::sampleFlatSweep(const FeynmanExecutor &exec, Rng &rng,
+                             const double *factors, std::size_t n,
+                             FlatRealization *outs) const
+{
+    sampleFlatSweepImpl(exec, rng, factors, n, outs);
+    return true;
+}
+
+bool
+DeviceNoise::sampleFlatSweep(const FeynmanExecutor &exec,
+                             CounterRng &rng, const double *factors,
+                             std::size_t n,
+                             FlatRealization *outs) const
+{
+    sampleFlatSweepImpl(exec, rng, factors, n, outs);
+    return true;
 }
 
 ErrorRealization

@@ -22,9 +22,11 @@
 #ifndef QRAMSIM_SIM_NOISE_HH
 #define QRAMSIM_SIM_NOISE_HH
 
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "sim/feynman.hh"
@@ -80,6 +82,24 @@ class NoiseModel
     }
 
     /**
+     * Sweep twin of prepare(): additionally precompute whatever the
+     * model needs to serve sampleFlatSweep for these @p factors
+     * read-only (e.g. the per-factor effective-rate threshold tables
+     * of the weighted gate channels). The base implementation just
+     * calls prepare(). Same idempotence and concurrency contract as
+     * prepare(); estimateSweep and sharded sweeps call it before
+     * their shot loops.
+     */
+    virtual void prepareSweep(const FeynmanExecutor &exec,
+                              const double *factors,
+                              std::size_t n) const
+    {
+        (void)factors;
+        (void)n;
+        prepare(exec);
+    }
+
+    /**
      * Sample a shot directly into a flattened, position-sorted
      * realization (reusing @p out's storage). Draws from @p rng in
      * exactly the same sequence as sample(), so a fixed seed yields
@@ -108,8 +128,11 @@ class NoiseModel
      * across the sweep, so the per-shot sampling cost is paid once
      * instead of once per sweep point and the resulting curves are
      * smooth in the factor. outs[j] receives point j's realization.
-     * A model without a sweep sampler returns false (the base
-     * implementation); callers must check.
+     * All bundled models support sweeps (QubitChannelNoise scales
+     * its per-site thresholds; GateNoise / DeviceNoise read the
+     * per-factor effective-rate tables built by prepareSweep); a
+     * model without a sweep sampler returns false (the base
+     * implementation) and callers must check.
      */
     virtual bool
     sampleFlatSweep(const FeynmanExecutor &exec, Rng &rng,
@@ -155,6 +178,12 @@ class QubitChannelNoise : public NoiseModel
     ErrorRealization sample(const FeynmanExecutor &exec,
                             Rng &rng) const override;
 
+    /** Precompute the per-factor threshold row (the rates are linear
+     *  in the factor) so sampleFlatSweep runs allocation-free. */
+    void prepareSweep(const FeynmanExecutor &exec,
+                      const double *factors,
+                      std::size_t n) const override;
+
     void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                     FlatRealization &out) const override;
 
@@ -194,6 +223,12 @@ class QubitChannelNoise : public NoiseModel
 
     PauliRates rates;
     unsigned rounds;
+
+    /** prepareSweep() cache (factor-keyed; no circuit dependence). */
+    mutable std::mutex prepMutex;
+    mutable std::vector<double> sweepFactors;
+    mutable std::vector<double> swTx, swTxy, swTxyz;
+    mutable double swCut = 0.0;
 };
 
 /**
@@ -219,21 +254,56 @@ class GateNoise : public NoiseModel
 
     void prepare(const FeynmanExecutor &exec) const override;
 
+    /**
+     * prepare() plus the per-factor effective-rate table: for every
+     * (gate, factor) pair the decomposition-weighted thresholds of
+     * the base rates scaled by that factor — the nonlinearity
+     * 1-(1-p*f)^w makes this a genuine table, not a rescale of the
+     * eps_r = 1 rates. sampleFlatSweep then runs read-only; point j
+     * is draw-for-draw identical to sampleFlat with
+     * rates.scaled(factors[j]).
+     */
+    void prepareSweep(const FeynmanExecutor &exec,
+                      const double *factors,
+                      std::size_t n) const override;
+
     void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                     FlatRealization &out) const override;
 
     void sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
                     FlatRealization &out) const override;
 
+    bool sampleFlatSweep(const FeynmanExecutor &exec, Rng &rng,
+                         const double *factors, std::size_t n,
+                         FlatRealization *outs) const override;
+
+    bool sampleFlatSweep(const FeynmanExecutor &exec, CounterRng &rng,
+                         const double *factors, std::size_t n,
+                         FlatRealization *outs) const override;
+
     std::string name() const override { return "gate"; }
 
   private:
-    /** Effective (decomposition-weighted) rates for one gate. */
+    /**
+     * Effective (decomposition-weighted) rates of @p base for one
+     * gate — shared by the eps_r = 1 prepare() table and the sweep
+     * tables (base = rates.scaled(factor)) so both compute
+     * bit-identical thresholds.
+     */
+    static PauliRates effectiveRatesFor(const PauliRates &base,
+                                        const Gate &g, bool weighted);
+
+    /** Effective rates for one gate at the model's own rates. */
     PauliRates effectiveRates(const Gate &g) const;
 
     template <class R>
     void sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
                         FlatRealization &out) const;
+
+    template <class R>
+    void sampleFlatSweepImpl(const FeynmanExecutor &exec, R &rng,
+                             const double *factors, std::size_t n,
+                             FlatRealization *outs) const;
 
     PauliRates rates;
     bool weighted;
@@ -250,6 +320,18 @@ class GateNoise : public NoiseModel
     mutable const Circuit *preparedFor = nullptr;
     mutable std::uint64_t preparedFingerprint = 0;
     mutable std::vector<PauliRates> perGate;
+
+    /**
+     * prepareSweep() cache: per-(gate, factor) thresholds in
+     * gate-major layout ([gi*n + j]) plus the per-gate max threshold
+     * (one uniform rejects all sweep points at once). Same guard and
+     * read-only probe discipline as the perGate cache.
+     */
+    mutable std::vector<double> sweepFactors;
+    mutable const Circuit *sweepPreparedFor = nullptr;
+    mutable std::uint64_t sweepFingerprint = 0;
+    mutable std::vector<double> swTx, swTxy, swTxyz;
+    mutable std::vector<double> swCut;
 };
 
 /**
@@ -265,14 +347,33 @@ class DeviceNoise : public NoiseModel
           rates2q(PauliRates::depolarizing(eps2q))
     {}
 
+    /** Explicit per-arity Pauli rates (sweep oracles, tests). */
+    DeviceNoise(PauliRates r1q, PauliRates r2q)
+        : rates1q(r1q), rates2q(r2q)
+    {}
+
     ErrorRealization sample(const FeynmanExecutor &exec,
                             Rng &rng) const override;
+
+    /** Precompute the per-factor 1q/2q threshold rows so
+     *  sampleFlatSweep runs read-only. */
+    void prepareSweep(const FeynmanExecutor &exec,
+                      const double *factors,
+                      std::size_t n) const override;
 
     void sampleFlat(const FeynmanExecutor &exec, Rng &rng,
                     FlatRealization &out) const override;
 
     void sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
                     FlatRealization &out) const override;
+
+    bool sampleFlatSweep(const FeynmanExecutor &exec, Rng &rng,
+                         const double *factors, std::size_t n,
+                         FlatRealization *outs) const override;
+
+    bool sampleFlatSweep(const FeynmanExecutor &exec, CounterRng &rng,
+                         const double *factors, std::size_t n,
+                         FlatRealization *outs) const override;
 
     std::string name() const override { return "device"; }
 
@@ -281,8 +382,22 @@ class DeviceNoise : public NoiseModel
     void sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
                         FlatRealization &out) const;
 
+    template <class R>
+    void sampleFlatSweepImpl(const FeynmanExecutor &exec, R &rng,
+                             const double *factors, std::size_t n,
+                             FlatRealization *outs) const;
+
     PauliRates rates1q;
     PauliRates rates2q;
+
+    /** prepareSweep() cache: per-factor thresholds for each arity
+     *  class (the rates are linear in the factor, so no per-gate
+     *  table is needed). */
+    mutable std::mutex prepMutex;
+    mutable std::vector<double> sweepFactors;
+    mutable std::vector<double> sw1x, sw1xy, sw1xyz;
+    mutable std::vector<double> sw2x, sw2xy, sw2xyz;
+    mutable double swCut1 = 0.0, swCut2 = 0.0;
 };
 
 } // namespace qramsim

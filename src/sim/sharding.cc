@@ -1,0 +1,599 @@
+#include "sim/sharding.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/simd.hh"
+#include "sim/fidelity.hh"
+
+namespace qramsim {
+
+const char *
+shotStreamName(ShotStream s)
+{
+    return s == ShotStream::Sequential ? "sequential" : "counter";
+}
+
+bool
+parseShotStream(const std::string &name, ShotStream &out)
+{
+    if (name == "sequential" || name == "seq") {
+        out = ShotStream::Sequential;
+        return true;
+    }
+    if (name == "counter") {
+        out = ShotStream::Counter;
+        return true;
+    }
+    return false;
+}
+
+void
+applyShardPins(FidelityEstimator &est, const ShardSpec &spec)
+{
+    if (spec.replay == ReplayPin::Ensemble)
+        est.setReplayEngine(FidelityEstimator::ReplayEngine::Ensemble);
+    else if (spec.replay == ReplayPin::Scalar)
+        est.setReplayEngine(FidelityEstimator::ReplayEngine::Scalar);
+    if (!spec.simdTier.empty()) {
+        simd::Tier t = simd::Tier::Scalar;
+        if (spec.simdTier == "scalar")
+            t = simd::Tier::Scalar;
+        else if (spec.simdTier == "avx2")
+            t = simd::Tier::Avx2;
+        else if (spec.simdTier == "avx512")
+            t = simd::Tier::Avx512;
+        else
+            QRAMSIM_PANIC("unknown SIMD tier pin '", spec.simdTier,
+                          "'");
+        simd::setActiveTier(t);
+    }
+}
+
+SweepPlan
+SweepPlan::partition(std::size_t shots, std::size_t nShards,
+                     std::uint64_t seed, std::vector<double> factors,
+                     ShotStream stream)
+{
+    QRAMSIM_ASSERT(nShards >= 1, "a plan needs at least one shard");
+    SweepPlan plan;
+    plan.totalShots = shots;
+    plan.seed = seed;
+    plan.factors = factors;
+    const std::size_t chunk = (shots + nShards - 1) / nShards;
+    for (std::size_t t = 0; t < nShards; ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(begin + chunk, shots);
+        if (begin >= end)
+            break;
+        ShardSpec s;
+        s.shotBegin = begin;
+        s.shotEnd = end;
+        s.totalShots = shots;
+        s.seed = seed;
+        s.stream = stream;
+        s.factors = factors;
+        plan.shards.push_back(std::move(s));
+    }
+    if (plan.shards.empty()) {
+        // Zero-shot plan: keep one empty shard so run+merge+finalize
+        // still produce a (degenerate) result.
+        ShardSpec s;
+        s.totalShots = shots;
+        s.seed = seed;
+        s.stream = stream;
+        s.factors = factors;
+        plan.shards.push_back(std::move(s));
+    }
+    return plan;
+}
+
+// --- PartialEstimate ---------------------------------------------------
+
+void
+PartialEstimate::recomputeSums()
+{
+    sumF.assign(numPoints, 0.0);
+    sumF2.assign(numPoints, 0.0);
+    sumR.assign(numPoints, 0.0);
+    sumR2.assign(numPoints, 0.0);
+    const std::size_t n = shots();
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t j = 0; j < numPoints; ++j) {
+            const double f = full[s * numPoints + j];
+            const double r = reduced[s * numPoints + j];
+            sumF[j] += f;
+            sumF2[j] += f * f;
+            sumR[j] += r;
+            sumR2[j] += r * r;
+        }
+    }
+}
+
+bool
+PartialEstimate::canMerge(const PartialEstimate &other,
+                          std::string *why) const
+{
+    auto fail = [&](const char *msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (workload != other.workload)
+        return fail("workload fingerprints differ");
+    if (seed != other.seed)
+        return fail("seeds differ");
+    if (totalShots != other.totalShots)
+        return fail("total shot counts differ");
+    if (stream != other.stream)
+        return fail("shot streams differ");
+    if (numPoints != other.numPoints || factors != other.factors)
+        return fail("sweep factors differ");
+    if (other.shotBegin != shotEnd && other.shotEnd != shotBegin)
+        return fail("shot ranges are not adjacent");
+    return true;
+}
+
+void
+PartialEstimate::merge(const PartialEstimate &other)
+{
+    std::string why;
+    QRAMSIM_ASSERT(canMerge(other, &why), "cannot merge partials: ",
+                   why);
+    if (other.shotBegin == shotEnd) {
+        full.insert(full.end(), other.full.begin(), other.full.end());
+        reduced.insert(reduced.end(), other.reduced.begin(),
+                       other.reduced.end());
+        shotEnd = other.shotEnd;
+    } else {
+        full.insert(full.begin(), other.full.begin(),
+                    other.full.end());
+        reduced.insert(reduced.begin(), other.reduced.begin(),
+                       other.reduced.end());
+        shotBegin = other.shotBegin;
+    }
+    recomputeSums();
+}
+
+std::vector<FidelityResult>
+PartialEstimate::finalize() const
+{
+    QRAMSIM_ASSERT(shotBegin == 0 && shotEnd == totalShots,
+                   "finalize of an incomplete partial (covers [",
+                   shotBegin, ", ", shotEnd, ") of ", totalShots,
+                   " shots)");
+    std::vector<FidelityResult> out(numPoints);
+    const double n = static_cast<double>(totalShots);
+    for (std::size_t j = 0; j < numPoints; ++j) {
+        FidelityResult &res = out[j];
+        res.shots = totalShots;
+        res.full = sumF[j] / n;
+        res.reduced = sumR[j] / n;
+        if (totalShots > 1) {
+            double varF =
+                std::max(0.0, sumF2[j] / n - res.full * res.full);
+            double varR = std::max(0.0, sumR2[j] / n -
+                                            res.reduced * res.reduced);
+            res.fullStderr = std::sqrt(varF / (n - 1));
+            res.reducedStderr = std::sqrt(varR / (n - 1));
+        }
+    }
+    return out;
+}
+
+bool
+mergePartials(std::vector<PartialEstimate> parts, PartialEstimate &out,
+              std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    if (parts.empty())
+        return fail("no partials to merge");
+    std::sort(parts.begin(), parts.end(),
+              [](const PartialEstimate &a, const PartialEstimate &b) {
+                  return a.shotBegin < b.shotBegin;
+              });
+    if (parts.front().shotBegin != 0)
+        return fail("shot range does not start at 0");
+    out = std::move(parts.front());
+    // Validate and concatenate directly (rows are already sorted by
+    // shot range), deriving the sums ONCE at the end — the result is
+    // identical to folding via merge(), which recomputes per fold.
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        std::string why;
+        if (parts[i].shotBegin != out.shotEnd)
+            return fail(parts[i].shotBegin < out.shotEnd
+                            ? "overlapping shot ranges"
+                            : "gap in shot coverage");
+        if (!out.canMerge(parts[i], &why))
+            return fail(why);
+        out.full.insert(out.full.end(), parts[i].full.begin(),
+                        parts[i].full.end());
+        out.reduced.insert(out.reduced.end(),
+                           parts[i].reduced.begin(),
+                           parts[i].reduced.end());
+        out.shotEnd = parts[i].shotEnd;
+    }
+    if (out.shotEnd != out.totalShots)
+        return fail("merged partials do not cover all shots");
+    out.recomputeSums();
+    return true;
+}
+
+// --- JSON --------------------------------------------------------------
+
+namespace {
+
+/** Shortest exact double: %.17g round-trips through strtod. */
+void
+appendDouble(std::string &s, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    s += buf;
+}
+
+void
+appendDoubleArray(std::string &s, const std::vector<double> &v)
+{
+    s += '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            s += ',';
+        appendDouble(s, v[i]);
+    }
+    s += ']';
+}
+
+void
+appendEscaped(std::string &s, const std::string &v)
+{
+    s += '"';
+    for (char c : v) {
+        if (c == '"' || c == '\\') {
+            s += '\\';
+            s += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            s += buf;
+        } else {
+            s += c;
+        }
+    }
+    s += '"';
+}
+
+/**
+ * Minimal parser for the JSON subset these files use: objects with
+ * string keys whose values are strings, numbers, or arrays of
+ * numbers. Unknown keys are skipped, so the format can grow.
+ */
+struct JsonCursor
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const char *msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end &&
+               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                switch (*p) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'u': {
+                    if (end - p < 5)
+                        return fail("truncated \\u escape");
+                    char hex[5] = {p[1], p[2], p[3], p[4], 0};
+                    out += static_cast<char>(
+                        std::strtoul(hex, nullptr, 16));
+                    p += 4;
+                    break;
+                  }
+                  default: return fail("unsupported escape");
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        skipWs();
+        const char *start = p;
+        // Accept strtod's syntax (covers ints, doubles, inf/nan).
+        char *after = nullptr;
+        out = std::strtod(start, &after);
+        if (after == start)
+            return fail("expected number");
+        p = after;
+        return true;
+    }
+
+    bool
+    parseU64(std::uint64_t &out)
+    {
+        skipWs();
+        const char *start = p;
+        char *after = nullptr;
+        out = std::strtoull(start, &after, 10);
+        if (after == start)
+            return fail("expected integer");
+        p = after;
+        return true;
+    }
+
+    bool
+    parseDoubleArray(std::vector<double> &out)
+    {
+        out.clear();
+        if (!consume('['))
+            return fail("expected array");
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            double v;
+            if (!parseNumber(v))
+                return false;
+            out.push_back(v);
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    /** Skip any value of the supported subset (unknown keys). */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (p >= end)
+            return fail("truncated value");
+        if (*p == '"') {
+            std::string tmp;
+            return parseString(tmp);
+        }
+        if (*p == '[') {
+            std::vector<double> tmp;
+            return parseDoubleArray(tmp);
+        }
+        double tmp;
+        return parseNumber(tmp);
+    }
+};
+
+} // namespace
+
+std::string
+PartialEstimate::toJson() const
+{
+    std::string s;
+    s.reserve(64 + (full.size() + reduced.size()) * 20);
+    s += "{\n  \"qramsim_partial\": 1,\n  \"workload\": ";
+    appendEscaped(s, workload);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"seed\": %llu,\n  \"total_shots\": %zu,\n"
+                  "  \"shot_begin\": %zu,\n  \"shot_end\": %zu,\n"
+                  "  \"stream\": \"%s\",\n  \"num_points\": %zu,\n",
+                  static_cast<unsigned long long>(seed), totalShots,
+                  shotBegin, shotEnd, shotStreamName(stream),
+                  numPoints);
+    s += buf;
+    s += "  \"factors\": ";
+    appendDoubleArray(s, factors);
+    s += ",\n  \"sum_full\": ";
+    appendDoubleArray(s, sumF);
+    s += ",\n  \"sum_full_sq\": ";
+    appendDoubleArray(s, sumF2);
+    s += ",\n  \"sum_reduced\": ";
+    appendDoubleArray(s, sumR);
+    s += ",\n  \"sum_reduced_sq\": ";
+    appendDoubleArray(s, sumR2);
+    s += ",\n  \"rows_full\": ";
+    appendDoubleArray(s, full);
+    s += ",\n  \"rows_reduced\": ";
+    appendDoubleArray(s, reduced);
+    s += "\n}\n";
+    return s;
+}
+
+bool
+PartialEstimate::fromJson(const std::string &json, PartialEstimate &out,
+                          std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    out = PartialEstimate{};
+    JsonCursor c{json.data(), json.data() + json.size(), {}};
+    if (!c.consume('{'))
+        return fail("not a JSON object");
+    bool sawMagic = false;
+    std::uint64_t u = 0;
+    if (!c.consume('}')) {
+        for (;;) {
+            std::string key;
+            if (!c.parseString(key) || !c.consume(':'))
+                return fail(c.err.empty() ? "expected key" : c.err);
+            bool ok = true;
+            if (key == "qramsim_partial") {
+                ok = c.parseU64(u);
+                sawMagic = ok && u == 1;
+            } else if (key == "workload") {
+                ok = c.parseString(out.workload);
+            } else if (key == "seed") {
+                ok = c.parseU64(out.seed);
+            } else if (key == "total_shots") {
+                ok = c.parseU64(u);
+                out.totalShots = u;
+            } else if (key == "shot_begin") {
+                ok = c.parseU64(u);
+                out.shotBegin = u;
+            } else if (key == "shot_end") {
+                ok = c.parseU64(u);
+                out.shotEnd = u;
+            } else if (key == "stream") {
+                std::string name;
+                ok = c.parseString(name) &&
+                     parseShotStream(name, out.stream);
+                if (!ok)
+                    return fail("unknown stream kind");
+            } else if (key == "num_points") {
+                ok = c.parseU64(u);
+                out.numPoints = u;
+            } else if (key == "factors") {
+                ok = c.parseDoubleArray(out.factors);
+            } else if (key == "sum_full") {
+                ok = c.parseDoubleArray(out.sumF);
+            } else if (key == "sum_full_sq") {
+                ok = c.parseDoubleArray(out.sumF2);
+            } else if (key == "sum_reduced") {
+                ok = c.parseDoubleArray(out.sumR);
+            } else if (key == "sum_reduced_sq") {
+                ok = c.parseDoubleArray(out.sumR2);
+            } else if (key == "rows_full") {
+                ok = c.parseDoubleArray(out.full);
+            } else if (key == "rows_reduced") {
+                ok = c.parseDoubleArray(out.reduced);
+            } else {
+                ok = c.skipValue();
+            }
+            if (!ok)
+                return fail(c.err.empty() ? "bad value for " + key
+                                          : c.err);
+            if (c.consume('}'))
+                break;
+            if (!c.consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+    if (!sawMagic)
+        return fail("missing qramsim_partial marker");
+
+    // Structural validation.
+    if (out.shotBegin > out.shotEnd || out.shotEnd > out.totalShots)
+        return fail("inconsistent shot range");
+    if (out.numPoints == 0)
+        return fail("num_points must be positive");
+    if (!out.factors.empty() && out.factors.size() != out.numPoints)
+        return fail("factors/num_points mismatch");
+    const std::size_t rows = out.shots() * out.numPoints;
+    if (out.full.size() != rows || out.reduced.size() != rows)
+        return fail("row count does not match shot range");
+    if (out.sumF.size() != out.numPoints ||
+        out.sumF2.size() != out.numPoints ||
+        out.sumR.size() != out.numPoints ||
+        out.sumR2.size() != out.numPoints)
+        return fail("summary sum count does not match num_points");
+
+    // The sums are redundant with the rows; require exact agreement
+    // so silently corrupted files cannot merge.
+    PartialEstimate check = out;
+    check.recomputeSums();
+    if (check.sumF != out.sumF || check.sumF2 != out.sumF2 ||
+        check.sumR != out.sumR || check.sumR2 != out.sumR2)
+        return fail("summary sums disagree with rows");
+    return true;
+}
+
+std::string
+PartialEstimate::resultJson() const
+{
+    const std::vector<FidelityResult> results = finalize();
+    std::string s;
+    s += "{\n  \"qramsim_result\": 1,\n  \"workload\": ";
+    appendEscaped(s, workload);
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"seed\": %llu,\n  \"stream\": \"%s\",\n"
+                  "  \"shots\": %zu,\n  \"num_points\": %zu,\n"
+                  "  \"points\": [\n",
+                  static_cast<unsigned long long>(seed),
+                  shotStreamName(stream), totalShots, numPoints);
+    s += buf;
+    for (std::size_t j = 0; j < results.size(); ++j) {
+        s += "    {";
+        if (!factors.empty()) {
+            s += "\"factor\": ";
+            appendDouble(s, factors[j]);
+            s += ", ";
+        }
+        s += "\"full\": ";
+        appendDouble(s, results[j].full);
+        s += ", \"full_stderr\": ";
+        appendDouble(s, results[j].fullStderr);
+        s += ", \"reduced\": ";
+        appendDouble(s, results[j].reduced);
+        s += ", \"reduced_stderr\": ";
+        appendDouble(s, results[j].reducedStderr);
+        s += "}";
+        if (j + 1 < results.size())
+            s += ",";
+        s += "\n";
+    }
+    s += "  ]\n}\n";
+    return s;
+}
+
+} // namespace qramsim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Sharded estimation: plan → execute → merge.
+ *
+ * The Monte-Carlo fidelity figures are embarrassingly parallel across
+ * shots, and every per-shot value is a pure function of (estimator,
+ * noise model, seed, global shot index). This header turns
+ * FidelityEstimator::estimate / estimateSweep into a distributable
+ * three-phase subsystem:
+ *
+ *  - **Plan** — SweepPlan::partition splits a shot budget into N
+ *    ShardSpecs (contiguous global shot ranges plus the shared seed,
+ *    sweep factors, stream kind, and optional replay-engine / SIMD
+ *    tier pins). Specs are plain data: serialize them, mail them to
+ *    another process or host, hand them to any job runner.
+ *
+ *  - **Execute** — FidelityEstimator::runShard evaluates one spec and
+ *    returns a PartialEstimate: the per-shot fidelity rows of the
+ *    range plus shot-order-reduced summary sums. Shards share no
+ *    state; a shard may itself run multi-threaded.
+ *
+ *  - **Merge** — PartialEstimate::merge / mergePartials fold partials
+ *    back together. Because the rows are keyed by global shot index
+ *    and the summary sums are (re)derived by reducing the rows in
+ *    global shot order, the merged result is *bit-identical* for
+ *    every partition and every merge order — and identical to the
+ *    single-process estimate()/estimateSweep() result for the same
+ *    stream kind (enforced by tests/test_sharding.cc).
+ *
+ * Two shot streams are supported (ShotStream):
+ *
+ *  - Sequential — the one-Rng(seed) Mersenne stream of the sequential
+ *    estimator. Noise models draw a fixed number of uniforms per shot
+ *    (one per exposure site), so a shard starting at global shot b
+ *    fast-forwards by sampling-and-discarding shots [0, b): exact,
+ *    stdlib-independent, and bit-identical to the seed estimator —
+ *    but the skipped sampling work grows with b, so this stream is
+ *    for reproducing sequential results, not for scale.
+ *  - Counter — per-shot CounterRng(seed, shot) streams (the threaded
+ *    loop's streams): partition-invariant with zero fast-forward
+ *    cost. The canonical stream for sharded runs.
+ *
+ * JSON (de)serialization (toJson/fromJson, resultJson) lets shards
+ * run in separate processes or on separate hosts: see
+ * tools/qramsim_shard.cc (`run` one spec → partial JSON; `merge`
+ * partial files → FidelityResult JSON) and bench_fig10/11 --shards N
+ * (fork-based workers through the same code path).
+ */
+
+#ifndef QRAMSIM_SIM_SHARDING_HH
+#define QRAMSIM_SIM_SHARDING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qramsim {
+
+struct FidelityResult;
+class FidelityEstimator;
+
+/** Which RNG stream a shard's shots draw from. */
+enum class ShotStream : std::uint8_t
+{
+    /**
+     * One Rng(seed) Mersenne stream consumed in global shot order —
+     * the sequential estimator's stream. Shards with shotBegin > 0
+     * fast-forward by resampling the preceding shots' draws.
+     */
+    Sequential = 0,
+
+    /**
+     * Per-shot CounterRng(seed, shot) streams — the threaded loop's
+     * streams. Partition-invariant: any shard starts at its first
+     * shot for free.
+     */
+    Counter = 1,
+};
+
+/** "sequential" / "counter". */
+const char *shotStreamName(ShotStream s);
+
+/** Parse a stream name; returns false on an unknown name. */
+bool parseShotStream(const std::string &name, ShotStream &out);
+
+/** Optional replay-engine pin carried by a ShardSpec. */
+enum class ReplayPin : std::uint8_t { Keep = 0, Ensemble, Scalar };
+
+/**
+ * One unit of sharded work: a contiguous global shot range plus
+ * everything needed to evaluate it reproducibly anywhere.
+ */
+struct ShardSpec
+{
+    std::size_t shotBegin = 0; ///< first global shot (inclusive)
+    std::size_t shotEnd = 0;   ///< one past the last global shot
+    std::size_t totalShots = 0; ///< the plan's full shot budget
+    std::uint64_t seed = 0;     ///< the plan's base seed
+    ShotStream stream = ShotStream::Counter;
+
+    /**
+     * Rate scale factors of an eps_r sweep (empty for a plain
+     * estimate). Every shard carries the FULL factor list — sharding
+     * partitions shots, never sweep points.
+     */
+    std::vector<double> factors;
+
+    /** In-process threads for this shard (0 = hardware concurrency;
+     *  Sequential shards always run single-threaded). */
+    unsigned threads = 1;
+
+    /** Replay-engine pin applied by applyShardPins. */
+    ReplayPin replay = ReplayPin::Keep;
+
+    /** SIMD tier pin ("", "scalar", "avx2", "avx512"). */
+    std::string simdTier;
+
+    std::size_t shots() const { return shotEnd - shotBegin; }
+};
+
+/**
+ * Apply a spec's replay-engine / SIMD-tier pins to the estimator and
+ * the process-wide kernel dispatch. Panics on an unknown tier name.
+ * (Separate from runShard so the const estimator can execute specs
+ * without mutating; orchestrators call this once per process.)
+ */
+void applyShardPins(FidelityEstimator &est, const ShardSpec &spec);
+
+/**
+ * A partitioned estimate or sweep: N shard specs tiling
+ * [0, totalShots) exactly, in shot order.
+ */
+struct SweepPlan
+{
+    std::size_t totalShots = 0;
+    std::uint64_t seed = 0;
+    std::vector<double> factors;
+    std::vector<ShardSpec> shards;
+
+    /**
+     * Partition @p shots into @p nShards contiguous ranges (the same
+     * ceil(shots/n) chunking as the threaded shot loop; trailing
+     * empty ranges are dropped, and a zero-shot plan keeps one empty
+     * shard so merge/finalize still work). @p factors empty plans a
+     * plain estimate, otherwise an eps_r sweep.
+     */
+    static SweepPlan partition(std::size_t shots, std::size_t nShards,
+                               std::uint64_t seed,
+                               std::vector<double> factors = {},
+                               ShotStream stream = ShotStream::Counter);
+};
+
+/**
+ * A mergeable accumulator for one shard's shot range: per-shot
+ * fidelity rows keyed by global shot index, plus summary sums
+ * (per-point sum, sum-of-squares for both metrics) that are always
+ * (re)derived by reducing the rows in global shot order. That
+ * derivation is what makes merging deterministic: the final sums
+ * depend only on the assembled rows, never on the partition
+ * boundaries or the merge order, and reproduce the single-process
+ * shot loop's reduction bit for bit.
+ */
+struct PartialEstimate
+{
+    /** Producer-defined workload fingerprint; merge requires all
+     *  partials to agree on it (empty for in-process use). */
+    std::string workload;
+
+    std::size_t shotBegin = 0;
+    std::size_t shotEnd = 0;
+    std::size_t totalShots = 0;
+    std::uint64_t seed = 0;
+    ShotStream stream = ShotStream::Counter;
+
+    /** Sweep factors (empty for a plain estimate). */
+    std::vector<double> factors;
+
+    /** Sweep points per shot (1 for a plain estimate). */
+    std::size_t numPoints = 1;
+
+    /** Per-shot rows: value of (global shot s, point j) lives at
+     *  [(s - shotBegin) * numPoints + j]. */
+    std::vector<double> full;
+    std::vector<double> reduced;
+
+    /** Summary sums per point, reduced in global shot order over the
+     *  covered range (maintained by recomputeSums). */
+    std::vector<double> sumF, sumF2, sumR, sumR2;
+
+    std::size_t shots() const { return shotEnd - shotBegin; }
+
+    /** Re-derive the summary sums from the rows (shot-major, then
+     *  point — the estimator's reduction order). */
+    void recomputeSums();
+
+    /**
+     * True if @p other covers an adjacent shot range of the same plan
+     * (same workload/seed/totalShots/stream/factors). @p why, when
+     * non-null, receives the reason on mismatch.
+     */
+    bool canMerge(const PartialEstimate &other,
+                  std::string *why = nullptr) const;
+
+    /** Fold an adjacent partial in (either side); panics unless
+     *  canMerge. Sums are recomputed from the combined rows. */
+    void merge(const PartialEstimate &other);
+
+    /**
+     * Final results, one per sweep point (one element for a plain
+     * estimate) — the same arithmetic, in the same order, as
+     * estimate()/estimateSweep(). Panics unless the partial covers
+     * [0, totalShots) exactly.
+     */
+    std::vector<FidelityResult> finalize() const;
+
+    /** Serialize to a JSON object (doubles round-trip exactly). */
+    std::string toJson() const;
+
+    /** Parse toJson output; on failure returns false and explains in
+     *  @p err. Validates sizes and the sum/row consistency. */
+    static bool fromJson(const std::string &json, PartialEstimate &out,
+                         std::string *err = nullptr);
+
+    /**
+     * The merged FidelityResult(s) as a deterministic JSON object —
+     * derived only from the plan metadata and the rows, so any
+     * partition of the same run produces byte-identical output (the
+     * CI sharded smoke leg diffs exactly this). Panics unless
+     * complete (see finalize).
+     */
+    std::string resultJson() const;
+};
+
+/**
+ * Merge an arbitrary set of partials (any order) into one covering
+ * partial. Sorts by shot range, verifies the set tiles
+ * [0, totalShots) with no gaps or overlaps and agrees on the plan
+ * metadata; returns false with an explanation in @p err otherwise.
+ */
+bool mergePartials(std::vector<PartialEstimate> parts,
+                   PartialEstimate &out, std::string *err = nullptr);
+
+} // namespace qramsim
+
+#endif // QRAMSIM_SIM_SHARDING_HH

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Sharded-estimation CLI: execute one shard of a fidelity estimate or
+ * eps_r sweep, or merge shard partials into the final result — the
+ * process/host-level face of sim/sharding.hh, so sweeps can be farmed
+ * out by any job runner (xargs, slurm, make -j, ssh loops, ...).
+ *
+ *   qramsim_shard run   [workload flags] --shard I/N [--out FILE]
+ *   qramsim_shard merge [--out FILE] partial1.json partial2.json ...
+ *
+ * `run` evaluates shard I of the N-way partition of the workload's
+ * shot budget and writes its PartialEstimate JSON. `merge` folds any
+ * complete set of partials and writes the FidelityResult JSON, which
+ * is byte-identical for every partition of the same workload (the CI
+ * sharded smoke leg diffs a 2-way merge against the 1-way run).
+ *
+ * Workload flags (all have defaults; the fingerprint embedded in the
+ * partials guards against merging mismatched runs):
+ *
+ *   --arch A      bb | fanout | virtual | sqc | select-swap | compact
+ *   --m M         QRAM width (address width for bb/fanout)
+ *   --k K         SQC/select width (virtual, sqc, select-swap,
+ *                 compact; address width is m+k)
+ *   --mem-seed S  seed of the random classical memory (default 7)
+ *   --noise N     qubit-x | qubit-y | qubit-z | qubit-depol |
+ *                 gate-x | gate-y | gate-z | gate-depol | device
+ *   --eps E       base error rate (device: the 1q rate)
+ *   --eps2 E      device 2q rate
+ *   --rounds R    qubit-channel logical rounds (0 = every moment)
+ *   --unweighted  flat per-gate rates for the gate channels
+ *   --factors F1,F2,...   eps_r sweep scale factors (omit for a
+ *                         plain estimate)
+ *   --shots S --seed S    Monte Carlo budget
+ *   --stream counter|sequential   shot RNG streams (default counter:
+ *                 partition-invariant; sequential reproduces the
+ *                 sequential estimator but fast-forwards shot 0..b)
+ *   --threads T   in-process threads for this shard
+ *   --engine ensemble|scalar      replay-engine pin
+ *   --tier scalar|avx2|avx512     SIMD tier pin
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qram/baselines.hh"
+#include "qram/bucket_brigade.hh"
+#include "qram/compact.hh"
+#include "qram/fanout.hh"
+#include "qram/select_swap.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+#include "sim/noise.hh"
+#include "sim/sharding.hh"
+
+using namespace qramsim;
+
+namespace {
+
+struct Workload
+{
+    std::string arch = "bb";
+    unsigned m = 3;
+    unsigned k = 0;
+    std::uint64_t memSeed = 7;
+    std::string noise = "gate-z";
+    double eps = 1e-3;
+    double eps2 = 1e-3;
+    unsigned rounds = 0;
+    bool weighted = true;
+
+    unsigned
+    addressWidth() const
+    {
+        return (arch == "bb" || arch == "fanout") ? m : m + k;
+    }
+
+    QueryCircuit
+    build() const
+    {
+        Rng rng(memSeed);
+        Memory mem = Memory::random(addressWidth(), rng);
+        if (arch == "bb")
+            return BucketBrigadeQram(m).build(mem);
+        if (arch == "fanout")
+            return FanoutQram(m).build(mem);
+        if (arch == "virtual")
+            return VirtualQram(m, k).build(mem);
+        if (arch == "sqc")
+            return SqcBucketBrigade(m, k).build(mem);
+        if (arch == "select-swap")
+            return SelectSwapQram(m, k).build(mem);
+        if (arch == "compact")
+            return CompactQram(m, k).build(mem);
+        std::fprintf(stderr, "unknown --arch '%s'\n", arch.c_str());
+        std::exit(2);
+    }
+
+    std::unique_ptr<NoiseModel>
+    makeNoise() const
+    {
+        auto pauli = [&](const char *kind) -> PauliRates {
+            if (std::strcmp(kind, "x") == 0)
+                return PauliRates::bitFlip(eps);
+            if (std::strcmp(kind, "y") == 0)
+                return PauliRates{0.0, eps, 0.0};
+            if (std::strcmp(kind, "z") == 0)
+                return PauliRates::phaseFlip(eps);
+            return PauliRates::depolarizing(eps); // depol
+        };
+        if (noise.rfind("qubit-", 0) == 0)
+            return std::make_unique<QubitChannelNoise>(
+                pauli(noise.c_str() + 6), rounds);
+        if (noise.rfind("gate-", 0) == 0)
+            return std::make_unique<GateNoise>(pauli(noise.c_str() + 5),
+                                               weighted);
+        if (noise == "device")
+            return std::make_unique<DeviceNoise>(eps, eps2);
+        std::fprintf(stderr, "unknown --noise '%s'\n", noise.c_str());
+        std::exit(2);
+    }
+
+    /** Canonical fingerprint: merge refuses mismatched partials. */
+    std::string
+    fingerprint(std::size_t shots) const
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "arch=%s;m=%u;k=%u;mem-seed=%llu;noise=%s;"
+                      "eps=%.17g;eps2=%.17g;rounds=%u;weighted=%d;"
+                      "input=uniform;shots=%zu",
+                      arch.c_str(), m, k,
+                      static_cast<unsigned long long>(memSeed),
+                      noise.c_str(), eps, eps2, rounds,
+                      weighted ? 1 : 0, shots);
+        return buf;
+    }
+};
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[1 << 16];
+    std::size_t nr;
+    out.clear();
+    while ((nr = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, nr);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+bool
+writeOutput(const std::string &path, const std::string &content)
+{
+    if (path.empty() || path == "-") {
+        // A truncated partial must not exit 0: the job runner would
+        // record success and the corruption would only surface (at
+        // best) as a later merge failure.
+        const bool ok =
+            std::fwrite(content.data(), 1, content.size(), stdout) ==
+                content.size() &&
+            std::fflush(stdout) == 0;
+        if (!ok)
+            std::fprintf(stderr, "short write to stdout\n");
+        return ok;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: qramsim_shard run [workload flags] --shots S "
+        "--seed S --shard I/N [--out FILE]\n"
+        "       qramsim_shard merge [--out FILE] partial.json ...\n"
+        "see the file header of tools/qramsim_shard.cc for the "
+        "workload flags\n");
+    return 2;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    Workload w;
+    std::size_t shots = 1024;
+    std::uint64_t seed = 2023;
+    std::size_t shardIdx = 0, shardCount = 1;
+    std::vector<double> factors;
+    ShotStream stream = ShotStream::Counter;
+    unsigned threads = 1;
+    std::string out, engine, tier;
+
+    for (int i = 0; i < argc; ++i) {
+        auto want = [&](const char *flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (want("--arch"))
+            w.arch = argv[++i];
+        else if (want("--m"))
+            w.m = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (want("--k"))
+            w.k = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (want("--mem-seed"))
+            w.memSeed = std::strtoull(argv[++i], nullptr, 10);
+        else if (want("--noise"))
+            w.noise = argv[++i];
+        else if (want("--eps"))
+            w.eps = std::strtod(argv[++i], nullptr);
+        else if (want("--eps2"))
+            w.eps2 = std::strtod(argv[++i], nullptr);
+        else if (want("--rounds"))
+            w.rounds = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--unweighted") == 0)
+            w.weighted = false;
+        else if (want("--shots"))
+            shots = std::strtoull(argv[++i], nullptr, 10);
+        else if (want("--seed"))
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (want("--factors")) {
+            factors.clear();
+            for (const char *p = argv[++i]; *p;) {
+                char *end = nullptr;
+                factors.push_back(std::strtod(p, &end));
+                if (end == p) {
+                    std::fprintf(stderr, "malformed --factors\n");
+                    return 2;
+                }
+                p = *end == ',' ? end + 1 : end;
+            }
+        } else if (want("--shard")) {
+            const char *arg = argv[++i];
+            char *slash = nullptr;
+            shardIdx = std::strtoull(arg, &slash, 10);
+            if (!slash || *slash != '/') {
+                std::fprintf(stderr, "--shard wants I/N\n");
+                return 2;
+            }
+            shardCount = std::strtoull(slash + 1, nullptr, 10);
+        } else if (want("--stream")) {
+            if (!parseShotStream(argv[++i], stream)) {
+                std::fprintf(stderr, "unknown --stream '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (want("--threads"))
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (want("--engine"))
+            engine = argv[++i];
+        else if (want("--tier"))
+            tier = argv[++i];
+        else if (want("--out"))
+            out = argv[++i];
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (shardCount == 0 || shardIdx >= shardCount) {
+        std::fprintf(stderr, "--shard index out of range\n");
+        return 2;
+    }
+
+    SweepPlan plan =
+        SweepPlan::partition(shots, shardCount, seed, factors, stream);
+    if (shardIdx >= plan.shards.size()) {
+        // More shards requested than shots: this shard is empty.
+        // Emit a valid zero-shot partial so the merge side never has
+        // to special-case job runners with fixed worker counts.
+        ShardSpec empty = plan.shards.front();
+        empty.shotBegin = empty.shotEnd = shots;
+        plan.shards.push_back(empty);
+        shardIdx = plan.shards.size() - 1;
+    }
+    ShardSpec spec = plan.shards[shardIdx];
+    spec.threads = threads;
+    if (engine == "ensemble")
+        spec.replay = ReplayPin::Ensemble;
+    else if (engine == "scalar")
+        spec.replay = ReplayPin::Scalar;
+    else if (!engine.empty()) {
+        std::fprintf(stderr, "unknown --engine '%s'\n",
+                     engine.c_str());
+        return 2;
+    }
+    spec.simdTier = tier;
+
+    QueryCircuit qc = w.build();
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(
+                              w.addressWidth()));
+    applyShardPins(est, spec);
+    std::unique_ptr<NoiseModel> noise = w.makeNoise();
+
+    PartialEstimate part = est.runShard(*noise, spec);
+    part.workload = w.fingerprint(shots);
+    return writeOutput(out, part.toJson()) ? 0 : 1;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string out;
+    std::vector<std::string> files;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+        else
+            files.push_back(argv[i]);
+    }
+    if (files.empty())
+        return usage();
+
+    std::vector<PartialEstimate> parts;
+    parts.reserve(files.size());
+    for (const std::string &path : files) {
+        std::string json, err;
+        if (!readFile(path, json)) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 1;
+        }
+        PartialEstimate p;
+        if (!PartialEstimate::fromJson(json, p, &err)) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        parts.push_back(std::move(p));
+    }
+    PartialEstimate merged;
+    std::string err;
+    if (!mergePartials(std::move(parts), merged, &err)) {
+        std::fprintf(stderr, "merge failed: %s\n", err.c_str());
+        return 1;
+    }
+    return writeOutput(out, merged.resultJson()) ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    if (std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "merge") == 0)
+        return cmdMerge(argc - 2, argv + 2);
+    return usage();
+}
