@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounds.dir/bench/bench_bounds.cc.o"
+  "CMakeFiles/bench_bounds.dir/bench/bench_bounds.cc.o.d"
+  "bench_bounds"
+  "bench_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

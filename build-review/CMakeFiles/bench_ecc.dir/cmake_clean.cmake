@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecc.dir/bench/bench_ecc.cc.o"
+  "CMakeFiles/bench_ecc.dir/bench/bench_ecc.cc.o.d"
+  "bench_ecc"
+  "bench_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator.dir/bench/bench_simulator.cc.o"
+  "CMakeFiles/bench_simulator.dir/bench/bench_simulator.cc.o.d"
+  "bench_simulator"
+  "bench_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

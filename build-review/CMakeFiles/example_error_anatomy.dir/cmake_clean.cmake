@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_error_anatomy.dir/examples/error_anatomy.cpp.o"
+  "CMakeFiles/example_error_anatomy.dir/examples/error_anatomy.cpp.o.d"
+  "example_error_anatomy"
+  "example_error_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_error_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

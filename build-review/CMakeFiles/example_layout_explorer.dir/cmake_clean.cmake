@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_layout_explorer.dir/examples/layout_explorer.cpp.o"
+  "CMakeFiles/example_layout_explorer.dir/examples/layout_explorer.cpp.o.d"
+  "example_layout_explorer"
+  "example_layout_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_layout_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

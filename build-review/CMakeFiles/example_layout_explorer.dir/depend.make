@@ -1,0 +1,2 @@
+# Empty dependencies file for example_layout_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nisq_deployment.dir/examples/nisq_deployment.cpp.o"
+  "CMakeFiles/example_nisq_deployment.dir/examples/nisq_deployment.cpp.o.d"
+  "example_nisq_deployment"
+  "example_nisq_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nisq_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_noise_study.dir/examples/noise_study.cpp.o"
+  "CMakeFiles/example_noise_study.dir/examples/noise_study.cpp.o.d"
+  "example_noise_study"
+  "example_noise_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_noise_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

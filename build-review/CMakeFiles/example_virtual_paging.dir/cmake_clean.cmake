@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_virtual_paging.dir/examples/virtual_paging.cpp.o"
+  "CMakeFiles/example_virtual_paging.dir/examples/virtual_paging.cpp.o.d"
+  "example_virtual_paging"
+  "example_virtual_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_virtual_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

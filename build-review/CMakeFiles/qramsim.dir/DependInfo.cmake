@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cc" "CMakeFiles/qramsim.dir/src/analysis/bounds.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/analysis/bounds.cc.o.d"
+  "/root/repo/src/analysis/lightcone.cc" "CMakeFiles/qramsim.dir/src/analysis/lightcone.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/analysis/lightcone.cc.o.d"
+  "/root/repo/src/analysis/resources.cc" "CMakeFiles/qramsim.dir/src/analysis/resources.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/analysis/resources.cc.o.d"
+  "/root/repo/src/circuit/circuit.cc" "CMakeFiles/qramsim.dir/src/circuit/circuit.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/circuit/circuit.cc.o.d"
+  "/root/repo/src/circuit/cost_model.cc" "CMakeFiles/qramsim.dir/src/circuit/cost_model.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/circuit/cost_model.cc.o.d"
+  "/root/repo/src/circuit/qasm.cc" "CMakeFiles/qramsim.dir/src/circuit/qasm.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/circuit/qasm.cc.o.d"
+  "/root/repo/src/circuit/schedule.cc" "CMakeFiles/qramsim.dir/src/circuit/schedule.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/circuit/schedule.cc.o.d"
+  "/root/repo/src/common/simd.cc" "CMakeFiles/qramsim.dir/src/common/simd.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/common/simd.cc.o.d"
+  "/root/repo/src/ecc/surface_code.cc" "CMakeFiles/qramsim.dir/src/ecc/surface_code.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/ecc/surface_code.cc.o.d"
+  "/root/repo/src/layout/devices.cc" "CMakeFiles/qramsim.dir/src/layout/devices.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/layout/devices.cc.o.d"
+  "/root/repo/src/layout/grid.cc" "CMakeFiles/qramsim.dir/src/layout/grid.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/layout/grid.cc.o.d"
+  "/root/repo/src/layout/htree.cc" "CMakeFiles/qramsim.dir/src/layout/htree.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/layout/htree.cc.o.d"
+  "/root/repo/src/layout/routers.cc" "CMakeFiles/qramsim.dir/src/layout/routers.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/layout/routers.cc.o.d"
+  "/root/repo/src/layout/sabre_lite.cc" "CMakeFiles/qramsim.dir/src/layout/sabre_lite.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/layout/sabre_lite.cc.o.d"
+  "/root/repo/src/layout/teleport.cc" "CMakeFiles/qramsim.dir/src/layout/teleport.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/layout/teleport.cc.o.d"
+  "/root/repo/src/qram/baselines.cc" "CMakeFiles/qramsim.dir/src/qram/baselines.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/baselines.cc.o.d"
+  "/root/repo/src/qram/bucket_brigade.cc" "CMakeFiles/qramsim.dir/src/qram/bucket_brigade.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/bucket_brigade.cc.o.d"
+  "/root/repo/src/qram/compact.cc" "CMakeFiles/qramsim.dir/src/qram/compact.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/compact.cc.o.d"
+  "/root/repo/src/qram/fanout.cc" "CMakeFiles/qramsim.dir/src/qram/fanout.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/fanout.cc.o.d"
+  "/root/repo/src/qram/select_swap.cc" "CMakeFiles/qramsim.dir/src/qram/select_swap.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/select_swap.cc.o.d"
+  "/root/repo/src/qram/session.cc" "CMakeFiles/qramsim.dir/src/qram/session.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/session.cc.o.d"
+  "/root/repo/src/qram/sqc.cc" "CMakeFiles/qramsim.dir/src/qram/sqc.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/sqc.cc.o.d"
+  "/root/repo/src/qram/tree.cc" "CMakeFiles/qramsim.dir/src/qram/tree.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/tree.cc.o.d"
+  "/root/repo/src/qram/virtual_qram.cc" "CMakeFiles/qramsim.dir/src/qram/virtual_qram.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/virtual_qram.cc.o.d"
+  "/root/repo/src/qram/wide.cc" "CMakeFiles/qramsim.dir/src/qram/wide.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/qram/wide.cc.o.d"
+  "/root/repo/src/sim/dense.cc" "CMakeFiles/qramsim.dir/src/sim/dense.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/sim/dense.cc.o.d"
+  "/root/repo/src/sim/feynman.cc" "CMakeFiles/qramsim.dir/src/sim/feynman.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/sim/feynman.cc.o.d"
+  "/root/repo/src/sim/fidelity.cc" "CMakeFiles/qramsim.dir/src/sim/fidelity.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/sim/fidelity.cc.o.d"
+  "/root/repo/src/sim/noise.cc" "CMakeFiles/qramsim.dir/src/sim/noise.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/sim/noise.cc.o.d"
+  "/root/repo/src/sim/sharding.cc" "CMakeFiles/qramsim.dir/src/sim/sharding.cc.o" "gcc" "CMakeFiles/qramsim.dir/src/sim/sharding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

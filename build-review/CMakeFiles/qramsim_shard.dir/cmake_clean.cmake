@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qramsim_shard.dir/tools/qramsim_shard.cc.o"
+  "CMakeFiles/qramsim_shard.dir/tools/qramsim_shard.cc.o.d"
+  "qramsim_shard"
+  "qramsim_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qramsim_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

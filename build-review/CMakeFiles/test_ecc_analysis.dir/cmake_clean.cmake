@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_analysis.dir/tests/test_ecc_analysis.cc.o"
+  "CMakeFiles/test_ecc_analysis.dir/tests/test_ecc_analysis.cc.o.d"
+  "test_ecc_analysis"
+  "test_ecc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

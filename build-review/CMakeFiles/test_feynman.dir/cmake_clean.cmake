@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feynman.dir/tests/test_feynman.cc.o"
+  "CMakeFiles/test_feynman.dir/tests/test_feynman.cc.o.d"
+  "test_feynman"
+  "test_feynman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feynman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

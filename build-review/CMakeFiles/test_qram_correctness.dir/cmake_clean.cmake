@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qram_correctness.dir/tests/test_qram_correctness.cc.o"
+  "CMakeFiles/test_qram_correctness.dir/tests/test_qram_correctness.cc.o.d"
+  "test_qram_correctness"
+  "test_qram_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qram_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

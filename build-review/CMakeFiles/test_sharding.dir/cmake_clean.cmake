@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharding.dir/tests/test_sharding.cc.o"
+  "CMakeFiles/test_sharding.dir/tests/test_sharding.cc.o.d"
+  "test_sharding"
+  "test_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

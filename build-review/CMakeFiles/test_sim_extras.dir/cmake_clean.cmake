@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_extras.dir/tests/test_sim_extras.cc.o"
+  "CMakeFiles/test_sim_extras.dir/tests/test_sim_extras.cc.o.d"
+  "test_sim_extras"
+  "test_sim_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

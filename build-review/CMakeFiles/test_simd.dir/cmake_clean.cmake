@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd.dir/tests/test_simd.cc.o"
+  "CMakeFiles/test_simd.dir/tests/test_simd.cc.o.d"
+  "test_simd"
+  "test_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wide.dir/tests/test_wide.cc.o"
+  "CMakeFiles/test_wide.dir/tests/test_wide.cc.o.d"
+  "test_wide"
+  "test_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_circuit "/root/repo/build-review/test_circuit")
+set_tests_properties(test_circuit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_common "/root/repo/build-review/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_ecc_analysis "/root/repo/build-review/test_ecc_analysis")
+set_tests_properties(test_ecc_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_ensemble "/root/repo/build-review/test_ensemble")
+set_tests_properties(test_ensemble PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_feynman "/root/repo/build-review/test_feynman")
+set_tests_properties(test_feynman PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_layout "/root/repo/build-review/test_layout")
+set_tests_properties(test_layout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build-review/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_qram_correctness "/root/repo/build-review/test_qram_correctness")
+set_tests_properties(test_qram_correctness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_session "/root/repo/build-review/test_session")
+set_tests_properties(test_session PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sharding "/root/repo/build-review/test_sharding")
+set_tests_properties(test_sharding PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sim_extras "/root/repo/build-review/test_sim_extras")
+set_tests_properties(test_sim_extras PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_simd "/root/repo/build-review/test_simd")
+set_tests_properties(test_simd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_tree "/root/repo/build-review/test_tree")
+set_tests_properties(test_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_wide "/root/repo/build-review/test_wide")
+set_tests_properties(test_wide PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;90;add_test;/root/repo/CMakeLists.txt;0;")
