@@ -10,7 +10,11 @@
  *
  * One "row" is one kernel application over a full bit-across-paths
  * row of N paths (the PathEnsemble layout: padded stride, 64-byte
- * aligned, tail bits masked by the valid row).
+ * aligned, tail bits masked by the valid row). Each tier also runs
+ * the block kernels over a fused EnsembleBlock arena (16 shots' rows
+ * back to back — the op-major replay layout), normalized to the same
+ * per-shot-row unit so the contiguity win is read directly off the
+ * record (block_*_rows_per_sec).
  *
  * The record also carries a replay-batch width sweep: estimator
  * shots/sec on a bucket-brigade m=M depolarizing workload (general
@@ -140,32 +144,100 @@ main(int argc, char **argv)
             },
             budgetSec);
 
+        // Block-kernel section: the same ops swept op-major over a
+        // fused EnsembleBlock arena (kBlockShots shots' rows back to
+        // back, all joined). One "row" is still one shot's row, so
+        // these numbers are directly comparable with the per-row
+        // kernels above — the gap is what the transposed batch loop
+        // buys from contiguity and hoisted control streams.
+        constexpr std::size_t kBlockShots = 16;
+        EnsembleBlock blk;
+        blk.reshape(8, paths, kBlockShots);
+        for (std::size_t s = 0; s < kBlockShots; ++s) {
+            blk.join(s);
+            blk.loadShot(s, ens);
+        }
+        const std::size_t rw = blk.rowWords();
+        std::uint64_t *bt0 = blk.blockRow(0);
+        std::uint64_t *bt1 = blk.blockRow(1);
+        const std::uint64_t *brows = blk.rowData();
+        const std::uint64_t *bmask = blk.maskRow();
+        simd::AlignedWords bdev(rw, 0);
+        std::uint64_t anyOut[kBlockShots];
+
+        const double xorFireB = kBlockShots * itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i)
+                    K.xorFireBlock(bt0, brows, rw, ctrls, 2, bmask,
+                                   rw);
+                sink ^= bt0[0];
+            },
+            budgetSec);
+        const double swapFireB = kBlockShots * itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i)
+                    K.swapFireBlock(bt0, bt1, brows, rw, ctrls, 1,
+                                    bmask, rw);
+                sink ^= bt1[0];
+            },
+            budgetSec);
+        const double xorRowB = kBlockShots * itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i)
+                    K.xorRowBlock(bt0, blk.validMask(), nw,
+                                  kBlockShots);
+                sink ^= bt0[0];
+            },
+            budgetSec);
+        const double diffOrB = kBlockShots * itersPerSecond(
+            [&](std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    bdev.assign(rw, 0);
+                    K.diffOrBlock(bdev.data(), bt0, ens.row(4), nw,
+                                  kBlockShots, anyOut);
+                    sink ^= anyOut[0];
+                }
+            },
+            budgetSec);
+
         std::printf("  %-6s xor_fire %.3g  swap_fire %.3g  "
                     "xor_row %.3g  diff_or %.3g rows/s\n",
                     simd::tierName(tier), xorFire, swapFire, xorRow,
                     diffOr);
+        std::printf("         block(%zu): xor_fire %.3g  "
+                    "swap_fire %.3g  xor_row %.3g  diff_or %.3g "
+                    "rows/s\n",
+                    kBlockShots, xorFireB, swapFireB, xorRowB,
+                    diffOrB);
 
-        char buf[512];
+        char buf[1024];
         std::snprintf(buf, sizeof buf,
                       "%s      {\n"
                       "        \"tier\": \"%s\",\n"
                       "        \"xor_fire_rows_per_sec\": %.6g,\n"
                       "        \"swap_fire_rows_per_sec\": %.6g,\n"
                       "        \"xor_row_rows_per_sec\": %.6g,\n"
-                      "        \"diff_or_rows_per_sec\": %.6g\n"
+                      "        \"diff_or_rows_per_sec\": %.6g,\n"
+                      "        \"block_shots\": %zu,\n"
+                      "        \"block_rows_per_sec\": %.6g,\n"
+                      "        \"block_swap_fire_rows_per_sec\": %.6g,\n"
+                      "        \"block_xor_row_rows_per_sec\": %.6g,\n"
+                      "        \"block_diff_or_rows_per_sec\": %.6g\n"
                       "      }",
                       tiersJson.empty() ? "" : ",\n",
                       simd::tierName(tier), xorFire, swapFire, xorRow,
-                      diffOr);
+                      diffOr, kBlockShots, xorFireB, swapFireB,
+                      xorRowB, diffOrB);
         tiersJson += buf;
     }
     if (sink == 0xdeadbeefdeadbeefull) // defeat dead-code elimination
         std::printf("  (sink)\n");
 
-    // Replay-batch width sweep: depolarizing gate noise keeps nearly
-    // every shot on the general (batched-ensemble) replay path, so
-    // the shots/sec surface over the width exposes the best batch
-    // for this host's cache hierarchy.
+    // Replay-batch width sweep through the op-major block path (the
+    // default replay engine): depolarizing gate noise keeps nearly
+    // every shot on the general replay path, so the shots/sec
+    // surface over the width exposes the best batch for this host's
+    // cache hierarchy.
     Rng rng2(7);
     Memory mem = Memory::random(m, rng2);
     QueryCircuit qc = BucketBrigadeQram(m).build(mem);
@@ -216,9 +288,10 @@ main(int argc, char **argv)
                   paths, nw);
     record += head;
     record += "    \"tiers\": [\n" + tiersJson + "\n    ],\n";
-    char batchHead[96];
+    char batchHead[160];
     std::snprintf(batchHead, sizeof batchHead,
                   "    \"replay_batch_m\": %u,\n"
+                  "    \"replay_engine\": \"block\",\n"
                   "    \"best_replay_batch\": %zu,\n", m, bestWidth);
     record += batchHead;
     record += "    \"replay_batch\": [\n" + batchJson + "\n    ]\n  }";

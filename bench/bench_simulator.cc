@@ -274,17 +274,30 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
     GateNoise depol(PauliRates::depolarizing(1e-3));
     est.setReplayEngine(FidelityEstimator::ReplayEngine::Scalar);
     FidelityResult ds = est.estimate(depol, 6, checkSeed);
+    est.setReplayEngine(FidelityEstimator::ReplayEngine::EnsembleSlots);
+    FidelityResult dl = est.estimate(depol, 6, checkSeed);
     est.setReplayEngine(FidelityEstimator::ReplayEngine::Ensemble);
     FidelityResult de = est.estimate(depol, 6, checkSeed);
-    if (ds.full != de.full || ds.reduced != de.reduced) {
+    if (ds.full != de.full || ds.reduced != de.reduced ||
+        dl.full != de.full || dl.reduced != de.reduced) {
         std::fprintf(stderr,
                      "engine mismatch: scalar (%.17g, %.17g) vs "
-                     "ensemble (%.17g, %.17g)\n",
-                     ds.full, ds.reduced, de.full, de.reduced);
+                     "slots (%.17g, %.17g) vs block (%.17g, %.17g)\n",
+                     ds.full, ds.reduced, dl.full, dl.reduced,
+                     de.full, de.reduced);
         return 1;
     }
     est.setReplayEngine(FidelityEstimator::ReplayEngine::Scalar);
     const double depolScalarSps = shotsPerSecond(
+        [&](std::size_t shots) {
+            est.estimate(depol, shots, 11);
+        },
+        budgetSec);
+    // Shot-major slot loop (the pre-transpose ensemble engine) vs the
+    // op-major block default: their ratio is the transposed-batch win
+    // in isolation, on top of the ensemble-over-scalar speedup.
+    est.setReplayEngine(FidelityEstimator::ReplayEngine::EnsembleSlots);
+    const double depolSlotsSps = shotsPerSecond(
         [&](std::size_t shots) {
             est.estimate(depol, shots, 11);
         },
@@ -296,10 +309,13 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         },
         budgetSec);
     const double ensembleSpeedup = depolEnsembleSps / depolScalarSps;
+    const double blockSpeedup = depolEnsembleSps / depolSlotsSps;
     std::printf("  depolarizing (general path):\n");
     std::printf("    scalar replay:   %.3g shots/s\n", depolScalarSps);
-    std::printf("    ensemble replay: %.3g shots/s, speedup %.2fx\n",
-                depolEnsembleSps, ensembleSpeedup);
+    std::printf("    slot-loop replay: %.3g shots/s\n", depolSlotsSps);
+    std::printf("    op-major replay: %.3g shots/s, speedup %.2fx "
+                "(%.2fx over slot loop)\n",
+                depolEnsembleSps, ensembleSpeedup, blockSpeedup);
 
     // Append one dated record to the trajectory array (legacy
     // single-object files are wrapped on first append).
@@ -326,14 +342,17 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         "    \"speedup\": %.4g,\n"
         "    \"depol_noise\": \"gate depolarizing 1e-3 (weighted)\",\n"
         "    \"depol_scalar_shots_per_sec\": %.6g,\n"
+        "    \"depol_slots_shots_per_sec\": %.6g,\n"
         "    \"depol_ensemble_shots_per_sec\": %.6g,\n"
-        "    \"ensemble_speedup\": %.4g\n"
+        "    \"ensemble_speedup\": %.4g,\n"
+        "    \"block_speedup\": %.4g\n"
         "  }",
         bench::isoDateUtc().c_str(), bench::gitRevision().c_str(),
         simd::tierName(simd::activeTier()), m, qc.circuit.numQubits(),
         gates, paths, seedSps, seedSps * perShot, compiledSps,
         compiledSps * perShot, compiledMtSps, threads, speedup,
-        depolScalarSps, depolEnsembleSps, ensembleSpeedup);
+        depolScalarSps, depolSlotsSps, depolEnsembleSps,
+        ensembleSpeedup, blockSpeedup);
     if (!bench::appendJsonRecord(path, record)) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return 1;

@@ -204,6 +204,176 @@ class PathEnsemble
 };
 
 /**
+ * Fused arena for op-major batched replay: the states of K batched
+ * shots' ensembles in one 64-byte-aligned allocation, laid out
+ * qubit-major, shot-minor. Qubit q's "block row" holds every shot's
+ * padded word-row back to back:
+ *
+ *   blockRow(q) = [ shot 0 row | shot 1 row | ... | shot K-1 row ]
+ *
+ * each slice wordsPerQubit() words (the PathEnsemble stride, a
+ * multiple of simd::kRowAlignWords), so every slice starts on a cache
+ * line and one contiguous kernel sweep of rowWords() words applies
+ * one op to all shots at once (the xorFireBlock/swapFireBlock
+ * kernels of common/simd.hh). Phase accumulators are per shot, per
+ * path (phaseSlice). Shots replaying from different checkpoints stay
+ * exact through the mask row: it concatenates, per shot, either the
+ * valid mask (shot has joined the replay) or zeros (not yet joined),
+ * so ops sweep every slice but can only ever touch joined shots'
+ * bits — and tail/padding bits of no one.
+ *
+ * The shape is a reusable scratch: reshape() resizes storage (reusing
+ * capacity across batches), clears every mask slice, and leaves the
+ * bit slices unspecified until loaded (loadShot or per-row copies
+ * from checkpoint ensembles).
+ */
+class EnsembleBlock
+{
+  public:
+    EnsembleBlock() = default;
+
+    /** Shape for @p nshots shots of @p npaths paths over @p nqubits
+     *  qubits; no shot is joined, slice bits are unspecified. */
+    void
+    reshape(std::size_t nqubits, std::size_t npaths,
+            std::size_t nshots)
+    {
+        nq = nqubits;
+        np = npaths;
+        ns = nshots;
+        dw = (npaths + 63) / 64;
+        pw = padStride(dw);
+        bits.resize(nq * ns * pw);
+        mask.assign(ns * pw, 0);
+        vmask.assign(pw, 0);
+        for (std::size_t w = 0; w < dw; ++w)
+            vmask[w] = ~std::uint64_t(0);
+        if (np & 63)
+            vmask[dw - 1] = (std::uint64_t(1) << (np & 63)) - 1;
+        phases.resize(ns * np);
+        joinedFlags.assign(ns, 0);
+    }
+
+    std::size_t numQubits() const { return nq; }
+    std::size_t numPaths() const { return np; }
+    std::size_t numShots() const { return ns; }
+
+    /** Words per shot slice: the PathEnsemble row stride. */
+    std::size_t wordsPerQubit() const { return pw; }
+
+    /** Words actually holding path bits in a slice. */
+    std::size_t dataWords() const { return dw; }
+
+    /** Words per qubit block row: numShots() * wordsPerQubit(). */
+    std::size_t rowWords() const { return ns * pw; }
+
+    std::uint64_t *rowData() { return bits.data(); }
+    const std::uint64_t *rowData() const { return bits.data(); }
+
+    /** Qubit @p q's fused row (all shots' slices, rowWords() words). */
+    std::uint64_t *blockRow(std::size_t q)
+    {
+        return bits.data() + q * ns * pw;
+    }
+
+    const std::uint64_t *
+    blockRow(std::size_t q) const
+    {
+        return bits.data() + q * ns * pw;
+    }
+
+    /** Shot @p s's slice of qubit @p q's block row. */
+    std::uint64_t *
+    row(std::size_t q, std::size_t s)
+    {
+        return bits.data() + (q * ns + s) * pw;
+    }
+
+    const std::uint64_t *
+    row(std::size_t q, std::size_t s) const
+    {
+        return bits.data() + (q * ns + s) * pw;
+    }
+
+    /** The combined join/valid mask row (rowWords() words). */
+    const std::uint64_t *maskRow() const { return mask.data(); }
+
+    /** One shot's valid-mask template (wordsPerQubit() words). */
+    const std::uint64_t *validMask() const { return vmask.data(); }
+
+    /** Phase accumulators of shot @p s (numPaths() entries). */
+    std::complex<double> *phaseSlice(std::size_t s)
+    {
+        return phases.data() + s * np;
+    }
+
+    const std::complex<double> *
+    phaseSlice(std::size_t s) const
+    {
+        return phases.data() + s * np;
+    }
+
+    bool joined(std::size_t s) const { return joinedFlags[s] != 0; }
+
+    /** Open shot @p s's mask slice: ops now apply to its rows. */
+    void
+    join(std::size_t s)
+    {
+        std::uint64_t *m = mask.data() + s * pw;
+        for (std::size_t w = 0; w < pw; ++w)
+            m[w] = vmask[w];
+        joinedFlags[s] = 1;
+    }
+
+    /** Copy shot @p s's state (all rows + phases) from @p ens. */
+    void
+    loadShot(std::size_t s, const PathEnsemble &ens)
+    {
+        QRAMSIM_ASSERT(ens.numQubits() == nq &&
+                           ens.numPaths() == np &&
+                           ens.wordsPerQubit() == pw,
+                       "ensemble/block shape mismatch");
+        for (std::size_t q = 0; q < nq; ++q) {
+            const std::uint64_t *src = ens.row(q);
+            std::uint64_t *dst = row(q, s);
+            for (std::size_t w = 0; w < pw; ++w)
+                dst[w] = src[w];
+        }
+        const std::complex<double> *ph = ens.phaseData();
+        std::complex<double> *dst = phaseSlice(s);
+        for (std::size_t k = 0; k < np; ++k)
+            dst[k] = ph[k];
+    }
+
+    bool
+    get(std::size_t q, std::size_t s, std::size_t k) const
+    {
+        QRAMSIM_ASSERT(q < nq && s < ns && k < np,
+                       "block index out of range");
+        return (row(q, s)[k >> 6] >> (k & 63)) & 1;
+    }
+
+  private:
+    static std::size_t
+    padStride(std::size_t words)
+    {
+        const std::size_t a = simd::kRowAlignWords;
+        return (words + a - 1) / a * a;
+    }
+
+    std::size_t nq = 0; ///< qubits (block rows)
+    std::size_t np = 0; ///< paths per shot (slice columns)
+    std::size_t ns = 0; ///< batched shots (slices per block row)
+    std::size_t dw = 0; ///< data words per slice
+    std::size_t pw = 0; ///< padded slice stride in words
+    simd::AlignedWords bits;  ///< nq * ns * pw fused rows
+    simd::AlignedWords mask;  ///< ns * pw join/valid mask row
+    simd::AlignedWords vmask; ///< pw-word per-shot valid template
+    std::vector<std::complex<double>> phases; ///< ns * np
+    std::vector<std::uint8_t> joinedFlags;    ///< per-shot join bit
+};
+
+/**
  * Evaluate @p n ensemble control terms over row word @p w of @p ens:
  * the returned mask has bit k set iff every control matches for path
  * 64*w + k. Tail bits are already masked off via validMask. The word

@@ -26,12 +26,42 @@ class Rng
         : engine(seed)
     {}
 
-    /** Uniform double in [0, 1). */
-    double
-    uniform()
+    /**
+     * The uniform() mapping applied to one raw engine output:
+     * scale by 2^-64, clamp below 1.0 for the (rare) raw values that
+     * round up to 2^64. Monotone non-decreasing in @p r — the
+     * property the integer threshold cuts (cutFor) rely on.
+     */
+    static double
+    uniformFromBits(std::uint64_t r)
     {
-        return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+        const double d = static_cast<double>(r) * 0x1.0p-64;
+        return d < 1.0 ? d : 0x1.fffffffffffffp-1;
     }
+
+    /**
+     * Uniform double in [0, 1): one engine step through
+     * uniformFromBits. This is bit-for-bit the sequence libstdc++'s
+     * generate_canonical<double, 53>(mt19937_64) produces — verified
+     * by tests/test_common.cc — but a single multiply instead of the
+     * library's long-division normalization (the noise samplers draw
+     * one uniform per gate site, so this is the hottest scalar op of
+     * the whole estimator), and pinned-down behavior on every
+     * platform instead of an implementation-defined sequence.
+     */
+    double uniform() { return uniformFromBits(engine()); }
+
+    /**
+     * Smallest raw value whose uniform() image reaches @p t
+     * (saturating to UINT64_MAX when none, or when only UINT64_MAX
+     * itself does): for every raw draw r, uniformFromBits(r) < t
+     * implies r <= cutFor(t), so `r <= cut` is an exact-no-miss
+     * integer rejection test — a false positive (at most the cut
+     * value itself) just falls through to the exact double compares.
+     * The flattened noise samplers precompute one cut per draw site,
+     * so the common no-event case never converts to double at all.
+     */
+    static std::uint64_t cutFor(double t);
 
     /** Bernoulli draw with probability @p p. */
     bool
@@ -85,12 +115,19 @@ class CounterRng
         : state(mix(key + 0x9e3779b97f4a7c15ull * stream))
     {}
 
-    /** Uniform double in [0, 1). */
-    double
-    uniform()
+    /** The uniform() mapping applied to one raw output (monotone
+     *  non-decreasing in @p r; see Rng::uniformFromBits). */
+    static double
+    uniformFromBits(std::uint64_t r)
     {
-        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+        return static_cast<double>(r >> 11) * 0x1.0p-53;
     }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return uniformFromBits(next()); }
+
+    /** Integer threshold cut; see Rng::cutFor. */
+    static std::uint64_t cutFor(double t);
 
     /** Bernoulli draw with probability @p p. */
     bool
@@ -133,6 +170,47 @@ class CounterRng
 
     std::uint64_t state;
 };
+
+namespace detail {
+
+/**
+ * Shared cutFor body: binary-search the smallest raw value whose
+ * (monotone non-decreasing) bits→uniform image reaches @p t. Both
+ * generator families hold the exact-no-miss contract through this
+ * one implementation.
+ */
+template <class G>
+inline std::uint64_t
+rngCutFor(double t)
+{
+    if (G::uniformFromBits(0) >= t)
+        return 0;
+    if (G::uniformFromBits(~std::uint64_t(0)) < t)
+        return ~std::uint64_t(0); // every draw resolves exactly
+    std::uint64_t lo = 0, hi = ~std::uint64_t(0);
+    while (hi - lo > 1) { // u(lo) < t <= u(hi)
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (G::uniformFromBits(mid) >= t)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace detail
+
+inline std::uint64_t
+Rng::cutFor(double t)
+{
+    return detail::rngCutFor<Rng>(t);
+}
+
+inline std::uint64_t
+CounterRng::cutFor(double t)
+{
+    return detail::rngCutFor<CounterRng>(t);
+}
 
 } // namespace qramsim
 

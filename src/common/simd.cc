@@ -69,8 +69,96 @@ diffOrScalar(std::uint64_t *dev, const std::uint64_t *a,
     return any;
 }
 
-constexpr RowKernels kScalar = {xorFireScalar, swapFireScalar,
-                                xorRowScalar, diffOrScalar};
+// Fused-arena fire kernels. Arithmetic is the row kernels' (the
+// block layout only changes nw/stride and folds shot activity into
+// the mask row), but the sweeps are long — one op covers every
+// batched shot — so control row pointers and polarity words are
+// hoisted into locals: the compiler cannot do it (the target store
+// may alias the ctrls array), and reloading them every vector step
+// is measurable at arena widths. Ops with more controls than the
+// hoist buffer fall back to the generic row sweep.
+
+constexpr std::size_t kCtrlHoist = 4;
+
+void
+xorFireBlockScalar(std::uint64_t *target, const std::uint64_t *rows,
+                   std::size_t stride, const EnsembleCtrl *ctrls,
+                   std::size_t nc, const std::uint64_t *bmask,
+                   std::size_t nw)
+{
+    if (nc > kCtrlHoist) {
+        xorFireScalar(target, rows, stride, ctrls, nc, bmask, nw);
+        return;
+    }
+    const std::uint64_t *cr[kCtrlHoist];
+    std::uint64_t inv[kCtrlHoist];
+    for (std::size_t c = 0; c < nc; ++c) {
+        cr[c] = rows + std::size_t(ctrls[c].qubit) * stride;
+        inv[c] = ctrls[c].invert;
+    }
+    for (std::size_t w = 0; w < nw; ++w) {
+        std::uint64_t fire = bmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= cr[c][w] ^ inv[c];
+        target[w] ^= fire;
+    }
+}
+
+void
+swapFireBlockScalar(std::uint64_t *t0, std::uint64_t *t1,
+                    const std::uint64_t *rows, std::size_t stride,
+                    const EnsembleCtrl *ctrls, std::size_t nc,
+                    const std::uint64_t *bmask, std::size_t nw)
+{
+    if (nc > kCtrlHoist) {
+        swapFireScalar(t0, t1, rows, stride, ctrls, nc, bmask, nw);
+        return;
+    }
+    const std::uint64_t *cr[kCtrlHoist];
+    std::uint64_t inv[kCtrlHoist];
+    for (std::size_t c = 0; c < nc; ++c) {
+        cr[c] = rows + std::size_t(ctrls[c].qubit) * stride;
+        inv[c] = ctrls[c].invert;
+    }
+    for (std::size_t w = 0; w < nw; ++w) {
+        std::uint64_t fire = bmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= cr[c][w] ^ inv[c];
+        const std::uint64_t diff = (t0[w] ^ t1[w]) & fire;
+        t0[w] ^= diff;
+        t1[w] ^= diff;
+    }
+}
+
+void
+xorRowBlockScalar(std::uint64_t *dst, const std::uint64_t *src,
+                  std::size_t pw, std::size_t n)
+{
+    for (std::size_t s = 0; s < n; ++s, dst += pw)
+        for (std::size_t w = 0; w < pw; ++w)
+            dst[w] ^= src[w];
+}
+
+void
+diffOrBlockScalar(std::uint64_t *dev, const std::uint64_t *a,
+                  const std::uint64_t *b, std::size_t pw, std::size_t n,
+                  std::uint64_t *anyOut)
+{
+    for (std::size_t s = 0; s < n; ++s, dev += pw, a += pw) {
+        std::uint64_t any = 0;
+        for (std::size_t w = 0; w < pw; ++w) {
+            const std::uint64_t d = a[w] ^ b[w];
+            dev[w] |= d;
+            any |= d;
+        }
+        anyOut[s] = any;
+    }
+}
+
+constexpr RowKernels kScalar = {xorFireScalar,      swapFireScalar,
+                                xorRowScalar,       diffOrScalar,
+                                xorFireBlockScalar, swapFireBlockScalar,
+                                xorRowBlockScalar,  diffOrBlockScalar};
 
 #ifdef QRAMSIM_SIMD_X86
 
@@ -180,8 +268,165 @@ diffOrAvx2(std::uint64_t *dev, const std::uint64_t *a,
     return any;
 }
 
-constexpr RowKernels kAvx2 = {xorFireAvx2, swapFireAvx2, xorRowAvx2,
-                              diffOrAvx2};
+// Block kernels: control rows and pre-broadcast polarity vectors are
+// hoisted out of the sweep (see the scalar tier note), and the
+// broadcast/per-slice kernels keep the shared row in registers
+// across shot slices. Arena sweeps have word counts that are
+// multiples of kRowAlignWords, so the scalar tails below exist only
+// for arbitrary test buffers.
+
+__attribute__((target("avx2"))) void
+xorFireBlockAvx2(std::uint64_t *target, const std::uint64_t *rows,
+                 std::size_t stride, const EnsembleCtrl *ctrls,
+                 std::size_t nc, const std::uint64_t *bmask,
+                 std::size_t nw)
+{
+    if (nc > kCtrlHoist) {
+        xorFireAvx2(target, rows, stride, ctrls, nc, bmask, nw);
+        return;
+    }
+    const std::uint64_t *cr[kCtrlHoist];
+    __m256i inv[kCtrlHoist];
+    for (std::size_t c = 0; c < nc; ++c) {
+        cr[c] = rows + std::size_t(ctrls[c].qubit) * stride;
+        inv[c] = _mm256_set1_epi64x(
+            static_cast<long long>(ctrls[c].invert));
+    }
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+        __m256i fire = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bmask + w));
+        for (std::size_t c = 0; c < nc; ++c)
+            fire = _mm256_and_si256(
+                fire,
+                _mm256_xor_si256(
+                    _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(cr[c] + w)),
+                    inv[c]));
+        __m256i *t = reinterpret_cast<__m256i *>(target + w);
+        _mm256_storeu_si256(
+            t, _mm256_xor_si256(_mm256_loadu_si256(t), fire));
+    }
+    for (; w < nw; ++w) {
+        std::uint64_t fire = bmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= cr[c][w] ^ ctrls[c].invert;
+        target[w] ^= fire;
+    }
+}
+
+__attribute__((target("avx2"))) void
+swapFireBlockAvx2(std::uint64_t *t0, std::uint64_t *t1,
+                  const std::uint64_t *rows, std::size_t stride,
+                  const EnsembleCtrl *ctrls, std::size_t nc,
+                  const std::uint64_t *bmask, std::size_t nw)
+{
+    if (nc > kCtrlHoist) {
+        swapFireAvx2(t0, t1, rows, stride, ctrls, nc, bmask, nw);
+        return;
+    }
+    const std::uint64_t *cr[kCtrlHoist];
+    __m256i inv[kCtrlHoist];
+    for (std::size_t c = 0; c < nc; ++c) {
+        cr[c] = rows + std::size_t(ctrls[c].qubit) * stride;
+        inv[c] = _mm256_set1_epi64x(
+            static_cast<long long>(ctrls[c].invert));
+    }
+    std::size_t w = 0;
+    for (; w + 4 <= nw; w += 4) {
+        __m256i fire = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bmask + w));
+        for (std::size_t c = 0; c < nc; ++c)
+            fire = _mm256_and_si256(
+                fire,
+                _mm256_xor_si256(
+                    _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(cr[c] + w)),
+                    inv[c]));
+        __m256i *p0 = reinterpret_cast<__m256i *>(t0 + w);
+        __m256i *p1 = reinterpret_cast<__m256i *>(t1 + w);
+        const __m256i v0 = _mm256_loadu_si256(p0);
+        const __m256i v1 = _mm256_loadu_si256(p1);
+        const __m256i diff =
+            _mm256_and_si256(_mm256_xor_si256(v0, v1), fire);
+        _mm256_storeu_si256(p0, _mm256_xor_si256(v0, diff));
+        _mm256_storeu_si256(p1, _mm256_xor_si256(v1, diff));
+    }
+    for (; w < nw; ++w) {
+        std::uint64_t fire = bmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= cr[c][w] ^ ctrls[c].invert;
+        const std::uint64_t diff = (t0[w] ^ t1[w]) & fire;
+        t0[w] ^= diff;
+        t1[w] ^= diff;
+    }
+}
+
+__attribute__((target("avx2"))) void
+xorRowBlockAvx2(std::uint64_t *dst, const std::uint64_t *src,
+                std::size_t pw, std::size_t n)
+{
+    if (pw == 8) {
+        // One cache line per slice: both source vectors stay resident.
+        const __m256i s0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src));
+        const __m256i s1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + 4));
+        for (std::size_t s = 0; s < n; ++s, dst += 8) {
+            __m256i *d0 = reinterpret_cast<__m256i *>(dst);
+            __m256i *d1 = reinterpret_cast<__m256i *>(dst + 4);
+            _mm256_storeu_si256(
+                d0, _mm256_xor_si256(_mm256_loadu_si256(d0), s0));
+            _mm256_storeu_si256(
+                d1, _mm256_xor_si256(_mm256_loadu_si256(d1), s1));
+        }
+        return;
+    }
+    for (std::size_t s = 0; s < n; ++s, dst += pw)
+        xorRowAvx2(dst, src, pw);
+}
+
+__attribute__((target("avx2"))) void
+diffOrBlockAvx2(std::uint64_t *dev, const std::uint64_t *a,
+                const std::uint64_t *b, std::size_t pw, std::size_t n,
+                std::uint64_t *anyOut)
+{
+    if (pw == 8) {
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b));
+        const __m256i b1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + 4));
+        for (std::size_t s = 0; s < n; ++s, dev += 8, a += 8) {
+            const __m256i d0 = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a)),
+                b0);
+            const __m256i d1 = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a + 4)),
+                b1);
+            __m256i *v0 = reinterpret_cast<__m256i *>(dev);
+            __m256i *v1 = reinterpret_cast<__m256i *>(dev + 4);
+            _mm256_storeu_si256(
+                v0, _mm256_or_si256(_mm256_loadu_si256(v0), d0));
+            _mm256_storeu_si256(
+                v1, _mm256_or_si256(_mm256_loadu_si256(v1), d1));
+            const __m256i acc = _mm256_or_si256(d0, d1);
+            alignas(32) std::uint64_t lanes[4];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
+                               acc);
+            anyOut[s] = lanes[0] | lanes[1] | lanes[2] | lanes[3];
+        }
+        return;
+    }
+    for (std::size_t s = 0; s < n; ++s, dev += pw, a += pw)
+        anyOut[s] = diffOrAvx2(dev, a, b, pw);
+}
+
+constexpr RowKernels kAvx2 = {xorFireAvx2,      swapFireAvx2,
+                              xorRowAvx2,       diffOrAvx2,
+                              xorFireBlockAvx2, swapFireBlockAvx2,
+                              xorRowBlockAvx2,  diffOrBlockAvx2};
 
 // ----------------------------------------------------------- AVX-512
 
@@ -276,8 +521,124 @@ diffOrAvx512(std::uint64_t *dev, const std::uint64_t *a,
     return any;
 }
 
-constexpr RowKernels kAvx512 = {xorFireAvx512, swapFireAvx512,
-                                xorRowAvx512, diffOrAvx512};
+__attribute__((target("avx512f"))) void
+xorFireBlockAvx512(std::uint64_t *target, const std::uint64_t *rows,
+                   std::size_t stride, const EnsembleCtrl *ctrls,
+                   std::size_t nc, const std::uint64_t *bmask,
+                   std::size_t nw)
+{
+    if (nc > kCtrlHoist) {
+        xorFireAvx512(target, rows, stride, ctrls, nc, bmask, nw);
+        return;
+    }
+    const std::uint64_t *cr[kCtrlHoist];
+    __m512i inv[kCtrlHoist];
+    for (std::size_t c = 0; c < nc; ++c) {
+        cr[c] = rows + std::size_t(ctrls[c].qubit) * stride;
+        inv[c] = _mm512_set1_epi64(
+            static_cast<long long>(ctrls[c].invert));
+    }
+    std::size_t w = 0;
+    for (; w + 8 <= nw; w += 8) {
+        __m512i fire = _mm512_loadu_si512(bmask + w);
+        for (std::size_t c = 0; c < nc; ++c)
+            fire = _mm512_and_si512(
+                fire, _mm512_xor_si512(_mm512_loadu_si512(cr[c] + w),
+                                       inv[c]));
+        _mm512_storeu_si512(
+            target + w,
+            _mm512_xor_si512(_mm512_loadu_si512(target + w), fire));
+    }
+    for (; w < nw; ++w) {
+        std::uint64_t fire = bmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= cr[c][w] ^ ctrls[c].invert;
+        target[w] ^= fire;
+    }
+}
+
+__attribute__((target("avx512f"))) void
+swapFireBlockAvx512(std::uint64_t *t0, std::uint64_t *t1,
+                    const std::uint64_t *rows, std::size_t stride,
+                    const EnsembleCtrl *ctrls, std::size_t nc,
+                    const std::uint64_t *bmask, std::size_t nw)
+{
+    if (nc > kCtrlHoist) {
+        swapFireAvx512(t0, t1, rows, stride, ctrls, nc, bmask, nw);
+        return;
+    }
+    const std::uint64_t *cr[kCtrlHoist];
+    __m512i inv[kCtrlHoist];
+    for (std::size_t c = 0; c < nc; ++c) {
+        cr[c] = rows + std::size_t(ctrls[c].qubit) * stride;
+        inv[c] = _mm512_set1_epi64(
+            static_cast<long long>(ctrls[c].invert));
+    }
+    std::size_t w = 0;
+    for (; w + 8 <= nw; w += 8) {
+        __m512i fire = _mm512_loadu_si512(bmask + w);
+        for (std::size_t c = 0; c < nc; ++c)
+            fire = _mm512_and_si512(
+                fire, _mm512_xor_si512(_mm512_loadu_si512(cr[c] + w),
+                                       inv[c]));
+        const __m512i v0 = _mm512_loadu_si512(t0 + w);
+        const __m512i v1 = _mm512_loadu_si512(t1 + w);
+        const __m512i diff =
+            _mm512_and_si512(_mm512_xor_si512(v0, v1), fire);
+        _mm512_storeu_si512(t0 + w, _mm512_xor_si512(v0, diff));
+        _mm512_storeu_si512(t1 + w, _mm512_xor_si512(v1, diff));
+    }
+    for (; w < nw; ++w) {
+        std::uint64_t fire = bmask[w];
+        for (std::size_t c = 0; c < nc && fire; ++c)
+            fire &= cr[c][w] ^ ctrls[c].invert;
+        const std::uint64_t diff = (t0[w] ^ t1[w]) & fire;
+        t0[w] ^= diff;
+        t1[w] ^= diff;
+    }
+}
+
+__attribute__((target("avx512f"))) void
+xorRowBlockAvx512(std::uint64_t *dst, const std::uint64_t *src,
+                  std::size_t pw, std::size_t n)
+{
+    if (pw == 8) {
+        // One ZMM register is the entire slice row.
+        const __m512i sv = _mm512_loadu_si512(src);
+        for (std::size_t s = 0; s < n; ++s, dst += 8)
+            _mm512_storeu_si512(
+                dst, _mm512_xor_si512(_mm512_loadu_si512(dst), sv));
+        return;
+    }
+    for (std::size_t s = 0; s < n; ++s, dst += pw)
+        xorRowAvx512(dst, src, pw);
+}
+
+__attribute__((target("avx512f"))) void
+diffOrBlockAvx512(std::uint64_t *dev, const std::uint64_t *a,
+                  const std::uint64_t *b, std::size_t pw,
+                  std::size_t n, std::uint64_t *anyOut)
+{
+    if (pw == 8) {
+        const __m512i bv = _mm512_loadu_si512(b);
+        for (std::size_t s = 0; s < n; ++s, dev += 8, a += 8) {
+            const __m512i d =
+                _mm512_xor_si512(_mm512_loadu_si512(a), bv);
+            _mm512_storeu_si512(
+                dev, _mm512_or_si512(_mm512_loadu_si512(dev), d));
+            anyOut[s] = static_cast<std::uint64_t>(
+                _mm512_reduce_or_epi64(d));
+        }
+        return;
+    }
+    for (std::size_t s = 0; s < n; ++s, dev += pw, a += pw)
+        anyOut[s] = diffOrAvx512(dev, a, b, pw);
+}
+
+constexpr RowKernels kAvx512 = {xorFireAvx512,      swapFireAvx512,
+                                xorRowAvx512,       diffOrAvx512,
+                                xorFireBlockAvx512, swapFireBlockAvx512,
+                                xorRowBlockAvx512,  diffOrBlockAvx512};
 
 #endif // QRAMSIM_SIMD_X86
 

@@ -6,7 +6,9 @@
  * runSpanEnsemble and the estimator's deviation-mask / Z-parity
  * reductions) are pure word-level AND/XOR sweeps over packed
  * bit-across-paths rows (common/pathensemble.hh). Those sweeps are
- * expressed here as four row kernels, each provided in three tiers —
+ * expressed here as four row kernels plus their four block twins
+ * (op-major sweeps over the fused multi-shot EnsembleBlock arena),
+ * each provided in three tiers —
  * portable scalar, AVX2 (4 words per step), AVX-512F (8 words per
  * step) — compiled with per-function target attributes so one binary
  * carries all tiers and picks the widest one the CPU supports at
@@ -135,6 +137,56 @@ struct RowKernels
      */
     std::uint64_t (*diffOr)(std::uint64_t *dev, const std::uint64_t *a,
                             const std::uint64_t *b, std::size_t nw);
+
+    /// @name Block kernels (op-major batched replay)
+    ///
+    /// Twins of the row kernels over the fused EnsembleBlock arena
+    /// (common/pathensemble.hh): a qubit's "block row" concatenates
+    /// every batched shot's padded word-row back to back, so one
+    /// contiguous sweep applies one op to all shots at once. @p bmask
+    /// is the arena's combined mask row — the per-shot valid mask for
+    /// shots that have joined the replay, all-zero slices for shots
+    /// that have not — which is what keeps shots entering at different
+    /// checkpoints exact: an op can never touch a slice whose shot has
+    /// not reached it. Block rows keep the PathEnsemble guarantees
+    /// (64-byte-aligned slices, word counts that are multiples of
+    /// kRowAlignWords), so these kernels run whole vector steps with
+    /// no scalar tail.
+    /// @{
+
+    /** Controlled X over the arena: target[w] ^= fire(w), w in [0, nw). */
+    void (*xorFireBlock)(std::uint64_t *target, const std::uint64_t *rows,
+                         std::size_t stride, const EnsembleCtrl *ctrls,
+                         std::size_t nc, const std::uint64_t *bmask,
+                         std::size_t nw);
+
+    /** Controlled Swap over the arena: masked XOR-swap of two block rows. */
+    void (*swapFireBlock)(std::uint64_t *t0, std::uint64_t *t1,
+                          const std::uint64_t *rows, std::size_t stride,
+                          const EnsembleCtrl *ctrls, std::size_t nc,
+                          const std::uint64_t *bmask, std::size_t nw);
+
+    /**
+     * Broadcast row flip: dst[s*pw + w] ^= src[w] for every shot slice
+     * s in [0, n), w in [0, pw). The X-error whole-row flip of the
+     * block path (src = the shot valid mask, n = 1 for a single shot's
+     * slice); src stays register-resident across slices.
+     */
+    void (*xorRowBlock)(std::uint64_t *dst, const std::uint64_t *src,
+                        std::size_t pw, std::size_t n);
+
+    /**
+     * Per-slice deviation accumulate against one shared row:
+     * dev[s*pw + w] |= a[s*pw + w] ^ b[w], and anyOut[s] = OR of slice
+     * s's diff words — the block twin of diffOr, comparing every
+     * batched shot's row of one qubit against the single ideal row in
+     * one sweep.
+     */
+    void (*diffOrBlock)(std::uint64_t *dev, const std::uint64_t *a,
+                        const std::uint64_t *b, std::size_t pw,
+                        std::size_t n, std::uint64_t *anyOut);
+
+    /// @}
 };
 
 /** True if this build + CPU can execute @p t's kernels. */

@@ -306,25 +306,25 @@ FeynmanExecutor::runSpan(PathState &path, std::uint32_t from,
 namespace {
 
 /**
- * Apply one error event to the whole ensemble. Per-path arithmetic is
- * identical (value and order) to applyErrorWords on each path: sign
- * flips for the paths whose bit is set, then the bit flip / global i.
- * Bit flips are whole-row XORs of the valid mask (SIMD kernel);
- * phase updates walk the set bits.
+ * Apply one error event to one shot's row slice and phase
+ * accumulators — the shared core of the slot and block engines, so
+ * the Pauli arithmetic (the bit-identity contract) lives in exactly
+ * one place. Per-path arithmetic is identical (value and order) to
+ * applyErrorWords on each path: sign flips for the paths whose bit
+ * is set, then the bit flip / global i. Bit flips are whole-row XORs
+ * of the valid mask (the broadcast block kernel, one slice); phase
+ * walks only visit data words — padding words are zero by invariant,
+ * so they can never contribute a set bit.
  */
 void
-applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens,
-                   const simd::RowKernels &K)
+applyErrorRows(const FlatEvent &e, std::uint64_t *r,
+               const std::uint64_t *vmask, std::size_t pw,
+               std::size_t dw, std::complex<double> *ph,
+               std::size_t np, const simd::RowKernels &K)
 {
-    std::uint64_t *r = ens.row(e.qubit);
-    const std::size_t pw = ens.wordsPerQubit();
-    // Phase walks only visit data words — padding words are zero by
-    // invariant, so they can never contribute a set bit.
-    const std::size_t dw = ens.dataWords();
-    std::complex<double> *ph = ens.phaseData();
     switch (e.pauli) {
       case PauliKind::X:
-        K.xorRow(r, ens.validMaskRow(), pw);
+        K.xorRowBlock(r, vmask, pw, 1);
         break;
       case PauliKind::Z:
         for (std::size_t w = 0; w < dw; ++w) {
@@ -350,14 +350,23 @@ applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens,
                 ph[k] = -ph[k];
             }
         }
-        K.xorRow(r, ens.validMaskRow(), pw);
-        const std::size_t np = ens.numPaths();
+        K.xorRowBlock(r, vmask, pw, 1);
         const std::complex<double> im(0.0, 1.0);
         for (std::size_t k = 0; k < np; ++k)
             ph[k] *= im;
         break;
       }
     }
+}
+
+/** applyErrorRows over a whole (single-shot) ensemble. */
+inline void
+applyErrorEnsemble(const FlatEvent &e, PathEnsemble &ens,
+                   const simd::RowKernels &K)
+{
+    applyErrorRows(e, ens.row(e.qubit), ens.validMaskRow(),
+                   ens.wordsPerQubit(), ens.dataWords(),
+                   ens.phaseData(), ens.numPaths(), K);
 }
 
 /**
@@ -433,7 +442,186 @@ applyOpEnsemble(CompiledStream::Op op, std::uint32_t q0,
     }
 }
 
+/**
+ * Fire mask of arena word @p w: the block mask row (per-shot valid
+ * masks for joined shots, zeros otherwise) ANDed with every control
+ * term's block row — the EnsembleBlock twin of ensembleFireMask.
+ */
+inline std::uint64_t
+blockFireMask(const std::uint64_t *rows, std::size_t stride,
+              const std::uint64_t *bmask, const EnsembleCtrl *ctrls,
+              std::size_t n, std::size_t w)
+{
+    std::uint64_t fire = bmask[w];
+    for (std::size_t c = 0; c < n && fire; ++c)
+        fire &= rows[std::size_t(ctrls[c].qubit) * stride + w] ^
+                ctrls[c].invert;
+    return fire;
+}
+
+/**
+ * applyErrorRows on shot @p s's slice of the block. Uses the
+ * valid-mask template — not the join mask — so tail events of shots
+ * that never join the op loop (from == to) still apply.
+ */
+inline void
+applyErrorBlock(const FlatEvent &e, EnsembleBlock &blk, std::size_t s,
+                const simd::RowKernels &K)
+{
+    applyErrorRows(e, blk.row(e.qubit, s), blk.validMask(),
+                   blk.wordsPerQubit(), blk.dataWords(),
+                   blk.phaseSlice(s), blk.numPaths(), K);
+}
+
+/**
+ * Apply one decoded compiled op to every joined shot of the block in
+ * one contiguous sweep. X/Swap are single block-kernel calls over the
+ * fused rows; diagonal ops walk each joined shot's firing bits in
+ * slice order (same constants, same per-shot order as the per-shot
+ * engine — the bit-identity contract).
+ */
+inline void
+applyOpBlock(CompiledStream::Op op, std::uint32_t q0, std::uint32_t q1,
+             const EnsembleCtrl *ec, std::size_t nc, EnsembleBlock &blk,
+             const simd::RowKernels &K)
+{
+    const std::size_t rw = blk.rowWords();
+    const std::size_t pw = blk.wordsPerQubit();
+    const std::size_t dw = blk.dataWords();
+    std::uint64_t *rows = blk.rowData();
+    const std::uint64_t *bmask = blk.maskRow();
+
+    switch (op) {
+      case CompiledStream::Op::X:
+        K.xorFireBlock(rows + std::size_t(q0) * rw, rows, rw, ec, nc,
+                       bmask, rw);
+        break;
+      case CompiledStream::Op::Swap:
+        K.swapFireBlock(rows + std::size_t(q0) * rw,
+                        rows + std::size_t(q1) * rw, rows, rw, ec, nc,
+                        bmask, rw);
+        break;
+      case CompiledStream::Op::Z: {
+        const std::uint64_t *t = rows + std::size_t(q0) * rw;
+        for (std::size_t s = 0; s < blk.numShots(); ++s) {
+            std::complex<double> *ph = blk.phaseSlice(s);
+            // Fire masks on pad words and unjoined slices are zero.
+            for (std::size_t ww = 0; ww < dw; ++ww) {
+                const std::size_t w = s * pw + ww;
+                std::uint64_t m =
+                    t[w] & blockFireMask(rows, rw, bmask, ec, nc, w);
+                while (m) {
+                    const std::size_t k =
+                        ww * 64 +
+                        static_cast<std::size_t>(__builtin_ctzll(m));
+                    m &= m - 1;
+                    ph[k] = -ph[k];
+                }
+            }
+        }
+        break;
+      }
+      case CompiledStream::Op::S:
+      case CompiledStream::Op::T:
+      case CompiledStream::Op::Tdg: {
+        constexpr double r = std::numbers::sqrt2 / 2.0;
+        const std::complex<double> factor =
+            op == CompiledStream::Op::S
+                ? std::complex<double>(0.0, 1.0)
+                : (op == CompiledStream::Op::T
+                       ? std::complex<double>(r, r)
+                       : std::complex<double>(r, -r));
+        const std::uint64_t *t = rows + std::size_t(q0) * rw;
+        for (std::size_t s = 0; s < blk.numShots(); ++s) {
+            std::complex<double> *ph = blk.phaseSlice(s);
+            for (std::size_t ww = 0; ww < dw; ++ww) {
+                const std::size_t w = s * pw + ww;
+                std::uint64_t m =
+                    t[w] & blockFireMask(rows, rw, bmask, ec, nc, w);
+                while (m) {
+                    const std::size_t k =
+                        ww * 64 +
+                        static_cast<std::size_t>(__builtin_ctzll(m));
+                    m &= m - 1;
+                    ph[k] *= factor;
+                }
+            }
+        }
+        break;
+      }
+      case CompiledStream::Op::H:
+        QRAMSIM_PANIC("H gate is not basis-preserving; "
+                      "teleportation gadgets must not reach the "
+                      "path simulator");
+    }
+}
+
 } // namespace
+
+void
+FeynmanExecutor::runSpanEnsembleBlock(EnsembleBlock &blk,
+                                      BlockReplayShot *shots,
+                                      std::uint32_t to) const
+{
+    const simd::RowKernels &K = simd::activeKernels();
+    const std::size_t n = blk.numShots();
+    QRAMSIM_ASSERT(blk.numQubits() == circ.numQubits(),
+                   "block width mismatch");
+    std::uint32_t i = to;
+    for (std::size_t b = 0; b < n; ++b) {
+        QRAMSIM_ASSERT(shots[b].from <= to,
+                       "replay shot starts beyond span end");
+        shots[b].ev = 0;
+        i = std::min(i, shots[b].from);
+    }
+
+    const std::uint8_t *kind = cs.kind.data();
+    const std::uint32_t *tq0 = cs.tq0.data();
+    const std::uint32_t *tq1 = cs.tq1.data();
+    const std::uint32_t *ectrlBegin = cs.ectrlBegin.data();
+    const EnsembleCtrl *ectrl = cs.ectrl.data();
+
+    while (i < to) {
+        // Join shots whose span starts here, fire events due at or
+        // before this position, and find the next position where any
+        // per-shot bookkeeping is needed again. Events fire before
+        // the op at their position and a shot's first op is the op at
+        // its join position — exactly the slot loop's interleaving —
+        // so every stop position is > i and the loop advances.
+        std::uint32_t stop = to;
+        for (std::size_t b = 0; b < n; ++b) {
+            BlockReplayShot &s = shots[b];
+            if (s.from > i) {
+                stop = std::min(stop, s.from);
+                continue;
+            }
+            if (!blk.joined(b))
+                blk.join(b);
+            while (s.ev < s.numEvents && s.events[s.ev].pos <= i)
+                applyErrorBlock(s.events[s.ev++], blk, b, K);
+            if (s.ev < s.numEvents)
+                stop = std::min(stop, s.events[s.ev].pos);
+        }
+
+        // Op-major run: every op between here and the next stop is
+        // decoded once and applied to all joined shots' rows with one
+        // block-kernel sweep — no per-shot work at all.
+        for (; i < stop; ++i) {
+            const auto op = static_cast<CompiledStream::Op>(kind[i]);
+            applyOpBlock(op, tq0[i], tq1[i], ectrl + ectrlBegin[i],
+                         ectrlBegin[i + 1] - ectrlBegin[i], blk, K);
+        }
+    }
+
+    for (std::size_t b = 0; b < n; ++b) {
+        BlockReplayShot &s = shots[b];
+        while (s.ev < s.numEvents) {
+            QRAMSIM_ASSERT(s.events[s.ev].pos <= to,
+                           "error event beyond replay span");
+            applyErrorBlock(s.events[s.ev++], blk, b, K);
+        }
+    }
+}
 
 void
 FeynmanExecutor::runSpanEnsembleBatch(EnsembleReplaySlot *slots,

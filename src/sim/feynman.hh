@@ -297,6 +297,38 @@ class FeynmanExecutor
     void runSpanEnsembleBatch(EnsembleReplaySlot *slots, std::size_t n,
                               std::uint32_t to) const;
 
+    /**
+     * One shot of an op-major block replay: its remaining events
+     * (positions in [from, to] of the block call) and its join
+     * position in the op stream. The event cursor is internal state
+     * of runSpanEnsembleBlock.
+     */
+    struct BlockReplayShot
+    {
+        const FlatEvent *events;
+        std::size_t numEvents;
+        std::uint32_t from;
+        std::size_t ev = 0; ///< event cursor (managed by the replay)
+    };
+
+    /**
+     * Op-major (transposed) twin of runSpanEnsembleBatch over the
+     * fused EnsembleBlock arena: @p blk holds blk.numShots() shots'
+     * states qubit-major, shot-minor, and @p shots their join
+     * positions and event lists. Each op is decoded once and applied
+     * to every joined shot's rows with ONE contiguous block-kernel
+     * sweep per target row; runs of event-free ops execute back to
+     * back with zero per-shot bookkeeping. Shots join at their own
+     * positions (their mask slices open right before their first op)
+     * and their events fire at their own positions, so each shot's
+     * op/event sequence is exactly its solo runSpanEnsemble sequence
+     * — results are bit-identical shot by shot to the slot loop and
+     * to the per-shot engine at every batch width.
+     */
+    void runSpanEnsembleBlock(EnsembleBlock &blk,
+                              BlockReplayShot *shots,
+                              std::uint32_t to) const;
+
     /** Noiseless ensemble propagation (whole stream). */
     PathEnsemble runIdealEnsemble(const PathEnsemble &input) const;
 

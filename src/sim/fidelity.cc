@@ -73,6 +73,10 @@ struct FidelityEstimator::ShotAccumulator
     std::complex<double> fullOverlap{0.0, 0.0};
     std::unordered_map<BitVec, Group, BitVecHash> groups;
 
+    /** Reused by ancillaPartInto so the per-path group lookups of a
+     *  shot never allocate (one sizing copy per shot at most). */
+    BitVec ancScratch;
+
     ShotAccumulator() { groups.reserve(8); }
 
     double full() const { return std::norm(fullOverlap); }
@@ -256,6 +260,14 @@ FidelityEstimator::ancillaPart(const BitVec &bits) const
     return a;
 }
 
+void
+FidelityEstimator::ancillaPartInto(const BitVec &bits, BitVec &out) const
+{
+    out = bits; // copy-assign reuses the scratch's capacity
+    for (std::size_t w = 0; w < visMaskWords.size(); ++w)
+        out.andWord(w, ~visMaskWords[w]);
+}
+
 bool
 FidelityEstimator::idealBus(std::size_t k) const
 {
@@ -275,42 +287,71 @@ FidelityEstimator::accumulatePathKeyed(
     ShotAccumulator &acc, std::size_t k, const BitVec &outBits,
     std::uint64_t key, std::complex<double> outPhase) const
 {
-    const auto it = visIndex.find(key);
+    // A path that landed on its ideal output takes the precomputed
+    // route (same arithmetic, same group key and owner — the map
+    // population sequence is unchanged); anything else is a
+    // deviating path.
+    if (outBits == ideals[k].bits)
+        accumulateIdealPath(acc, k, outPhase);
+    else
+        accumulateDeviatingPath(acc, k, outBits, key, outPhase);
+}
 
+void
+FidelityEstimator::accumulateDeviatingPath(
+    ShotAccumulator &acc, std::size_t k, const BitVec &outBits,
+    std::uint64_t key, std::complex<double> outPhase) const
+{
+    // Caller guarantees outBits != ideals[k].bits (a set deviation
+    // bit means some row differs), so the self-overlap branch of the
+    // general accumulation is skipped outright.
+    const auto it = visIndex.find(key);
+    if (it == visIndex.end())
+        return;
+    accumulateVisiblePath(acc, k, outBits, it->second, outPhase);
+}
+
+void
+FidelityEstimator::accumulateVisiblePath(
+    ShotAccumulator &acc, std::size_t k, const BitVec &outBits,
+    std::size_t owner, std::complex<double> outPhase) const
+{
     // Full-state overlap: the noisy output contributes iff it lands
-    // exactly on some path's ideal output (distinct addresses give
-    // orthogonal ideal outputs, and the circuit is a permutation).
-    if (outBits == ideals[k].bits) {
-        acc.fullOverlap +=
-            std::conj(input.amps[k]) * input.amps[k] * outPhase;
-    } else if (it != visIndex.end()) {
-        if (!dupVisibleKeys) {
-            // Visible keys are unique, so the key owner is the only
-            // candidate; one exact-bits check resolves the collision.
-            const std::size_t j = it->second;
-            if (ideals[j].bits == outBits)
+    // exactly on some OTHER path's ideal output (distinct addresses
+    // give orthogonal ideal outputs, and the circuit is a
+    // permutation).
+    if (!dupVisibleKeys) {
+        // Visible keys are unique, so the key owner is the only
+        // candidate; one exact-bits check resolves the collision.
+        if (ideals[owner].bits == outBits)
+            acc.fullOverlap += std::conj(input.amps[owner]) *
+                               input.amps[k] * outPhase;
+    } else {
+        // Degenerate input with repeated visible keys: fall back
+        // to the exhaustive scan to keep historical semantics.
+        for (std::size_t j = 0; j < input.size(); ++j) {
+            if (ideals[j].bits == outBits) {
                 acc.fullOverlap += std::conj(input.amps[j]) *
                                    input.amps[k] * outPhase;
-        } else {
-            // Degenerate input with repeated visible keys: fall back
-            // to the exhaustive scan to keep historical semantics.
-            for (std::size_t j = 0; j < input.size(); ++j) {
-                if (ideals[j].bits == outBits) {
-                    acc.fullOverlap += std::conj(input.amps[j]) *
-                                       input.amps[k] * outPhase;
-                    break;
-                }
+                break;
             }
         }
     }
 
     // Reduced overlap: group by ancilla configuration; within a
-    // group, the visible component projects onto psi_ideal.
-    if (it != visIndex.end()) {
-        acc.groups[ancillaPart(outBits)].sum +=
-            std::conj(input.amps[it->second]) * input.amps[k] *
-            outPhase;
-    }
+    // group, the visible component projects onto psi_ideal. The
+    // ancilla key lands in the accumulator's scratch so per-path
+    // lookups never allocate; find-then-emplace inserts exactly the
+    // keys (in exactly the order) operator[] would, keeping the
+    // group iteration — and thus summation — order unchanged.
+    ancillaPartInto(outBits, acc.ancScratch);
+    auto git = acc.groups.find(acc.ancScratch);
+    if (git == acc.groups.end())
+        git = acc.groups
+                  .emplace(acc.ancScratch, ShotAccumulator::Group{})
+                  .first;
+    git->second.sum +=
+        std::conj(input.amps[owner]) * input.amps[k] * outPhase;
 }
 
 void
@@ -393,17 +434,31 @@ FidelityEstimator::accumulateEnsembleShot(ShotWorkspace &ws,
             ws.devRows.push_back(static_cast<std::uint32_t>(q));
     }
 
+    accumulateShotRows(noisy, pathWords, ws.ens.phaseData(),
+                       ws.dev.data(), ws.devRows, ws, acc);
+}
+
+void
+FidelityEstimator::accumulateShotRows(
+    const std::uint64_t *rows, std::size_t stride,
+    const std::complex<double> *phases, const std::uint64_t *dev,
+    const std::vector<std::uint32_t> &devRows, ShotWorkspace &ws,
+    ShotAccumulator &acc) const
+{
+    const std::size_t nq = exec.circuit().numQubits();
+    const std::uint64_t *ideal = idealEns.rowData();
+
     // Visible keys by word transpose of the visible rows only
     // (address bits + bus; <= 64 rows), and only for words that hold
     // a deviating path — non-deviating paths never read a key.
-    if (!ws.devRows.empty()) {
+    if (!devRows.empty()) {
         ws.keys.assign(input.size(), 0);
         for (std::size_t w = 0; w < pathWords; ++w) {
-            if (!ws.dev[w])
+            if (!dev[w])
                 continue;
             const std::size_t base = w * 64;
             for (std::size_t b = 0; b < addrQubits.size(); ++b) {
-                std::uint64_t m = ws.ens.row(addrQubits[b])[w];
+                std::uint64_t m = rows[addrQubits[b] * stride + w];
                 while (m) {
                     const std::size_t k = static_cast<std::size_t>(
                         __builtin_ctzll(m));
@@ -411,7 +466,7 @@ FidelityEstimator::accumulateEnsembleShot(ShotWorkspace &ws,
                     ws.keys[base + k] |= std::uint64_t(1) << b;
                 }
             }
-            std::uint64_t m = ws.ens.row(bus)[w];
+            std::uint64_t m = rows[std::size_t(bus) * stride + w];
             while (m) {
                 const std::size_t k =
                     static_cast<std::size_t>(__builtin_ctzll(m));
@@ -422,31 +477,61 @@ FidelityEstimator::accumulateEnsembleShot(ShotWorkspace &ws,
         }
     }
 
-    // Accumulate: non-deviating paths from precomputed ideal lookups
-    // (same arithmetic, same order as the scalar engine); deviating
-    // paths materialize their output as a word copy of the ideal
-    // output plus flips on the deviating rows — no per-qubit
-    // gatherPath walk.
+    // Split the deviating rows into uniform flips (every valid path
+    // deviates — the typical shape of an X event's whole-row flip
+    // before per-path routing divergence) and partial rows. Uniform
+    // rows fold into ONE output-word mask applied to every path;
+    // only the partial rows need a per-path test.
     if (ws.path.bits.size() != nq)
         ws.path = PathState(nq);
-    std::uint64_t *outw = ws.path.bits.wordData();
     const std::size_t onw = ws.path.bits.numWords();
+    const std::size_t dw = idealEns.dataWords();
+    ws.uniformMask.assign(onw, 0);
+    ws.partialRows.clear();
+    for (std::uint32_t q : devRows) {
+        bool uniform = true;
+        for (std::size_t w = 0; w < dw && uniform; ++w)
+            uniform = (rows[q * stride + w] ^
+                       ideal[q * pathWords + w]) ==
+                      idealEns.validMask(w);
+        if (uniform)
+            ws.uniformMask[q >> 6] ^= std::uint64_t(1) << (q & 63);
+        else
+            ws.partialRows.push_back(q);
+    }
+
+    // Accumulate: non-deviating paths from precomputed ideal lookups
+    // (same arithmetic, same order as the scalar engine). A deviating
+    // path contributes nothing unless its visible key matches some
+    // ideal key, and the keys are already gathered — so the key is
+    // checked FIRST and only matching paths materialize their output
+    // (ideal words XOR the uniform mask, plus partial-row flips — no
+    // per-qubit gatherPath walk).
+    std::uint64_t *outw = ws.path.bits.wordData();
+    const std::uint64_t *um = ws.uniformMask.data();
     for (std::size_t k = 0; k < input.size(); ++k) {
-        const std::complex<double> phase = ws.ens.phase(k);
-        if (!((ws.dev[k >> 6] >> (k & 63)) & 1)) {
+        const std::complex<double> phase = phases[k];
+        if (!((dev[k >> 6] >> (k & 63)) & 1)) {
             accumulateIdealPath(acc, k, phase);
             continue;
         }
+        const auto it = visIndex.find(ws.keys[k]);
+        if (it == visIndex.end())
+            continue; // off every ideal key: contributes nothing
         const std::uint64_t *iw = ideals[k].bits.wordData();
-        std::copy(iw, iw + onw, outw);
+        for (std::size_t w = 0; w < onw; ++w)
+            outw[w] = iw[w] ^ um[w];
         const std::size_t kw = k >> 6;
         const std::uint64_t km = std::uint64_t(1) << (k & 63);
-        for (std::uint32_t q : ws.devRows)
-            if ((noisy[q * pathWords + kw] ^
+        for (std::uint32_t q : ws.partialRows)
+            if ((rows[q * stride + kw] ^
                  ideal[q * pathWords + kw]) &
                 km)
                 outw[q >> 6] ^= std::uint64_t(1) << (q & 63);
-        accumulatePathKeyed(acc, k, ws.path.bits, ws.keys[k], phase);
+        // A set deviation bit proves outBits != ideals[k].bits, so
+        // the self-overlap compare of the general form is skipped.
+        accumulateVisiblePath(acc, k, ws.path.bits, it->second,
+                              phase);
     }
 }
 
@@ -520,14 +605,19 @@ FidelityEstimator::evalShots(const FlatRealization *reals,
         static_cast<std::uint32_t>(ckpts.size() - 1);
 
     // General realizations queue up and replay replayBatchN at a time
-    // through one shared ensemble pass; empty / Z-only / scalar-oracle
+    // through one batched pass — op-major over the fused block arena
+    // (default), or the shot-major slot loop (EnsembleSlots, the
+    // differential baseline); empty / Z-only / scalar-oracle
     // realizations resolve immediately. Results land at their own
     // indices, so the caller's reduction order is untouched.
     std::size_t *queue = scratch.queue.data();
-    FeynmanExecutor::EnsembleReplaySlot *slots = scratch.slots.data();
     std::size_t qn = 0;
 
-    auto flush = [&]() {
+    // Shot-major baseline: one PathEnsemble per queued shot, per-op
+    // per-shot kernel calls (the pre-transpose engine).
+    auto flushSlots = [&]() {
+        FeynmanExecutor::EnsembleReplaySlot *slots =
+            scratch.slots.data();
         for (std::size_t b = 0; b < qn; ++b) {
             const FlatRealization &r = reals[queue[b]];
             const std::uint32_t ckpt = std::min(
@@ -543,6 +633,79 @@ FidelityEstimator::evalShots(const FlatRealization *reals,
             fs[queue[b]] = acc.full();
             rs[queue[b]] = acc.reduced();
         }
+    };
+
+    // Op-major block replay: gather the queued shots' checkpoint rows
+    // into the fused arena qubit-major (contiguous writes per block
+    // row), run one transposed pass, then accumulate straight off the
+    // block rows — deviation masks for all shots of a qubit in one
+    // diffOrBlock sweep against the shared ideal row.
+    auto flushBlock = [&]() {
+        EnsembleBlock &blk = scratch.block;
+        const std::size_t nq = exec.circuit().numQubits();
+        blk.reshape(nq, input.size(), qn);
+        const std::size_t pw = blk.wordsPerQubit();
+        if (scratch.bshots.size() < qn)
+            scratch.bshots.resize(qn);
+        FeynmanExecutor::BlockReplayShot *bshots =
+            scratch.bshots.data();
+        for (std::size_t b = 0; b < qn; ++b) {
+            const FlatRealization &r = reals[queue[b]];
+            const std::uint32_t ckpt = std::min(
+                r.events[0].pos / ckptStride, lastCkpt);
+            bshots[b] = {r.events.data(), r.events.size(),
+                         ckpt * ckptStride, 0};
+        }
+        for (std::size_t q = 0; q < nq; ++q) {
+            std::uint64_t *dst = blk.blockRow(q);
+            for (std::size_t b = 0; b < qn; ++b, dst += pw) {
+                const std::uint32_t ckpt =
+                    bshots[b].from / ckptStride;
+                const std::uint64_t *src = ckpts[ckpt].row(q);
+                std::copy(src, src + pw, dst);
+            }
+        }
+        for (std::size_t b = 0; b < qn; ++b) {
+            const std::uint32_t ckpt = bshots[b].from / ckptStride;
+            const std::complex<double> *src =
+                ckpts[ckpt].phaseData();
+            std::copy(src, src + input.size(), blk.phaseSlice(b));
+        }
+
+        exec.runSpanEnsembleBlock(blk, bshots, numOps);
+
+        const simd::RowKernels &K = simd::activeKernels();
+        scratch.devBlock.assign(qn * pw, 0);
+        scratch.anyDev.resize(qn);
+        for (std::size_t b = 0; b < qn; ++b)
+            wss[b].devRows.clear();
+        for (std::size_t q = 0; q < nq; ++q) {
+            K.diffOrBlock(scratch.devBlock.data(), blk.blockRow(q),
+                          idealEns.row(q), pw, qn,
+                          scratch.anyDev.data());
+            for (std::size_t b = 0; b < qn; ++b)
+                if (scratch.anyDev[b])
+                    wss[b].devRows.push_back(
+                        static_cast<std::uint32_t>(q));
+        }
+        for (std::size_t b = 0; b < qn; ++b) {
+            ShotAccumulator acc;
+            accumulateShotRows(blk.rowData() + b * pw,
+                               blk.rowWords(), blk.phaseSlice(b),
+                               scratch.devBlock.data() + b * pw,
+                               wss[b].devRows, wss[b], acc);
+            fs[queue[b]] = acc.full();
+            rs[queue[b]] = acc.reduced();
+        }
+    };
+
+    auto flush = [&]() {
+        if (qn == 0)
+            return;
+        if (replay == ReplayEngine::EnsembleSlots)
+            flushSlots();
+        else
+            flushBlock();
         qn = 0;
     };
 
@@ -567,9 +730,10 @@ FidelityEstimator::evalShots(const FlatRealization *reals,
 void
 FidelityEstimator::setReplayEngine(ReplayEngine engine)
 {
-    if (engine == ReplayEngine::Ensemble) {
+    if (engine != ReplayEngine::Scalar) {
         // Release the scalar oracle's duplicate of the checkpoint
         // data; it is re-materialized on the next switch to Scalar.
+        // The block and slot engines share the ensemble checkpoints.
         scalarCkpts.clear();
         scalarCkpts.shrink_to_fit();
     }

@@ -36,13 +36,16 @@
  *                         bit-across-paths snapshot and no gate is
  *                         replayed at all; the cached ideal output
  *                         supplies bits and base phase;
- *  - general realization: one bit-sliced ensemble replay per shot
+ *  - general realization: bit-sliced ensemble replay
  *                         (common/pathensemble.hh) starting at the
  *                         checkpoint preceding the first event — every
- *                         word-level op advances 64 paths at once, and
- *                         only the paths that deviated from the ideal
- *                         trajectory are gathered back to scalar
- *                         bit vectors for accumulation.
+ *                         word-level op advances 64 paths at once.
+ *                         Batched shots replay op-major through one
+ *                         fused EnsembleBlock arena (each op decoded
+ *                         once, one contiguous kernel sweep over all
+ *                         shots' rows), and only the deviating paths
+ *                         whose visible keys can contribute are
+ *                         materialized for accumulation.
  *
  * All three produce bit-identical results to full propagation (the
  * ensemble applies the identical ordered flips and phase factors to
@@ -103,12 +106,21 @@ class FidelityEstimator
 {
   public:
     /**
-     * Which engine replays general (X-containing) realizations. Both
-     * produce bit-identical results; Scalar is the path-by-path
-     * oracle kept for differential tests and as the perf baseline the
-     * ensemble speedup is measured against.
+     * Which engine replays general (X-containing) realizations. All
+     * three produce bit-identical results:
+     *
+     *  - Ensemble (default): op-major block replay — batched shots
+     *    live in one fused EnsembleBlock arena and every op is
+     *    decoded once and applied to all shots' rows in one
+     *    contiguous block-kernel sweep;
+     *  - EnsembleSlots: the shot-major slot loop (one PathEnsemble
+     *    per batched shot, per-op per-shot kernel calls) — the
+     *    differential baseline the op-major speedup is measured
+     *    against;
+     *  - Scalar: the path-by-path oracle kept for differential tests
+     *    and as the perf baseline of the recorded ensemble speedup.
      */
-    enum class ReplayEngine { Ensemble, Scalar };
+    enum class ReplayEngine { Ensemble, EnsembleSlots, Scalar };
 
     /**
      * @param circuit      the query circuit (all non-address qubits
@@ -203,12 +215,14 @@ class FidelityEstimator
 
     /**
      * Set the number of general-realization shots replayed per
-     * batched ensemble pass (clamped to [1, kShotChunk]; default 8,
+     * batched ensemble pass (clamped to [1, kShotChunk]; default 16,
      * overridable via the QRAMSIM_REPLAY_BATCH environment variable
      * at construction). Any width produces bit-identical results —
      * batching never changes per-shot values or reduction order —
      * so this is purely a throughput knob (bench_kernels records the
-     * best width per host). Returns the applied width. Not
+     * best width per host; 16 won on the op-major block path's
+     * contiguous arenas, where 8 was best for the slot loop's
+     * separate allocations). Returns the applied width. Not
      * thread-safe against a concurrently running estimate.
      */
     std::size_t setReplayBatch(std::size_t n);
@@ -227,6 +241,9 @@ class FidelityEstimator
     /** Copy of @p bits with address+bus positions cleared. */
     BitVec ancillaPart(const BitVec &bits) const;
 
+    /** ancillaPart into a reusable scratch (no per-call allocation). */
+    void ancillaPartInto(const BitVec &bits, BitVec &out) const;
+
     /** Shots sampled ahead per chunk of the estimate loop (also the
      *  upper clamp of the replay-batch width: wider batches could
      *  never fill from one chunk). */
@@ -234,7 +251,7 @@ class FidelityEstimator
 
     /** General-realization shots replayed per batched ensemble pass
      *  (runtime knob; see setReplayBatch). */
-    std::size_t replayBatchN = 8;
+    std::size_t replayBatchN = 16;
 
     /** Reusable per-thread scratch for shot evaluation. */
     struct ShotWorkspace
@@ -245,6 +262,8 @@ class FidelityEstimator
         simd::AlignedWords dev;    ///< per-path deviation mask
         std::vector<std::uint32_t> devRows; ///< qubits with deviation
         std::vector<std::uint64_t> keys;    ///< row-wise visible keys
+        std::vector<std::uint64_t> uniformMask; ///< all-path flip words
+        std::vector<std::uint32_t> partialRows; ///< per-path-flip rows
     };
 
     /** Shot evaluation with caller-provided scratch. */
@@ -255,13 +274,22 @@ class FidelityEstimator
     void shotZOnly(const FlatRealization &errors, ShotWorkspace &ws,
                    double &fullOut, double &reducedOut) const;
 
-    /** Reusable per-caller scratch for evalShots (workspaces plus
-     *  the batched-replay queue), so the hot loop never allocates. */
+    /** Reusable per-caller scratch for evalShots (workspaces, the
+     *  batched-replay queue, and the op-major block arena), so the
+     *  hot loop never allocates. */
     struct EvalScratch
     {
         std::vector<ShotWorkspace> wss;
         std::vector<std::size_t> queue;
         std::vector<FeynmanExecutor::EnsembleReplaySlot> slots;
+
+        /// @name Op-major block replay (ReplayEngine::Ensemble)
+        /// @{
+        EnsembleBlock block;                ///< fused multi-shot arena
+        std::vector<FeynmanExecutor::BlockReplayShot> bshots;
+        simd::AlignedWords devBlock;        ///< per-shot deviation slices
+        std::vector<std::uint64_t> anyDev;  ///< diffOrBlock per-shot OR
+        /// @}
     };
 
     /**
@@ -300,6 +328,24 @@ class FidelityEstimator
      */
     void accumulateEnsembleShot(ShotWorkspace &ws,
                                 ShotAccumulator &acc) const;
+
+    /**
+     * The layout-agnostic core of the ensemble accumulation: qubit q
+     * of the shot's noisy output lives at rows + q * stride (a
+     * PathEnsemble, or one shot's slice view of an EnsembleBlock),
+     * @p dev is the shot's ready-made per-path deviation mask and
+     * @p devRows its deviating qubits in ascending order. @p ws
+     * supplies the keys/path scratch. Arithmetic and order are
+     * exactly accumulateEnsembleShot's — the bit-identity contract
+     * between the slot and block replay engines.
+     */
+    void accumulateShotRows(const std::uint64_t *rows,
+                            std::size_t stride,
+                            const std::complex<double> *phases,
+                            const std::uint64_t *dev,
+                            const std::vector<std::uint32_t> &devRows,
+                            ShotWorkspace &ws,
+                            ShotAccumulator &acc) const;
     void accumulatePath(ShotAccumulator &acc, std::size_t k,
                         const BitVec &outBits,
                         std::complex<double> outPhase) const;
@@ -308,6 +354,30 @@ class FidelityEstimator
     void accumulatePathKeyed(ShotAccumulator &acc, std::size_t k,
                              const BitVec &outBits, std::uint64_t key,
                              std::complex<double> outPhase) const;
+
+    /**
+     * accumulatePathKeyed specialized to a path known to have left
+     * its ideal output (any path with a set deviation bit): skips
+     * the self-overlap compare and keeps the reduced-overlap group
+     * key in the accumulator's scratch so per-path lookups never
+     * allocate. Same arithmetic, same group-map population sequence.
+     */
+    void accumulateDeviatingPath(ShotAccumulator &acc, std::size_t k,
+                                 const BitVec &outBits,
+                                 std::uint64_t key,
+                                 std::complex<double> outPhase) const;
+
+    /**
+     * The body of accumulateDeviatingPath after the visible-key hit:
+     * @p owner is the key's ideal-path index (visIndex lookup result).
+     * Split out so accumulateShotRows can check the key BEFORE
+     * materializing a path's output — a deviating path whose key
+     * misses every ideal key contributes nothing and is skipped
+     * without materialization.
+     */
+    void accumulateVisiblePath(ShotAccumulator &acc, std::size_t k,
+                               const BitVec &outBits, std::size_t owner,
+                               std::complex<double> outPhase) const;
 
     /**
      * accumulatePath specialized to a path that landed on its ideal

@@ -76,6 +76,94 @@ drawPauliFlatSweep(const double *tx, const double *txy,
     }
 }
 
+/**
+ * Flatten a gate-anchored channel's draw schedule: one SampleSites
+ * entry per operand site in program order (controls then targets,
+ * barriers skipped — the exact draw order of the Gate-walking
+ * samplers), thresholds from @p ratesOf(gi). The cumulative sums are
+ * computed once here with the same association drawPauliFlat uses,
+ * so streaming the table is draw-for-draw and compare-for-compare
+ * identical to the walk.
+ */
+template <class RatesOf>
+void
+buildSampleSites(const FeynmanExecutor &exec, RatesOf &&ratesOf,
+                 SampleSites &out)
+{
+    out.clear();
+    const auto &gates = exec.circuit().gates();
+    const auto &gatePos = exec.stream().gatePos;
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        const PauliRates r = ratesOf(gi, g);
+        const double tx = r.x;
+        const double txy = r.x + r.y;
+        const double txyz = r.x + r.y + r.z;
+        const std::uint64_t cutSeq = Rng::cutFor(txyz);
+        const std::uint64_t cutCtr = CounterRng::cutFor(txyz);
+        const std::uint32_t pos = gatePos[gi] + 1;
+        for (Qubit q : g.controls) {
+            out.sites.push_back({pos, q, tx, txy, txyz});
+            out.gate.push_back(static_cast<std::uint32_t>(gi));
+            out.cutSeq.push_back(cutSeq);
+            out.cutCtr.push_back(cutCtr);
+        }
+        for (Qubit q : g.targets) {
+            out.sites.push_back({pos, q, tx, txy, txyz});
+            out.gate.push_back(static_cast<std::uint32_t>(gi));
+            out.cutSeq.push_back(cutSeq);
+            out.cutCtr.push_back(cutCtr);
+        }
+    }
+}
+
+/** The cut row matching a generator family (see SampleSites). */
+inline const std::uint64_t *
+siteCuts(const SampleSites &ss, const Rng &)
+{
+    return ss.cutSeq.data();
+}
+
+inline const std::uint64_t *
+siteCuts(const SampleSites &ss, const CounterRng &)
+{
+    return ss.cutCtr.data();
+}
+
+/**
+ * Stream a flattened schedule: per site one raw engine draw and one
+ * integer compare against the precomputed rejection cut (almost
+ * always a miss at physical rates — no double conversion at all);
+ * a potential event resolves through the generator's bits→uniform
+ * mapping and the original threshold compares. rng.uniform() is
+ * uniformFromBits(one engine step), so the consumed stream and every
+ * decision are identical to drawPauliFlat over the Gate walk.
+ */
+template <class R>
+void
+sampleSitesFlat(const SampleSites &ss, R &rng, FlatRealization &out)
+{
+    out.clear();
+    const SampleSites::Site *s = ss.sites.data();
+    const std::uint64_t *cut = siteCuts(ss, rng);
+    const std::size_t n = ss.sites.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t r = rng.bits();
+        if (r <= cut[i]) {
+            const double u = R::uniformFromBits(r);
+            if (u < s[i].tx)
+                out.push(s[i].pos, s[i].qubit, PauliKind::X);
+            else if (u < s[i].txy)
+                out.push(s[i].pos, s[i].qubit, PauliKind::Y);
+            else if (u < s[i].txyz)
+                out.push(s[i].pos, s[i].qubit, PauliKind::Z);
+        }
+    }
+    out.sortByPos();
+}
+
 /** Cheap structural fingerprint of a gate list (cache invalidation). */
 std::uint64_t
 circuitFingerprint(const Circuit &c)
@@ -310,6 +398,9 @@ GateNoise::prepare(const FeynmanExecutor &exec) const
         perGate.push_back(g.kind == GateKind::Barrier
                               ? PauliRates{}
                               : effectiveRates(g));
+    buildSampleSites(
+        exec, [&](std::size_t gi, const Gate &) { return perGate[gi]; },
+        sched);
     preparedFingerprint = fp;
     preparedFor = c;
 }
@@ -374,6 +465,25 @@ GateNoise::sampleFlatSweepImpl(const FeynmanExecutor &exec, R &rng,
         sweepFactors.size() == n &&
         std::equal(factors, factors + n, sweepFactors.begin()) &&
         swTx.size() == gates.size() * n;
+
+    if (cached && preparedFor == &exec.circuit() && !sched.empty()) {
+        // Fully prepared: stream the flattened schedule, reading
+        // each site's sweep-table row through its gate index — same
+        // draw order, same comparisons, no Gate walk.
+        const SampleSites::Site *s = sched.sites.data();
+        const std::uint32_t *sg = sched.gate.data();
+        for (std::size_t i = 0; i < sched.sites.size(); ++i) {
+            const std::size_t gi = sg[i];
+            drawPauliFlatSweep(swTx.data() + gi * n,
+                               swTxy.data() + gi * n,
+                               swTxyz.data() + gi * n, n, swCut[gi],
+                               s[i].pos, s[i].qubit, rng, outs);
+        }
+        for (std::size_t j = 0; j < n; ++j)
+            outs[j].sortByPos();
+        return;
+    }
+
     std::vector<double> ltx, ltxy, ltxyz;
     if (!cached) {
         ltx.resize(n);
@@ -460,25 +570,27 @@ void
 GateNoise::sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
                           FlatRealization &out) const
 {
-    out.clear();
     const auto &gates = exec.circuit().gates();
-    const auto &gatePos = exec.stream().gatePos;
     // Read-only cache probe: on a miss (prepare() not called for this
     // circuit) fall back to computing each gate's rates in place
     // rather than mutating shared state from what may be a worker
     // thread.
-    const PauliRates *cached =
-        (preparedFor == &exec.circuit() &&
-         perGate.size() == gates.size())
-            ? perGate.data()
-            : nullptr;
+    if (preparedFor == &exec.circuit() &&
+        perGate.size() == gates.size()) {
+        // Prepared path: stream the flattened schedule (same draws,
+        // same events, no Gate walk).
+        sampleSitesFlat(sched, rng, out);
+        return;
+    }
+    out.clear();
+    const auto &gatePos = exec.stream().gatePos;
     // Draw in program order (the sample() RNG stream), then stable-sort
     // onto execution order.
     for (std::size_t gi = 0; gi < gates.size(); ++gi) {
         const Gate &g = gates[gi];
         if (g.kind == GateKind::Barrier)
             continue;
-        const PauliRates r = cached ? cached[gi] : effectiveRates(g);
+        const PauliRates r = effectiveRates(g);
         const std::uint32_t pos = gatePos[gi] + 1;
         for (Qubit q : g.controls)
             drawPauliFlat(r, pos, q, rng, out);
@@ -633,11 +745,37 @@ DeviceNoise::sample(const FeynmanExecutor &exec, Rng &rng) const
     return real;
 }
 
+void
+DeviceNoise::prepare(const FeynmanExecutor &exec) const
+{
+    const Circuit *c = &exec.circuit();
+    const std::uint64_t fp = circuitFingerprint(*c);
+    std::lock_guard<std::mutex> lock(prepMutex);
+    if (preparedFor == c && preparedFingerprint == fp &&
+        !sched.empty())
+        return;
+    preparedFor = nullptr; // invalidate while the table is in flux
+    buildSampleSites(exec,
+                     [&](std::size_t, const Gate &g) {
+                         return g.aritytotal() >= 2 ? rates2q
+                                                    : rates1q;
+                     },
+                     sched);
+    preparedFingerprint = fp;
+    preparedFor = c;
+}
+
 template <class R>
 void
 DeviceNoise::sampleFlatImpl(const FeynmanExecutor &exec, R &rng,
                             FlatRealization &out) const
 {
+    // Read-only probe of the prepared schedule (same discipline as
+    // GateNoise: never mutate from a sampling thread).
+    if (preparedFor == &exec.circuit() && !sched.empty()) {
+        sampleSitesFlat(sched, rng, out);
+        return;
+    }
     out.clear();
     const auto &gates = exec.circuit().gates();
     const auto &gatePos = exec.stream().gatePos;

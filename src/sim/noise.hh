@@ -56,6 +56,58 @@ struct PauliRates
     }
 };
 
+/**
+ * A flattened sampling schedule for gate-anchored channels: one entry
+ * per operand site, in program order (controls then targets, barriers
+ * skipped — exactly the draw order of sample()/sampleFlat), carrying
+ * the stream position the event anchors to and the gate's cumulative
+ * Pauli thresholds (r.x, r.x + r.y, (r.x + r.y) + r.z — the very
+ * sums drawPauliFlat computes, so precomputing them changes no
+ * comparison). prepare() builds it once per circuit; sampleFlat then
+ * streams one contiguous array — one uniform and usually one compare
+ * per site — instead of re-walking heap-allocated Gate operand
+ * vectors every shot, which is the dominant sampling cost at QRAM
+ * circuit sizes.
+ */
+struct SampleSites
+{
+    struct Site
+    {
+        std::uint32_t pos; ///< stream position (gatePos + 1)
+        std::uint32_t qubit;
+        double tx;   ///< X threshold
+        double txy;  ///< X+Y threshold
+        double txyz; ///< X+Y+Z threshold (any-event cut)
+    };
+
+    std::vector<Site> sites;
+
+    /** Program gate index per site (sweep-table row lookup). */
+    std::vector<std::uint32_t> gate;
+
+    /**
+     * Per-site integer rejection cuts (Rng::cutFor /
+     * CounterRng::cutFor of txyz): the streaming sampler compares the
+     * raw engine draw against the cut and only converts to double —
+     * with exactly the original threshold compares — when an event
+     * might have fired. One row per generator family, since their
+     * bits→uniform mappings differ.
+     */
+    std::vector<std::uint64_t> cutSeq; ///< Rng (sequential Mersenne)
+    std::vector<std::uint64_t> cutCtr; ///< CounterRng (threaded)
+
+    bool empty() const { return sites.empty(); }
+
+    void
+    clear()
+    {
+        sites.clear();
+        gate.clear();
+        cutSeq.clear();
+        cutCtr.clear();
+    }
+};
+
 /** Interface: sample one error realization for one Monte Carlo shot. */
 class NoiseModel
 {
@@ -321,6 +373,9 @@ class GateNoise : public NoiseModel
     mutable std::uint64_t preparedFingerprint = 0;
     mutable std::vector<PauliRates> perGate;
 
+    /** Flattened draw schedule (built with perGate; same validity). */
+    mutable SampleSites sched;
+
     /**
      * prepareSweep() cache: per-(gate, factor) thresholds in
      * gate-major layout ([gi*n + j]) plus the per-gate max threshold
@@ -354,6 +409,9 @@ class DeviceNoise : public NoiseModel
 
     ErrorRealization sample(const FeynmanExecutor &exec,
                             Rng &rng) const override;
+
+    /** Flatten the per-arity draw schedule (see SampleSites). */
+    void prepare(const FeynmanExecutor &exec) const override;
 
     /** Precompute the per-factor 1q/2q threshold rows so
      *  sampleFlatSweep runs read-only. */
@@ -394,6 +452,13 @@ class DeviceNoise : public NoiseModel
      *  class (the rates are linear in the factor, so no per-gate
      *  table is needed). */
     mutable std::mutex prepMutex;
+
+    /** prepare() cache: the flattened draw schedule (SampleSites),
+     *  keyed like GateNoise's per-gate table. */
+    mutable const Circuit *preparedFor = nullptr;
+    mutable std::uint64_t preparedFingerprint = 0;
+    mutable SampleSites sched;
+
     mutable std::vector<double> sweepFactors;
     mutable std::vector<double> sw1x, sw1xy, sw1xyz;
     mutable std::vector<double> sw2x, sw2xy, sw2xyz;

@@ -84,8 +84,10 @@ const char *shotStreamName(ShotStream s);
 /** Parse a stream name; returns false on an unknown name. */
 bool parseShotStream(const std::string &name, ShotStream &out);
 
-/** Optional replay-engine pin carried by a ShardSpec. */
-enum class ReplayPin : std::uint8_t { Keep = 0, Ensemble, Scalar };
+/** Optional replay-engine pin carried by a ShardSpec ("ensemble" =
+ *  the default op-major block replay, "slots" = the shot-major slot
+ *  loop baseline, "scalar" = the path-by-path oracle). */
+enum class ReplayPin : std::uint8_t { Keep = 0, Ensemble, Slots, Scalar };
 
 /**
  * One unit of sharded work: a contiguous global shot range plus

@@ -434,7 +434,8 @@ TEST(Sharding, ReplayBatchWidthNeverChangesResults)
                           AddressSuperposition::uniform(3));
     GateNoise noise(PauliRates::depolarizing(5e-3));
 
-    EXPECT_EQ(est.replayBatch(), 8u); // default
+    // Default retuned to 16 for the op-major block path (PR 5).
+    EXPECT_EQ(est.replayBatch(), 16u);
     EXPECT_EQ(est.setReplayBatch(0), 1u);   // clamped low
     EXPECT_EQ(est.setReplayBatch(1000), 64u); // clamped high
 
@@ -454,10 +455,10 @@ TEST(Sharding, ReplayBatchEnvKnob)
     Rng rng(607);
     Memory mem = Memory::random(2, rng);
     QueryCircuit qc = FanoutQram(2).build(mem);
-    ASSERT_EQ(setenv("QRAMSIM_REPLAY_BATCH", "16", 1), 0);
-    FidelityEstimator est16(qc.circuit, qc.addressQubits, qc.busQubit,
+    ASSERT_EQ(setenv("QRAMSIM_REPLAY_BATCH", "24", 1), 0);
+    FidelityEstimator est24(qc.circuit, qc.addressQubits, qc.busQubit,
                             AddressSuperposition::uniform(2));
-    EXPECT_EQ(est16.replayBatch(), 16u);
+    EXPECT_EQ(est24.replayBatch(), 24u);
     ASSERT_EQ(setenv("QRAMSIM_REPLAY_BATCH", "9999", 1), 0);
     FidelityEstimator estBig(qc.circuit, qc.addressQubits,
                              qc.busQubit,
@@ -467,7 +468,7 @@ TEST(Sharding, ReplayBatchEnvKnob)
     FidelityEstimator estDef(qc.circuit, qc.addressQubits,
                              qc.busQubit,
                              AddressSuperposition::uniform(2));
-    EXPECT_EQ(estDef.replayBatch(), 8u);
+    EXPECT_EQ(estDef.replayBatch(), 16u); // block-path default
 }
 
 // --- CLI end to end ----------------------------------------------------

@@ -35,7 +35,9 @@
  *                 partition-invariant; sequential reproduces the
  *                 sequential estimator but fast-forwards shot 0..b)
  *   --threads T   in-process threads for this shard
- *   --engine ensemble|scalar      replay-engine pin
+ *   --engine ensemble|slots|scalar  replay-engine pin (ensemble =
+ *                                 op-major block replay, slots = the
+ *                                 shot-major slot-loop baseline)
  *   --tier scalar|avx2|avx512     SIMD tier pin
  */
 
@@ -296,6 +298,8 @@ cmdRun(int argc, char **argv)
     spec.threads = threads;
     if (engine == "ensemble")
         spec.replay = ReplayPin::Ensemble;
+    else if (engine == "slots" || engine == "ensemble-slots")
+        spec.replay = ReplayPin::Slots;
     else if (engine == "scalar")
         spec.replay = ReplayPin::Scalar;
     else if (!engine.empty()) {
