@@ -33,6 +33,7 @@
 
 #include "bench_util.hh"
 #include "common/simd.hh"
+#include "common/threadpool.hh"
 #include "qram/bucket_brigade.hh"
 #include "qram/virtual_qram.hh"
 #include "sim/fidelity.hh"
@@ -180,18 +181,26 @@ class SeedEstimator
 
 using bench::secondsSince;
 
-/** Run fn(shots) with doubling shot counts until it fills budgetSec. */
+/**
+ * Throughput of fn(shots): calibrate with doubling shot counts until
+ * one run fills budgetSec (the calibration runs double as warmup —
+ * caches hot, pools spun up, arenas sized), then re-run the
+ * calibrated width @p repeats times and keep the fastest. Min-of-N
+ * discards scheduler noise, so the dated trajectory records compare
+ * across commits with less jitter.
+ */
 template <typename F>
 double
-shotsPerSecond(F &&fn, double budgetSec)
+shotsPerSecond(F &&fn, double budgetSec, unsigned repeats)
 {
     std::size_t shots = 1;
+    double dt;
     for (;;) {
         auto t0 = std::chrono::steady_clock::now();
         fn(shots);
-        double dt = secondsSince(t0);
+        dt = secondsSince(t0);
         if (dt >= budgetSec)
-            return static_cast<double>(shots) / dt;
+            break;
         shots = dt <= 0.0
                     ? shots * 8
                     : static_cast<std::size_t>(
@@ -199,11 +208,18 @@ shotsPerSecond(F &&fn, double budgetSec)
                           std::min(8.0, 1.25 * budgetSec / dt)) +
                           1;
     }
+    double best = dt;
+    for (unsigned r = 1; r < repeats; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn(shots);
+        best = std::min(best, secondsSince(t0));
+    }
+    return static_cast<double>(shots) / best;
 }
 
 int
 runJsonMode(const std::string &path, unsigned m, double budgetSec,
-            unsigned threads)
+            unsigned threads, unsigned repeats)
 {
     std::printf("qramsim perf record | bucket-brigade m=%u, "
                 "gate-noise shots\n", m);
@@ -238,19 +254,19 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         [&](std::size_t shots) {
             seedEst.estimate(noise, shots, 11);
         },
-        budgetSec);
+        budgetSec, repeats);
     const double compiledSps = shotsPerSecond(
         [&](std::size_t shots) {
             est.estimate(noise, shots, 11);
         },
-        budgetSec);
+        budgetSec, repeats);
     double compiledMtSps = compiledSps;
     if (threads > 1) {
         compiledMtSps = shotsPerSecond(
             [&](std::size_t shots) {
                 est.estimate(noise, shots, 11, threads);
             },
-            budgetSec);
+            budgetSec, repeats);
     }
 
     const double perShot =
@@ -292,7 +308,7 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         [&](std::size_t shots) {
             est.estimate(depol, shots, 11);
         },
-        budgetSec);
+        budgetSec, repeats);
     // Shot-major slot loop (the pre-transpose ensemble engine) vs the
     // op-major block default: their ratio is the transposed-batch win
     // in isolation, on top of the ensemble-over-scalar speedup.
@@ -301,13 +317,13 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         [&](std::size_t shots) {
             est.estimate(depol, shots, 11);
         },
-        budgetSec);
+        budgetSec, repeats);
     est.setReplayEngine(FidelityEstimator::ReplayEngine::Ensemble);
     const double depolEnsembleSps = shotsPerSecond(
         [&](std::size_t shots) {
             est.estimate(depol, shots, 11);
         },
-        budgetSec);
+        budgetSec, repeats);
     const double ensembleSpeedup = depolEnsembleSps / depolScalarSps;
     const double blockSpeedup = depolEnsembleSps / depolSlotsSps;
     std::printf("  depolarizing (general path):\n");
@@ -317,9 +333,51 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
                 "(%.2fx over slot loop)\n",
                 depolEnsembleSps, ensembleSpeedup, blockSpeedup);
 
+    // Pipelined vs phase-sequential threaded replay on the same
+    // depolarizing workload, equal thread budgets: the A/B the
+    // QRAMSIM_PIPELINE knob exists for. Cross-checked bit for bit
+    // first — pipelining is pure scheduling.
+    const unsigned pthreads = std::max(2u, threads);
+    est.setPipeline(false);
+    FidelityResult dt = est.estimate(depol, 6, checkSeed, pthreads);
+    est.setPipeline(true);
+    FidelityResult dpip = est.estimate(depol, 6, checkSeed, pthreads);
+    if (dt.full != dpip.full || dt.reduced != dpip.reduced) {
+        std::fprintf(stderr,
+                     "pipeline mismatch: phase-sequential "
+                     "(%.17g, %.17g) vs pipelined (%.17g, %.17g)\n",
+                     dt.full, dt.reduced, dpip.full, dpip.reduced);
+        return 1;
+    }
+    est.setPipeline(false);
+    const double depolThreadedSps = shotsPerSecond(
+        [&](std::size_t shots) {
+            est.estimate(depol, shots, 11, pthreads);
+        },
+        budgetSec, repeats);
+    est.setPipeline(true);
+    const double depolPipelineSps = shotsPerSecond(
+        [&](std::size_t shots) {
+            est.estimate(depol, shots, 11, pthreads);
+        },
+        budgetSec, repeats);
+    // Stage breakdown of the last (timed) pipelined run.
+    const PipelineStats pst = est.lastPipelineStats();
+    const double pipelineSpeedup = depolPipelineSps / depolThreadedSps;
+    std::printf("    threaded x%u:    %.3g shots/s phase-sequential, "
+                "%.3g shots/s pipelined (%.2fx)\n",
+                pthreads, depolThreadedSps, depolPipelineSps,
+                pipelineSpeedup);
+    std::printf("    stages: sample %.3fs gather %.3fs replay %.3fs "
+                "accumulate %.3fs | wall %.3fs occupancy %.2f "
+                "(%u hw threads)\n",
+                pst.sampleSec, pst.gatherSec, pst.replaySec,
+                pst.accumulateSec, pst.wallSec, pst.occupancy(),
+                hardwareThreads());
+
     // Append one dated record to the trajectory array (legacy
     // single-object files are wrapped on first append).
-    char record[2048];
+    char record[3072];
     std::snprintf(
         record, sizeof record,
         "  {\n"
@@ -332,6 +390,7 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         "    \"qubits\": %zu,\n"
         "    \"gates\": %zu,\n"
         "    \"paths\": %zu,\n"
+        "    \"repeats\": %u,\n"
         "    \"noise\": \"gate phase-flip 1e-3 (weighted)\",\n"
         "    \"seed_engine_shots_per_sec\": %.6g,\n"
         "    \"seed_engine_paths_gates_per_sec\": %.6g,\n"
@@ -345,14 +404,29 @@ runJsonMode(const std::string &path, unsigned m, double budgetSec,
         "    \"depol_slots_shots_per_sec\": %.6g,\n"
         "    \"depol_ensemble_shots_per_sec\": %.6g,\n"
         "    \"ensemble_speedup\": %.4g,\n"
-        "    \"block_speedup\": %.4g\n"
+        "    \"block_speedup\": %.4g,\n"
+        "    \"depol_threaded_shots_per_sec\": %.6g,\n"
+        "    \"depol_pipeline_shots_per_sec\": %.6g,\n"
+        "    \"pipeline_speedup\": %.4g,\n"
+        "    \"pipeline_threads\": %u,\n"
+        "    \"host_hw_threads\": %u,\n"
+        "    \"stage_sample_sec\": %.6g,\n"
+        "    \"stage_gather_sec\": %.6g,\n"
+        "    \"stage_replay_sec\": %.6g,\n"
+        "    \"stage_accumulate_sec\": %.6g,\n"
+        "    \"pipeline_wall_sec\": %.6g,\n"
+        "    \"pipeline_occupancy\": %.4g,\n"
+        "    \"pipeline_batches\": %zu\n"
         "  }",
         bench::isoDateUtc().c_str(), bench::gitRevision().c_str(),
         simd::tierName(simd::activeTier()), m, qc.circuit.numQubits(),
-        gates, paths, seedSps, seedSps * perShot, compiledSps,
+        gates, paths, repeats, seedSps, seedSps * perShot, compiledSps,
         compiledSps * perShot, compiledMtSps, threads, speedup,
         depolScalarSps, depolSlotsSps, depolEnsembleSps,
-        ensembleSpeedup, blockSpeedup);
+        ensembleSpeedup, blockSpeedup, depolThreadedSps,
+        depolPipelineSps, pipelineSpeedup, pthreads, hardwareThreads(),
+        pst.sampleSec, pst.gatherSec, pst.replaySec, pst.accumulateSec,
+        pst.wallSec, pst.occupancy(), pst.batches);
     if (!bench::appendJsonRecord(path, record)) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return 1;
@@ -447,6 +521,7 @@ main(int argc, char **argv)
     std::string jsonPath;
     unsigned m = 8;
     unsigned threads = 2;
+    unsigned repeats = 3;
     double budgetSec = 0.5;
     for (int i = 1; i < argc; ++i) {
         auto want = [&](const char *flag) {
@@ -460,12 +535,17 @@ main(int argc, char **argv)
         else if (want("--threads"))
             threads = static_cast<unsigned>(std::strtoul(argv[++i],
                                                          nullptr, 10));
+        else if (want("--repeats"))
+            repeats = static_cast<unsigned>(std::strtoul(argv[++i],
+                                                         nullptr, 10));
         else if (want("--budget-ms"))
             budgetSec =
                 std::strtod(argv[++i], nullptr) / 1000.0;
     }
+    if (repeats == 0)
+        repeats = 1;
     if (!jsonPath.empty())
-        return runJsonMode(jsonPath, m, budgetSec, threads);
+        return runJsonMode(jsonPath, m, budgetSec, threads, repeats);
 
 #ifdef QRAMSIM_HAVE_GBENCH
     benchmark::Initialize(&argc, argv);
@@ -477,7 +557,8 @@ main(int argc, char **argv)
 #else
     std::fprintf(stderr,
                  "google-benchmark unavailable; use --json FILE "
-                 "[--m M] [--budget-ms T] [--threads N]\n");
+                 "[--m M] [--budget-ms T] [--threads N] "
+                 "[--repeats R]\n");
     return 1;
 #endif
 }

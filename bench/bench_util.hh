@@ -24,9 +24,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "sim/fidelity.hh"
@@ -62,19 +64,14 @@ struct BenchArgs
     parse(int argc, char **argv)
     {
         BenchArgs a;
-        if (const char *env = std::getenv("QRAMSIM_THREADS")) {
-            // Accept only a clean number: an empty or malformed value
-            // must not silently become 0 (= hardware concurrency) and
-            // abandon the bit-reproducible sequential default.
-            char *end = nullptr;
-            unsigned long v = std::strtoul(env, &end, 10);
-            if (end != env && *end == '\0')
-                a.threads = static_cast<unsigned>(v);
-            else
-                std::fprintf(stderr,
-                             "warning: ignoring malformed "
-                             "QRAMSIM_THREADS='%s'\n", env);
-        }
+        // Strict parse: a malformed or overflowing value must not
+        // silently become 0 (= hardware concurrency) and abandon the
+        // bit-reproducible sequential default. readUnsigned warns and
+        // returns nullopt on garbage, sign characters, or overflow.
+        if (auto v = qramsim::env::readUnsigned(
+                "QRAMSIM_THREADS",
+                std::numeric_limits<unsigned>::max()))
+            a.threads = static_cast<unsigned>(*v);
         for (int i = 1; i < argc; ++i) {
             auto want = [&](const char *flag) {
                 return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;

@@ -1,0 +1,110 @@
+#include "common/threadpool.hh"
+
+#include <utility>
+
+namespace qramsim {
+
+unsigned
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    return requested == 0 ? hardwareThreads() : requested;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = resolveThreads(threads);
+    workers.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(std::move(fn));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock,
+                    [this] { return stopping || !queue.empty(); });
+            // Drain before stopping: a task posted before the
+            // destructor ran must still execute (TaskGroup waits on
+            // it), so workers only exit on an empty queue.
+            if (queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+TaskGroup::~TaskGroup()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++pending;
+    }
+    pool.post([this, f = std::move(fn)]() mutable {
+        std::exception_ptr thrown;
+        try {
+            f();
+        } catch (...) {
+            thrown = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (thrown && !error)
+            error = thrown;
+        if (--pending == 0)
+            cv.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+    if (error) {
+        std::exception_ptr e = error;
+        error = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+} // namespace qramsim

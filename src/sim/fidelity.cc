@@ -1,10 +1,17 @@
 #include "sim/fidelity.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <limits>
 #include <thread>
+
+#include "common/env.hh"
+#include "common/threadpool.hh"
 
 namespace qramsim {
 
@@ -100,19 +107,19 @@ FidelityEstimator::FidelityEstimator(
     QRAMSIM_ASSERT(addrQubits.size() + 1 <= 64,
                    "visible register too wide to pack");
 
-    // Replay-batch width: QRAMSIM_REPLAY_BATCH overrides the default;
-    // malformed values are ignored loudly (like QRAMSIM_THREADS).
-    if (const char *env = std::getenv("QRAMSIM_REPLAY_BATCH")) {
-        char *end = nullptr;
-        unsigned long v = std::strtoul(env, &end, 10);
-        // strtoul wraps negatives to huge values; reject them too.
-        if (end != env && *end == '\0' && v > 0 && env[0] != '-')
-            setReplayBatch(static_cast<std::size_t>(v));
+    // Runtime knobs, parsed strictly (common/env.hh rejects garbage,
+    // signs, and overflow loudly instead of misparsing).
+    if (auto v = env::readUnsigned("QRAMSIM_REPLAY_BATCH",
+                                   std::numeric_limits<
+                                       unsigned long>::max())) {
+        if (*v > 0)
+            setReplayBatch(static_cast<std::size_t>(*v));
         else
-            std::fprintf(stderr,
-                         "warning: ignoring malformed "
-                         "QRAMSIM_REPLAY_BATCH='%s'\n", env);
+            std::fprintf(stderr, "warning: ignoring "
+                                 "QRAMSIM_REPLAY_BATCH=0\n");
     }
+    if (auto on = env::readBool("QRAMSIM_PIPELINE"))
+        pipelineOn = *on;
 
     // The working state of the construction pass is the bit-sliced
     // ensemble itself: address bits scattered column-wise, phases 1.
@@ -588,6 +595,133 @@ FidelityEstimator::shotFlat(const FlatRealization &errors,
 }
 
 void
+FidelityEstimator::evalGeneralBatch(
+    const FlatRealization *const *batch, const std::size_t *rows,
+    std::size_t qn, EvalScratch &scratch, double *fs, double *rs,
+    StageTimes *times) const
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point tp;
+    if (times)
+        tp = Clock::now();
+    auto stage = [&](double StageTimes::*slot) {
+        if (!times)
+            return;
+        const Clock::time_point now = Clock::now();
+        times->*slot +=
+            std::chrono::duration<double>(now - tp).count();
+        tp = now;
+    };
+
+    std::vector<ShotWorkspace> &wss = scratch.wss;
+    if (wss.size() < qn)
+        wss.resize(qn);
+    const std::uint32_t numOps =
+        static_cast<std::uint32_t>(exec.stream().size());
+    const std::uint32_t lastCkpt =
+        static_cast<std::uint32_t>(ckpts.size() - 1);
+
+    if (replay == ReplayEngine::Scalar) {
+        // Path-by-path oracle (pipelined lanes only: evalShots never
+        // queues under Scalar). One whole-shot replay per entry,
+        // booked entirely as 'replay'.
+        for (std::size_t b = 0; b < qn; ++b)
+            shotFlat(*batch[b], wss[0], fs[rows[b]], rs[rows[b]]);
+        stage(&StageTimes::replay);
+        return;
+    }
+
+    if (replay == ReplayEngine::EnsembleSlots) {
+        // Shot-major baseline: one PathEnsemble per queued shot,
+        // per-op per-shot kernel calls (the pre-transpose engine).
+        if (scratch.slots.size() < qn)
+            scratch.slots.resize(qn);
+        FeynmanExecutor::EnsembleReplaySlot *slots =
+            scratch.slots.data();
+        for (std::size_t b = 0; b < qn; ++b) {
+            const FlatRealization &r = *batch[b];
+            const std::uint32_t ckpt = std::min(
+                r.events[0].pos / ckptStride, lastCkpt);
+            wss[b].ens = ckpts[ckpt];
+            slots[b] = {&wss[b].ens, r.events.data(),
+                        r.events.size(), ckpt * ckptStride, 0};
+        }
+        stage(&StageTimes::gather);
+        exec.runSpanEnsembleBatch(slots, qn, numOps);
+        stage(&StageTimes::replay);
+        for (std::size_t b = 0; b < qn; ++b) {
+            ShotAccumulator acc;
+            accumulateEnsembleShot(wss[b], acc);
+            fs[rows[b]] = acc.full();
+            rs[rows[b]] = acc.reduced();
+        }
+        stage(&StageTimes::accumulate);
+        return;
+    }
+
+    // Op-major block replay: gather the queued shots' checkpoint rows
+    // into the fused arena qubit-major (contiguous writes per block
+    // row), run one transposed pass, then accumulate straight off the
+    // block rows — deviation masks for all shots of a qubit in one
+    // diffOrBlock sweep against the shared ideal row.
+    EnsembleBlock &blk = scratch.block;
+    const std::size_t nq = exec.circuit().numQubits();
+    blk.reshape(nq, input.size(), qn);
+    const std::size_t pw = blk.wordsPerQubit();
+    if (scratch.bshots.size() < qn)
+        scratch.bshots.resize(qn);
+    FeynmanExecutor::BlockReplayShot *bshots = scratch.bshots.data();
+    for (std::size_t b = 0; b < qn; ++b) {
+        const FlatRealization &r = *batch[b];
+        const std::uint32_t ckpt =
+            std::min(r.events[0].pos / ckptStride, lastCkpt);
+        bshots[b] = {r.events.data(), r.events.size(),
+                     ckpt * ckptStride, 0};
+    }
+    for (std::size_t q = 0; q < nq; ++q) {
+        std::uint64_t *dst = blk.blockRow(q);
+        for (std::size_t b = 0; b < qn; ++b, dst += pw) {
+            const std::uint32_t ckpt = bshots[b].from / ckptStride;
+            const std::uint64_t *src = ckpts[ckpt].row(q);
+            std::copy(src, src + pw, dst);
+        }
+    }
+    for (std::size_t b = 0; b < qn; ++b) {
+        const std::uint32_t ckpt = bshots[b].from / ckptStride;
+        const std::complex<double> *src = ckpts[ckpt].phaseData();
+        std::copy(src, src + input.size(), blk.phaseSlice(b));
+    }
+    stage(&StageTimes::gather);
+
+    exec.runSpanEnsembleBlock(blk, bshots, numOps);
+    stage(&StageTimes::replay);
+
+    const simd::RowKernels &K = simd::activeKernels();
+    scratch.devBlock.assign(qn * pw, 0);
+    scratch.anyDev.resize(qn);
+    for (std::size_t b = 0; b < qn; ++b)
+        wss[b].devRows.clear();
+    for (std::size_t q = 0; q < nq; ++q) {
+        K.diffOrBlock(scratch.devBlock.data(), blk.blockRow(q),
+                      idealEns.row(q), pw, qn, scratch.anyDev.data());
+        for (std::size_t b = 0; b < qn; ++b)
+            if (scratch.anyDev[b])
+                wss[b].devRows.push_back(
+                    static_cast<std::uint32_t>(q));
+    }
+    for (std::size_t b = 0; b < qn; ++b) {
+        ShotAccumulator acc;
+        accumulateShotRows(blk.rowData() + b * pw, blk.rowWords(),
+                           blk.phaseSlice(b),
+                           scratch.devBlock.data() + b * pw,
+                           wss[b].devRows, wss[b], acc);
+        fs[rows[b]] = acc.full();
+        rs[rows[b]] = acc.reduced();
+    }
+    stage(&StageTimes::accumulate);
+}
+
+void
 FidelityEstimator::evalShots(const FlatRealization *reals,
                              std::size_t n, EvalScratch &scratch,
                              double *fs, double *rs) const
@@ -597,12 +731,8 @@ FidelityEstimator::evalShots(const FlatRealization *reals,
         wss.resize(replayBatchN);
     if (scratch.queue.size() < replayBatchN) {
         scratch.queue.resize(replayBatchN);
-        scratch.slots.resize(replayBatchN);
+        scratch.ptrs.resize(replayBatchN);
     }
-    const std::uint32_t numOps =
-        static_cast<std::uint32_t>(exec.stream().size());
-    const std::uint32_t lastCkpt =
-        static_cast<std::uint32_t>(ckpts.size() - 1);
 
     // General realizations queue up and replay replayBatchN at a time
     // through one batched pass — op-major over the fused block arena
@@ -613,99 +743,13 @@ FidelityEstimator::evalShots(const FlatRealization *reals,
     std::size_t *queue = scratch.queue.data();
     std::size_t qn = 0;
 
-    // Shot-major baseline: one PathEnsemble per queued shot, per-op
-    // per-shot kernel calls (the pre-transpose engine).
-    auto flushSlots = [&]() {
-        FeynmanExecutor::EnsembleReplaySlot *slots =
-            scratch.slots.data();
-        for (std::size_t b = 0; b < qn; ++b) {
-            const FlatRealization &r = reals[queue[b]];
-            const std::uint32_t ckpt = std::min(
-                r.events[0].pos / ckptStride, lastCkpt);
-            wss[b].ens = ckpts[ckpt];
-            slots[b] = {&wss[b].ens, r.events.data(),
-                        r.events.size(), ckpt * ckptStride, 0};
-        }
-        exec.runSpanEnsembleBatch(slots, qn, numOps);
-        for (std::size_t b = 0; b < qn; ++b) {
-            ShotAccumulator acc;
-            accumulateEnsembleShot(wss[b], acc);
-            fs[queue[b]] = acc.full();
-            rs[queue[b]] = acc.reduced();
-        }
-    };
-
-    // Op-major block replay: gather the queued shots' checkpoint rows
-    // into the fused arena qubit-major (contiguous writes per block
-    // row), run one transposed pass, then accumulate straight off the
-    // block rows — deviation masks for all shots of a qubit in one
-    // diffOrBlock sweep against the shared ideal row.
-    auto flushBlock = [&]() {
-        EnsembleBlock &blk = scratch.block;
-        const std::size_t nq = exec.circuit().numQubits();
-        blk.reshape(nq, input.size(), qn);
-        const std::size_t pw = blk.wordsPerQubit();
-        if (scratch.bshots.size() < qn)
-            scratch.bshots.resize(qn);
-        FeynmanExecutor::BlockReplayShot *bshots =
-            scratch.bshots.data();
-        for (std::size_t b = 0; b < qn; ++b) {
-            const FlatRealization &r = reals[queue[b]];
-            const std::uint32_t ckpt = std::min(
-                r.events[0].pos / ckptStride, lastCkpt);
-            bshots[b] = {r.events.data(), r.events.size(),
-                         ckpt * ckptStride, 0};
-        }
-        for (std::size_t q = 0; q < nq; ++q) {
-            std::uint64_t *dst = blk.blockRow(q);
-            for (std::size_t b = 0; b < qn; ++b, dst += pw) {
-                const std::uint32_t ckpt =
-                    bshots[b].from / ckptStride;
-                const std::uint64_t *src = ckpts[ckpt].row(q);
-                std::copy(src, src + pw, dst);
-            }
-        }
-        for (std::size_t b = 0; b < qn; ++b) {
-            const std::uint32_t ckpt = bshots[b].from / ckptStride;
-            const std::complex<double> *src =
-                ckpts[ckpt].phaseData();
-            std::copy(src, src + input.size(), blk.phaseSlice(b));
-        }
-
-        exec.runSpanEnsembleBlock(blk, bshots, numOps);
-
-        const simd::RowKernels &K = simd::activeKernels();
-        scratch.devBlock.assign(qn * pw, 0);
-        scratch.anyDev.resize(qn);
-        for (std::size_t b = 0; b < qn; ++b)
-            wss[b].devRows.clear();
-        for (std::size_t q = 0; q < nq; ++q) {
-            K.diffOrBlock(scratch.devBlock.data(), blk.blockRow(q),
-                          idealEns.row(q), pw, qn,
-                          scratch.anyDev.data());
-            for (std::size_t b = 0; b < qn; ++b)
-                if (scratch.anyDev[b])
-                    wss[b].devRows.push_back(
-                        static_cast<std::uint32_t>(q));
-        }
-        for (std::size_t b = 0; b < qn; ++b) {
-            ShotAccumulator acc;
-            accumulateShotRows(blk.rowData() + b * pw,
-                               blk.rowWords(), blk.phaseSlice(b),
-                               scratch.devBlock.data() + b * pw,
-                               wss[b].devRows, wss[b], acc);
-            fs[queue[b]] = acc.full();
-            rs[queue[b]] = acc.reduced();
-        }
-    };
-
     auto flush = [&]() {
         if (qn == 0)
             return;
-        if (replay == ReplayEngine::EnsembleSlots)
-            flushSlots();
-        else
-            flushBlock();
+        for (std::size_t b = 0; b < qn; ++b)
+            scratch.ptrs[b] = &reals[queue[b]];
+        evalGeneralBatch(scratch.ptrs.data(), queue, qn, scratch, fs,
+                         rs, nullptr);
         qn = 0;
     };
 
@@ -783,11 +827,360 @@ FidelityEstimator::setReplayBatch(std::size_t n)
     return replayBatchN;
 }
 
+// Out of line so the unique_ptr<ThreadPool> member destroys where
+// ThreadPool is complete.
+FidelityEstimator::~FidelityEstimator() = default;
+
+bool
+FidelityEstimator::setPipeline(bool on)
+{
+    pipelineOn = on;
+    return pipelineOn;
+}
+
+PipelineStats
+FidelityEstimator::lastPipelineStats() const
+{
+    std::lock_guard<std::mutex> lock(poolMu);
+    return pstats;
+}
+
+ThreadPool &
+FidelityEstimator::poolFor(const ShardSpec &spec,
+                           unsigned threads) const
+{
+    if (spec.pool)
+        return *spec.pool;
+    std::lock_guard<std::mutex> lock(poolMu);
+    if (!ownPool || ownPool->size() < threads)
+        ownPool = std::make_unique<ThreadPool>(
+            std::max(threads, ownPool ? ownPool->size() : 0u));
+    return *ownPool;
+}
+
 PartialEstimate
 FidelityEstimator::runShard(const NoiseModel &noise,
                             const ShardSpec &spec) const
 {
     return runShardImpl(noise, spec, /*keepRows=*/true);
+}
+
+/**
+ * The pipelined shot executor. Work decomposes into independent
+ * units — (global shot, sweep point) pairs, one per shot for a plain
+ * estimate — and flows through three task kinds on the pool:
+ *
+ *   sample   one kShotChunk-wide chunk of shots: draw each shot's
+ *            CounterRng(seed, s) realization(s) (order-free, the
+ *            counter-stream property the pipeline rests on), resolve
+ *            empty units inline from the cached ideal result, and
+ *            classify the rest;
+ *   Z-batch  a batch of Z-only units through the snapshot-XOR fast
+ *            path (no replay);
+ *   lane     a replayBatch()-wide batch of general units through
+ *            evalGeneralBatch — gather into the lane's own
+ *            EnsembleBlock arena, one op-major replay, accumulate.
+ *
+ * A coordinator on the calling thread keeps at most `threads` tasks
+ * in flight (so pipelined and phase-sequential runs compete with the
+ * same worker budget), hands drained sampling output to pending
+ * queues, and dispatches lanes as batches fill: while lane A replays
+ * batch N, lane B gathers/accumulates batch N±1 and sampling tasks
+ * prepare the chunks behind it — the ping/pong arena overlap, with
+ * per-lane scratch. Bounded buffers throughout: chunk slots recycle,
+ * and a chunk is only drained while the pending queues are below
+ * their high-water marks, so sampling can never run unboundedly
+ * ahead of replay.
+ *
+ * Determinism: every unit's value is a pure function of
+ * (estimator, noise, seed, shot, point) and is written at its
+ * global-shot-keyed row; the caller re-reduces the rows in global
+ * shot order (PartialEstimate::recomputeSums — the same mechanism
+ * that makes shard merges deterministic), so scheduling order never
+ * reaches the result and the pipelined path is bit-identical to the
+ * phase-sequential one at every thread count and batch width.
+ */
+void
+FidelityEstimator::runPipelined(const NoiseModel &noise,
+                                const ShardSpec &spec,
+                                unsigned threads, std::size_t npts,
+                                PartialEstimate &part,
+                                ThreadPool &pool) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const bool sweep = !spec.factors.empty();
+    const std::size_t n = spec.shots();
+    const std::size_t totalUnits = n * npts;
+    const std::size_t batchN = replayBatchN;
+    const std::size_t zBatchN = kShotChunk;
+    double *full = part.full.data();
+    double *reduced = part.reduced.data();
+
+    // A unit moved out of its sampling chunk: the realization plus
+    // the global-shot-keyed result row it must land in.
+    struct Pending
+    {
+        FlatRealization real;
+        std::size_t row;
+    };
+
+    struct Chunk
+    {
+        std::size_t firstShot = 0;
+        std::size_t nShots = 0;
+        std::vector<FlatRealization> reals; ///< nShots * npts units
+        std::vector<std::uint32_t> general; ///< unit offsets
+        std::vector<std::uint32_t> zonly;   ///< unit offsets
+        std::size_t emptyCount = 0;
+        double sec = 0.0;
+    };
+
+    // A lane owns everything one in-flight batch needs — its own
+    // block arena, workspaces, and unit storage — so any two lanes
+    // (and any sampling task) share no mutable state.
+    struct Lane
+    {
+        EvalScratch scratch;
+        std::vector<Pending> units;
+        std::vector<const FlatRealization *> batch;
+        std::vector<std::size_t> rows;
+        std::size_t count = 0;
+        bool zOnly = false;
+        StageTimes times;
+        double zSec = 0.0;
+    };
+
+    // Two replay lanes give the ping/pong arena double-buffering; a
+    // couple more at high thread counts keep wide pools from
+    // serializing on replay once sampling has run ahead.
+    const std::size_t laneCount =
+        std::max<std::size_t>(2, std::min<std::size_t>(threads / 2, 4));
+    const std::size_t chunkSlots = threads + 2;
+    // Drain backpressure: hold ready chunks once the pending queues
+    // can already fill every lane, bounding queued realizations.
+    const std::size_t genHigh = std::max<std::size_t>(2, laneCount) *
+                                batchN;
+    const std::size_t zHigh = 2 * zBatchN;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+    std::vector<Chunk> chunks(chunkSlots);
+    std::vector<std::size_t> freeChunks;
+    std::deque<std::size_t> readyChunks;
+    std::vector<Lane> lanes(laneCount);
+    std::vector<std::size_t> freeLanes;
+    std::deque<Pending> pendG, pendZ;
+    std::size_t nextShot = spec.shotBegin;
+    std::size_t resolved = 0; ///< units with their row written
+    unsigned inflight = 0;    ///< unfinished pool tasks (all kinds)
+    unsigned sampling = 0;    ///< unfinished sampling tasks
+    PipelineStats st;
+    st.pipelined = true;
+    st.threads = threads;
+    for (std::size_t i = 0; i < chunkSlots; ++i)
+        freeChunks.push_back(i);
+    for (std::size_t i = 0; i < laneCount; ++i)
+        freeLanes.push_back(i);
+
+    // --- pool task bodies -------------------------------------------
+    auto sampleChunk = [&](std::size_t ci) {
+        Chunk &c = chunks[ci];
+        const auto ts = Clock::now();
+        try {
+            c.general.clear();
+            c.zonly.clear();
+            c.emptyCount = 0;
+            if (c.reals.size() < c.nShots * npts)
+                c.reals.resize(c.nShots * npts);
+            for (std::size_t j = 0; j < c.nShots; ++j) {
+                const std::size_t s = c.firstShot + j;
+                CounterRng rng(spec.seed, s);
+                if (sweep) {
+                    const bool ok = noise.sampleFlatSweep(
+                        exec, rng, spec.factors.data(), npts,
+                        c.reals.data() + j * npts);
+                    QRAMSIM_ASSERT(ok, "noise model '", noise.name(),
+                                   "' has no sweep sampler");
+                } else {
+                    noise.sampleFlat(exec, rng, c.reals[j]);
+                }
+                const std::size_t rowBase =
+                    (s - spec.shotBegin) * npts;
+                for (std::size_t p = 0; p < npts; ++p) {
+                    const std::size_t u = j * npts + p;
+                    const FlatRealization &r = c.reals[u];
+                    if (r.empty()) {
+                        // Rows are disjoint across units, so the
+                        // cached result is written directly from the
+                        // sampling task.
+                        full[rowBase + p] = emptyFull;
+                        reduced[rowBase + p] = emptyReduced;
+                        ++c.emptyCount;
+                    } else if (r.zOnly) {
+                        c.zonly.push_back(
+                            static_cast<std::uint32_t>(u));
+                    } else {
+                        c.general.push_back(
+                            static_cast<std::uint32_t>(u));
+                    }
+                }
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!error)
+                error = std::current_exception();
+        }
+        c.sec = std::chrono::duration<double>(Clock::now() - ts)
+                    .count();
+        std::lock_guard<std::mutex> lock(mu);
+        --inflight;
+        --sampling;
+        readyChunks.push_back(ci);
+        cv.notify_all();
+    };
+
+    auto runLane = [&](std::size_t li) {
+        Lane &L = lanes[li];
+        try {
+            if (L.zOnly) {
+                const auto ts = Clock::now();
+                if (L.scratch.wss.empty())
+                    L.scratch.wss.resize(1);
+                for (std::size_t i = 0; i < L.count; ++i)
+                    shotZOnly(L.units[i].real, L.scratch.wss[0],
+                              full[L.units[i].row],
+                              reduced[L.units[i].row]);
+                L.zSec += std::chrono::duration<double>(Clock::now() -
+                                                        ts)
+                              .count();
+            } else {
+                if (L.batch.size() < L.count) {
+                    L.batch.resize(L.count);
+                    L.rows.resize(L.count);
+                }
+                for (std::size_t i = 0; i < L.count; ++i) {
+                    L.batch[i] = &L.units[i].real;
+                    L.rows[i] = L.units[i].row;
+                }
+                evalGeneralBatch(L.batch.data(), L.rows.data(),
+                                 L.count, L.scratch, full, reduced,
+                                 &L.times);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!error)
+                error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        --inflight;
+        resolved += L.count;
+        freeLanes.push_back(li);
+        cv.notify_all();
+    };
+
+    // --- coordinator ------------------------------------------------
+    std::unique_lock<std::mutex> lock(mu);
+    auto samplingDone = [&] {
+        return nextShot >= spec.shotEnd && sampling == 0 &&
+               readyChunks.empty();
+    };
+    auto dispatchLane = [&](std::deque<Pending> &pend,
+                            std::size_t want, bool zOnly) {
+        Lane &L = lanes[freeLanes.back()];
+        const std::size_t li = freeLanes.back();
+        freeLanes.pop_back();
+        const std::size_t take = std::min(want, pend.size());
+        if (L.units.size() < take)
+            L.units.resize(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            L.units[i] = std::move(pend.front());
+            pend.pop_front();
+        }
+        L.count = take;
+        L.zOnly = zOnly;
+        ++inflight;
+        if (!zOnly)
+            ++st.batches;
+        pool.post([&runLane, li] { runLane(li); });
+    };
+
+    while (resolved < totalUnits && !error) {
+        bool progress = false;
+
+        // Drain sampled chunks into the pending queues (coordinator
+        // work, costs no task slot), recycling the chunk slot.
+        while (!readyChunks.empty() && pendG.size() < genHigh &&
+               pendZ.size() < zHigh) {
+            const std::size_t ci = readyChunks.front();
+            readyChunks.pop_front();
+            Chunk &c = chunks[ci];
+            st.sampleSec += c.sec;
+            resolved += c.emptyCount;
+            const std::size_t rowBase =
+                (c.firstShot - spec.shotBegin) * npts;
+            for (std::uint32_t u : c.general)
+                pendG.push_back(
+                    {std::move(c.reals[u]), rowBase + u});
+            for (std::uint32_t u : c.zonly)
+                pendZ.push_back(
+                    {std::move(c.reals[u]), rowBase + u});
+            freeChunks.push_back(ci);
+            progress = true;
+        }
+
+        // Replay lanes first — the critical path — then Z batches,
+        // then sampling with whatever task budget remains.
+        while (!freeLanes.empty() && inflight < threads &&
+               (pendG.size() >= batchN ||
+                (samplingDone() && !pendG.empty()))) {
+            dispatchLane(pendG, batchN, /*zOnly=*/false);
+            progress = true;
+        }
+        while (!freeLanes.empty() && inflight < threads &&
+               (pendZ.size() >= zBatchN ||
+                (samplingDone() && !pendZ.empty()))) {
+            dispatchLane(pendZ, zBatchN, /*zOnly=*/true);
+            progress = true;
+        }
+        while (nextShot < spec.shotEnd && !freeChunks.empty() &&
+               inflight < threads) {
+            const std::size_t ci = freeChunks.back();
+            freeChunks.pop_back();
+            Chunk &c = chunks[ci];
+            c.firstShot = nextShot;
+            c.nShots =
+                std::min(kShotChunk, spec.shotEnd - nextShot);
+            nextShot += c.nShots;
+            ++inflight;
+            ++sampling;
+            pool.post([&sampleChunk, ci] { sampleChunk(ci); });
+            progress = true;
+        }
+
+        if (!progress)
+            cv.wait(lock);
+    }
+
+    // Quiesce before touching any shared state (mandatory on the
+    // error path: in-flight tasks still reference this frame).
+    cv.wait(lock, [&] { return inflight == 0; });
+    lock.unlock();
+    if (error)
+        std::rethrow_exception(error);
+
+    for (const Lane &L : lanes) {
+        st.gatherSec += L.times.gather;
+        st.replaySec += L.times.replay;
+        // The Z fast path never gathers or replays; its work is
+        // accumulation.
+        st.accumulateSec += L.times.accumulate + L.zSec;
+    }
+    st.wallSec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    std::lock_guard<std::mutex> statsLock(poolMu);
+    pstats = st;
 }
 
 PartialEstimate
@@ -815,15 +1208,8 @@ FidelityEstimator::runShardImpl(const NoiseModel &noise,
     part.numPoints = npts;
     const std::size_t n = spec.shots();
 
-    unsigned threads = spec.threads;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    if (spec.stream == ShotStream::Sequential)
-        threads = 1; // one Mersenne stream cannot be split
-    if (threads > 1) {
-        threads = static_cast<unsigned>(std::min<std::size_t>(
-            threads, std::max<std::size_t>(1, n)));
-    }
+    const unsigned threads = spec.resolvedThreads();
+    const auto wallBegin = std::chrono::steady_clock::now();
 
     // Summary-only mode (estimate()/estimateSweep() single-threaded):
     // values are reduced chunk by chunk in shot order — identical
@@ -935,10 +1321,12 @@ FidelityEstimator::runShardImpl(const NoiseModel &noise,
                   },
                   spec.shotBegin, spec.shotEnd);
         } else {
-            // In-process shards: each worker thread evaluates a
+            // In-process shards: each pool task evaluates a
             // contiguous sub-range through the same counter streams.
-            std::vector<std::thread> pool;
-            pool.reserve(threads);
+            // The persistent pool replaces the former per-call
+            // std::thread spawn/join, and TaskGroup::wait propagates
+            // the first worker exception instead of terminating.
+            TaskGroup group(poolFor(spec, threads));
             const std::size_t chunk = (n + threads - 1) / threads;
             for (unsigned t = 0; t < threads; ++t) {
                 const std::size_t begin =
@@ -947,22 +1335,46 @@ FidelityEstimator::runShardImpl(const NoiseModel &noise,
                     std::min(begin + chunk, spec.shotEnd);
                 if (begin >= end)
                     break;
-                pool.emplace_back([&range, &spec, begin, end] {
+                group.run([&range, &spec, begin, end] {
                     range([&spec](std::size_t s) {
                               return CounterRng(spec.seed, s);
                           },
                           begin, end);
                 });
             }
-            for (auto &th : pool)
-                th.join();
+            group.wait();
         }
     };
 
-    if (spec.factors.empty())
+    // The pipelined executor takes over counter-stream multi-threaded
+    // runs (unless setPipeline(false) / QRAMSIM_PIPELINE=0 pins the
+    // phase-sequential A/B baseline); out-of-order sampling needs the
+    // per-shot counter streams, so sequential Mersenne runs always
+    // take the non-pipelined dispatch.
+    const bool usePipeline = pipelineOn &&
+                             spec.stream == ShotStream::Counter &&
+                             threads >= 2 && n > 0;
+    if (usePipeline)
+        runPipelined(noise, spec, threads, npts, part,
+                     poolFor(spec, threads));
+    else if (spec.factors.empty())
         dispatch(plainRange);
     else
         dispatch(sweepRange);
+
+    if (!usePipeline) {
+        // The pipelined executor publishes its own stage breakdown;
+        // every other path still reports wall time and mode so
+        // lastPipelineStats() always describes the latest run.
+        PipelineStats st;
+        st.pipelined = false;
+        st.threads = threads;
+        st.wallSec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wallBegin)
+                         .count();
+        std::lock_guard<std::mutex> lock(poolMu);
+        pstats = st;
+    }
 
     if (summaryOnly) {
         part.sumF = std::move(aF);
@@ -979,8 +1391,7 @@ FidelityResult
 FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
                             std::uint64_t seed, unsigned threads) const
 {
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = resolveThreads(threads);
 
     // One full-range shard through the sharding layer. The sequential
     // mode keeps the one-Rng(seed) stream (bit-identical to the seed
@@ -1008,8 +1419,7 @@ FidelityEstimator::estimateSweep(const NoiseModel &noise,
     const std::size_t npts = factors.size();
     if (npts == 0 || shots == 0)
         return std::vector<FidelityResult>(npts);
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = resolveThreads(threads);
 
     ShardSpec spec;
     spec.shotEnd = spec.totalShots = shots;

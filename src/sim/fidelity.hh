@@ -59,6 +59,8 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +69,8 @@
 #include "sim/sharding.hh"
 
 namespace qramsim {
+
+class ThreadPool;
 
 /** Input superposition over classical addresses. */
 struct AddressSuperposition
@@ -95,6 +99,36 @@ struct FidelityResult
     double fullStderr = 0.0;
     double reducedStderr = 0.0;
     std::size_t shots = 0;
+};
+
+/**
+ * Stage accounting of one estimate/sweep/shard run. sampleSec..
+ * accumulateSec are summed task-seconds per pipeline stage (they can
+ * exceed wallSec when stages overlap — that excess IS the pipeline
+ * win); occupancy() is the fraction of the worker-second budget
+ * (threads x wall) the stages kept busy.
+ */
+struct PipelineStats
+{
+    bool pipelined = false; ///< did the pipelined executor run?
+    unsigned threads = 0;   ///< resolved worker count of the run
+    double wallSec = 0.0;   ///< shot-loop wall time
+    double sampleSec = 0.0; ///< realization sampling + classification
+    double gatherSec = 0.0; ///< checkpoint-row gather into the arena
+    double replaySec = 0.0; ///< block/slot/scalar replay kernels
+    double accumulateSec = 0.0; ///< deviation masks + overlap sums
+    std::size_t batches = 0;    ///< general replay batches dispatched
+
+    double busySec() const
+    {
+        return sampleSec + gatherSec + replaySec + accumulateSec;
+    }
+
+    double occupancy() const
+    {
+        const double budget = threads * wallSec;
+        return budget > 0.0 ? busySec() / budget : 0.0;
+    }
 };
 
 /**
@@ -133,6 +167,8 @@ class FidelityEstimator
                       const std::vector<Qubit> &addressQubits,
                       Qubit busQubit,
                       const AddressSuperposition &input);
+
+    ~FidelityEstimator();
 
     /**
      * Select the general-realization replay engine (default:
@@ -229,6 +265,35 @@ class FidelityEstimator
 
     std::size_t replayBatch() const { return replayBatchN; }
 
+    /**
+     * Enable/disable the pipelined shot executor (default on;
+     * overridable via the QRAMSIM_PIPELINE environment variable at
+     * construction). The pipeline engages for counter-stream runs
+     * with >= 2 effective threads — sampling chunks, Z-only batches
+     * and general replay batches become overlapped stage tasks on a
+     * persistent worker pool instead of phase-sequential per-thread
+     * shot ranges. Sequential Mersenne runs always keep the
+     * non-pipelined path. On/off is purely a scheduling choice:
+     * every per-shot row is keyed by global shot index and the
+     * reduction re-runs in global shot order, so results are
+     * bit-identical either way at every thread count and batch width
+     * (enforced by tests/test_pipeline.cc). Returns the applied
+     * value. Not thread-safe against a concurrently running
+     * estimate.
+     */
+    bool setPipeline(bool on);
+
+    bool pipeline() const { return pipelineOn; }
+
+    /**
+     * Stage timing/occupancy of this estimator's most recent
+     * estimate / estimateSweep / runShard call (valid once the call
+     * returned; stage fields are zero when the non-pipelined path
+     * ran). The A/B instrumentation behind the bench_simulator
+     * pipeline record fields.
+     */
+    PipelineStats lastPipelineStats() const;
+
     const FeynmanExecutor &executor() const { return exec; }
 
     /** The ideal (noiseless) bus value for input path @p k. */
@@ -281,6 +346,7 @@ class FidelityEstimator
     {
         std::vector<ShotWorkspace> wss;
         std::vector<std::size_t> queue;
+        std::vector<const FlatRealization *> ptrs;
         std::vector<FeynmanExecutor::EnsembleReplaySlot> slots;
 
         /// @name Op-major block replay (ReplayEngine::Ensemble)
@@ -302,6 +368,54 @@ class FidelityEstimator
     void evalShots(const FlatRealization *reals, std::size_t n,
                    EvalScratch &scratch, double *fs,
                    double *rs) const;
+
+    /** Wall time per stage of one general replay batch. */
+    struct StageTimes
+    {
+        double gather = 0.0;
+        double replay = 0.0;
+        double accumulate = 0.0;
+    };
+
+    /**
+     * The batched general-realization evaluation core shared by the
+     * phase-sequential evalShots flush and the pipelined replay
+     * lanes: replay batch[0..qn) (all guaranteed non-empty and not
+     * Z-only) through the selected engine and write the per-shot
+     * fidelities to fs[rows[b]] / rs[rows[b]]. @p times, when
+     * non-null, accumulates the batch's gather/replay/accumulate
+     * stage wall times (the Scalar oracle books its whole replay
+     * under 'replay'). Identical arithmetic for any batch
+     * composition — per-shot values never depend on which other
+     * shots share the batch.
+     */
+    void evalGeneralBatch(const FlatRealization *const *batch,
+                          const std::size_t *rows, std::size_t qn,
+                          EvalScratch &scratch, double *fs, double *rs,
+                          StageTimes *times) const;
+
+    /**
+     * The pool a spec's threaded execution runs on: spec.pool when
+     * set, else the estimator's lazily created persistent pool
+     * (grown by re-creation under poolMu when a run wants more
+     * workers than it has — hence the ShardSpec::pool requirement
+     * for concurrent in-process shards on one estimator).
+     */
+    ThreadPool &poolFor(const ShardSpec &spec, unsigned threads) const;
+
+    /**
+     * The pipelined shot executor (stage diagram in
+     * src/sim/README.md): a coordinator on the calling thread keeps
+     * sampling chunks, Z-only batches and general replay lanes in
+     * flight on @p pool, capped at @p threads concurrent tasks.
+     * Every result row is written at its global-shot-keyed index, so
+     * the caller's recomputeSums() reduction — and hence the final
+     * result — is bit-identical to the phase-sequential path.
+     * Counter streams only (sampling runs out of order).
+     */
+    void runPipelined(const NoiseModel &noise, const ShardSpec &spec,
+                      unsigned threads, std::size_t npts,
+                      PartialEstimate &part, ThreadPool &pool) const;
 
     /**
      * runShard body. With @p keepRows false AND a single-threaded
@@ -464,6 +578,21 @@ class FidelityEstimator
     /** Cached shot result of the empty realization. */
     double emptyFull = 0.0;
     double emptyReduced = 0.0;
+
+    /** Pipelined executor on/off (see setPipeline). */
+    bool pipelineOn = true;
+
+    /** Lazily created persistent worker pool (see poolFor); reused
+     *  across estimate/sweep/shard calls for the estimator's
+     *  lifetime. */
+    mutable std::unique_ptr<ThreadPool> ownPool;
+
+    /** Guards ownPool growth and pstats publication (runShard may
+     *  legally run concurrently for disjoint specs). */
+    mutable std::mutex poolMu;
+
+    /** Stage timing of the most recent run (lastPipelineStats). */
+    mutable PipelineStats pstats;
 };
 
 } // namespace qramsim

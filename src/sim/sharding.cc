@@ -8,9 +8,22 @@
 
 #include "common/logging.hh"
 #include "common/simd.hh"
+#include "common/threadpool.hh"
 #include "sim/fidelity.hh"
 
 namespace qramsim {
+
+unsigned
+ShardSpec::resolvedThreads() const
+{
+    if (stream == ShotStream::Sequential)
+        return 1; // one Mersenne stream cannot be split
+    unsigned t = resolveThreads(threads);
+    if (t > 1)
+        t = static_cast<unsigned>(std::min<std::size_t>(
+            t, std::max<std::size_t>(1, shots())));
+    return t;
+}
 
 const char *
 shotStreamName(ShotStream s)

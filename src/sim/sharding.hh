@@ -59,6 +59,7 @@ namespace qramsim {
 
 struct FidelityResult;
 class FidelityEstimator;
+class ThreadPool;
 
 /** Which RNG stream a shard's shots draw from. */
 enum class ShotStream : std::uint8_t
@@ -112,6 +113,18 @@ struct ShardSpec
      *  Sequential shards always run single-threaded). */
     unsigned threads = 1;
 
+    /**
+     * Worker pool this shard's threaded/pipelined execution runs on.
+     * nullptr (the default, and the value after deserialization — the
+     * pool is process-local, never part of the JSON wire format) means
+     * the estimator uses its own lazily created persistent pool.
+     * Callers running several in-process shards concurrently on ONE
+     * estimator should pass a shared pool here: the estimator's lazy
+     * pool may be re-created to grow and must not be resized while
+     * another shard is using it.
+     */
+    ThreadPool *pool = nullptr;
+
     /** Replay-engine pin applied by applyShardPins. */
     ReplayPin replay = ReplayPin::Keep;
 
@@ -119,6 +132,16 @@ struct ShardSpec
     std::string simdTier;
 
     std::size_t shots() const { return shotEnd - shotBegin; }
+
+    /**
+     * The worker count this spec actually runs with: threads == 0
+     * resolves to hardware concurrency, Sequential-stream shards are
+     * forced single-threaded (one Mersenne stream cannot be split),
+     * and multi-threaded counts are clamped to the shot count. The
+     * one copy of a rule that used to live in three places in
+     * fidelity.cc.
+     */
+    unsigned resolvedThreads() const;
 };
 
 /**

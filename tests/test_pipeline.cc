@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Pipelined-execution tests (the QRAMSIM_PIPELINE / setPipeline
+ * executor of sim/fidelity.hh and the common/threadpool.hh it runs
+ * on): bit-identity of the pipelined vs the phase-sequential path
+ * across all architectures, noise channels, replay engines, SIMD
+ * tiers, thread counts and batch widths; shard-merge identity with
+ * the pipeline on; pool lifecycle (reuse across estimates, clean
+ * shutdown, exception propagation out of a stage); and the strict
+ * env parsing behind the knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/threadpool.hh"
+#include "qram/baselines.hh"
+#include "qram/bucket_brigade.hh"
+#include "qram/compact.hh"
+#include "qram/fanout.hh"
+#include "qram/select_swap.hh"
+#include "qram/virtual_qram.hh"
+#include "sim/fidelity.hh"
+#include "sim/noise.hh"
+#include "sim/sharding.hh"
+
+namespace qramsim {
+namespace {
+
+void
+expectResultsEq(const FidelityResult &a, const FidelityResult &b)
+{
+    EXPECT_EQ(a.full, b.full);
+    EXPECT_EQ(a.reduced, b.reduced);
+    EXPECT_EQ(a.fullStderr, b.fullStderr);
+    EXPECT_EQ(a.reducedStderr, b.reducedStderr);
+    EXPECT_EQ(a.shots, b.shots);
+}
+
+void
+expectResultsEq(const std::vector<FidelityResult> &a,
+                const std::vector<FidelityResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectResultsEq(a[i], b[i]);
+    }
+}
+
+/** Restore the dispatch tier on scope exit. */
+struct TierGuard
+{
+    simd::Tier prev;
+    explicit TierGuard(simd::Tier t) : prev(simd::activeTier())
+    {
+        simd::setActiveTier(t);
+    }
+    ~TierGuard() { simd::setActiveTier(prev); }
+};
+
+std::vector<simd::Tier>
+supportedTiers()
+{
+    std::vector<simd::Tier> tiers;
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512})
+        if (simd::tierSupported(t))
+            tiers.push_back(t);
+    return tiers;
+}
+
+// --- Bit-identity matrix -----------------------------------------------
+
+TEST(Pipeline, BitIdenticalAllArchitecturesNoiseAndThreadCounts)
+{
+    Rng rng(5551212);
+    struct Arch
+    {
+        const char *name;
+        QueryCircuit qc;
+        unsigned width;
+    };
+    Memory mem3 = Memory::random(3, rng);
+    Memory mem4 = Memory::random(4, rng);
+    std::vector<Arch> archs;
+    archs.push_back({"virtual", VirtualQram(2, 1).build(mem3), 3});
+    archs.push_back({"bucket-brigade",
+                     BucketBrigadeQram(3).build(mem3), 3});
+    archs.push_back({"fanout", FanoutQram(3).build(mem3), 3});
+    archs.push_back({"sqc", SqcBucketBrigade(2, 1).build(mem3), 3});
+    archs.push_back({"select-swap",
+                     SelectSwapQram(2, 1).build(mem3), 3});
+    archs.push_back({"compact", CompactQram(2, 2).build(mem4), 4});
+
+    struct NoiseCase
+    {
+        const char *name;
+        PauliRates rates;
+    };
+    const NoiseCase noises[] = {
+        {"X", PauliRates::bitFlip(4e-3)},
+        {"Y", PauliRates{0.0, 4e-3, 0.0}},
+        {"Z", PauliRates::phaseFlip(4e-3)},
+        {"depol", PauliRates::depolarizing(4e-3)},
+    };
+
+    const std::size_t shots = 24;
+    const std::uint64_t seed = 909;
+    for (const Arch &a : archs) {
+        FidelityEstimator est(a.qc.circuit, a.qc.addressQubits,
+                              a.qc.busQubit,
+                              AddressSuperposition::uniform(a.width));
+        for (const NoiseCase &nc : noises) {
+            QubitChannelNoise noise(nc.rates);
+            for (unsigned threads : {1u, 2u, 7u}) {
+                SCOPED_TRACE(std::string(a.name) + " / " + nc.name +
+                             " / threads=" +
+                             std::to_string(threads));
+                est.setPipeline(false);
+                const FidelityResult ref =
+                    est.estimate(noise, shots, seed, threads);
+                EXPECT_FALSE(est.lastPipelineStats().pipelined);
+                est.setPipeline(true);
+                const FidelityResult pip =
+                    est.estimate(noise, shots, seed, threads);
+                expectResultsEq(pip, ref);
+                // The pipeline engages only where counter streams
+                // allow out-of-order sampling.
+                EXPECT_EQ(est.lastPipelineStats().pipelined,
+                          threads >= 2);
+            }
+        }
+    }
+}
+
+TEST(Pipeline, BitIdenticalAcrossEnginesAndSimdTiers)
+{
+    Rng rng(33);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(3));
+    QubitChannelNoise noise(PauliRates::depolarizing(5e-3));
+    const std::size_t shots = 24;
+    const std::uint64_t seed = 41;
+
+    const FidelityEstimator::ReplayEngine engines[] = {
+        FidelityEstimator::ReplayEngine::Ensemble,
+        FidelityEstimator::ReplayEngine::EnsembleSlots,
+        FidelityEstimator::ReplayEngine::Scalar,
+    };
+    const char *engineNames[] = {"ensemble", "slots", "scalar"};
+
+    // The cross-engine/tier oracle: phase-sequential block replay.
+    est.setPipeline(false);
+    const FidelityResult oracle = est.estimate(noise, shots, seed, 2);
+
+    for (simd::Tier tier : supportedTiers()) {
+        TierGuard guard(tier);
+        for (std::size_t e = 0; e < 3; ++e) {
+            est.setReplayEngine(engines[e]);
+            for (unsigned threads : {2u, 7u}) {
+                SCOPED_TRACE(std::string(simd::tierName(tier)) +
+                             " / " + engineNames[e] + " / threads=" +
+                             std::to_string(threads));
+                est.setPipeline(true);
+                const FidelityResult pip =
+                    est.estimate(noise, shots, seed, threads);
+                EXPECT_TRUE(est.lastPipelineStats().pipelined);
+                expectResultsEq(pip, oracle);
+            }
+        }
+    }
+    est.setReplayEngine(FidelityEstimator::ReplayEngine::Ensemble);
+}
+
+TEST(Pipeline, BitIdenticalAtEveryBatchWidth)
+{
+    Rng rng(7);
+    Memory mem = Memory::random(2, rng);
+    QueryCircuit qc = FanoutQram(2).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(2));
+    QubitChannelNoise noise(PauliRates::depolarizing(8e-3));
+    const std::size_t shots = 48;
+    const std::uint64_t seed = 12345;
+
+    est.setPipeline(false);
+    const FidelityResult ref = est.estimate(noise, shots, seed, 2);
+
+    est.setPipeline(true);
+    for (std::size_t width = 1; width <= 64; ++width) {
+        SCOPED_TRACE("batch width " + std::to_string(width));
+        ASSERT_EQ(est.setReplayBatch(width), width);
+        expectResultsEq(est.estimate(noise, shots, seed, 2), ref);
+    }
+}
+
+TEST(Pipeline, SweepBitIdenticalToPhaseSequential)
+{
+    Rng rng(99);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(3));
+    const std::vector<double> factors = {0.5, 1.0, 2.0, 4.0};
+    const std::size_t shots = 24;
+    const std::uint64_t seed = 4242;
+
+    GateNoise gate(PauliRates::depolarizing(2e-3), true);
+    QubitChannelNoise qubit(PauliRates::bitFlip(3e-3));
+    const NoiseModel *models[] = {&gate, &qubit};
+    for (const NoiseModel *noise : models) {
+        for (unsigned threads : {2u, 7u}) {
+            SCOPED_TRACE(noise->name() + " / threads=" +
+                         std::to_string(threads));
+            est.setPipeline(false);
+            const std::vector<FidelityResult> ref = est.estimateSweep(
+                *noise, factors, shots, seed, threads);
+            est.setPipeline(true);
+            const std::vector<FidelityResult> pip = est.estimateSweep(
+                *noise, factors, shots, seed, threads);
+            EXPECT_TRUE(est.lastPipelineStats().pipelined);
+            expectResultsEq(pip, ref);
+        }
+    }
+}
+
+// --- Sharding ----------------------------------------------------------
+
+TEST(Pipeline, ShardMergeBitIdenticalWithPipelineOn)
+{
+    Rng rng(2024);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(3));
+    QubitChannelNoise noise(PauliRates::depolarizing(4e-3));
+    const std::size_t shots = 48;
+    const std::uint64_t seed = 777;
+
+    // The whole-range threaded run, phase-sequential: the oracle
+    // every pipelined partition must reproduce bit for bit.
+    est.setPipeline(false);
+    const FidelityResult ref = est.estimate(noise, shots, seed, 2);
+    est.setPipeline(true);
+
+    ThreadPool shared(3);
+    for (std::size_t nShards : {1u, 2u, 5u}) {
+        SCOPED_TRACE("shards=" + std::to_string(nShards));
+        SweepPlan plan = SweepPlan::partition(shots, nShards, seed);
+        std::vector<PartialEstimate> parts;
+        for (ShardSpec spec : plan.shards) {
+            spec.threads = 2;
+            // Exercise the caller-owned pool path on the odd shards.
+            if (parts.size() % 2 == 1)
+                spec.pool = &shared;
+            parts.push_back(est.runShard(noise, spec));
+        }
+        PartialEstimate merged;
+        std::string err;
+        ASSERT_TRUE(mergePartials(std::move(parts), merged, &err))
+            << err;
+        expectResultsEq(merged.finalize().front(), ref);
+    }
+}
+
+// --- Pool lifecycle ----------------------------------------------------
+
+TEST(ThreadPool, ResolveThreadsRule)
+{
+    EXPECT_GE(hardwareThreads(), 1u);
+    EXPECT_EQ(resolveThreads(0), hardwareThreads());
+    EXPECT_EQ(resolveThreads(1), 1u);
+    EXPECT_EQ(resolveThreads(7), 7u);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue)
+{
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 10; ++round) {
+        ThreadPool pool(3);
+        EXPECT_EQ(pool.size(), 3u);
+        for (int i = 0; i < 64; ++i)
+            pool.post([&ran] { ++ran; });
+        // No wait: destruction must still run every posted task.
+    }
+    EXPECT_EQ(ran.load(), 640);
+}
+
+TEST(ThreadPool, TaskGroupWaitsAndIsReusable)
+{
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int wave = 1; wave <= 3; ++wave) {
+        for (int i = 0; i < 32; ++i)
+            group.run([&ran] { ++ran; });
+        group.wait();
+        EXPECT_EQ(ran.load(), 32 * wave);
+    }
+}
+
+TEST(ThreadPool, TaskGroupRethrowsTheFirstStageException)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        group.run([&ran, i] {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("stage failure");
+        });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 8); // every task still ran to completion
+    // The error is consumed: the group is reusable afterwards.
+    group.run([&ran] { ++ran; });
+    group.wait();
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(Pipeline, PersistentPoolReusedAcrossEstimates)
+{
+    Rng rng(11);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    QubitChannelNoise depol(PauliRates::depolarizing(4e-3));
+    QubitChannelNoise flips(PauliRates::bitFlip(4e-3));
+
+    // One estimator reusing its lazy pool across calls (including a
+    // growth from 2 to 7 workers) must match fresh estimators.
+    FidelityEstimator reused(qc.circuit, qc.addressQubits,
+                             qc.busQubit,
+                             AddressSuperposition::uniform(3));
+    const struct
+    {
+        const NoiseModel *noise;
+        unsigned threads;
+    } calls[] = {{&depol, 2}, {&flips, 7}, {&depol, 2}, {&flips, 2}};
+    for (const auto &c : calls) {
+        FidelityEstimator fresh(qc.circuit, qc.addressQubits,
+                                qc.busQubit,
+                                AddressSuperposition::uniform(3));
+        expectResultsEq(
+            reused.estimate(*c.noise, 24, 5, c.threads),
+            fresh.estimate(*c.noise, 24, 5, c.threads));
+    }
+}
+
+/**
+ * A noise model whose counter-stream sampler starts throwing after a
+ * fixed number of shots — the stage-failure injector for the
+ * exception-propagation contract: a throw inside a sampling task must
+ * surface as an exception from estimate() on the calling thread, not
+ * terminate the process or hang the coordinator.
+ */
+class ThrowingNoise : public NoiseModel
+{
+  public:
+    ThrowingNoise(PauliRates rates, int okShots)
+        : inner(rates), budget(okShots)
+    {}
+
+    ErrorRealization
+    sample(const FeynmanExecutor &exec, Rng &rng) const override
+    {
+        return inner.sample(exec, rng);
+    }
+
+    void
+    prepare(const FeynmanExecutor &exec) const override
+    {
+        inner.prepare(exec);
+    }
+
+    void
+    sampleFlat(const FeynmanExecutor &exec, Rng &rng,
+               FlatRealization &out) const override
+    {
+        inner.sampleFlat(exec, rng, out);
+    }
+
+    void
+    sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
+               FlatRealization &out) const override
+    {
+        if (++calls > budget)
+            throw std::runtime_error("injected sampler failure");
+        inner.sampleFlat(exec, rng, out);
+    }
+
+    std::string name() const override { return "throwing"; }
+
+  private:
+    QubitChannelNoise inner;
+    int budget;
+    mutable std::atomic<int> calls{0};
+};
+
+TEST(Pipeline, StageExceptionPropagatesToTheCaller)
+{
+    Rng rng(3);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(3));
+    ThrowingNoise boom(PauliRates::depolarizing(4e-3), 40);
+
+    est.setPipeline(true);
+    EXPECT_THROW(est.estimate(boom, 256, 1, 3), std::runtime_error);
+    // The non-pipelined threaded path propagates through TaskGroup
+    // too (the old spawn/join loop would have std::terminate'd).
+    est.setPipeline(false);
+    EXPECT_THROW(est.estimate(boom, 256, 1, 3), std::runtime_error);
+    // The estimator (and its pool) must remain usable afterwards.
+    est.setPipeline(true);
+    QubitChannelNoise fine(PauliRates::depolarizing(4e-3));
+    const FidelityResult after = est.estimate(fine, 24, 5, 2);
+    EXPECT_GT(after.shots, 0u);
+}
+
+// --- Knobs and env parsing ---------------------------------------------
+
+TEST(Pipeline, EnvKnobSelectsTheExecutor)
+{
+    Rng rng(8);
+    Memory mem = Memory::random(2, rng);
+    QueryCircuit qc = FanoutQram(2).build(mem);
+    auto make = [&] {
+        return FidelityEstimator(qc.circuit, qc.addressQubits,
+                                 qc.busQubit,
+                                 AddressSuperposition::uniform(2));
+    };
+
+    ASSERT_EQ(setenv("QRAMSIM_PIPELINE", "0", 1), 0);
+    EXPECT_FALSE(make().pipeline());
+    ASSERT_EQ(setenv("QRAMSIM_PIPELINE", "on", 1), 0);
+    EXPECT_TRUE(make().pipeline());
+    // Garbage is rejected loudly and the default (on) kept.
+    ASSERT_EQ(setenv("QRAMSIM_PIPELINE", "maybe", 1), 0);
+    EXPECT_TRUE(make().pipeline());
+    ASSERT_EQ(unsetenv("QRAMSIM_PIPELINE"), 0);
+    FidelityEstimator est = make();
+    EXPECT_TRUE(est.pipeline());
+    EXPECT_FALSE(est.setPipeline(false));
+    EXPECT_TRUE(est.setPipeline(true));
+}
+
+TEST(Pipeline, StrictEnvParsingRejectsGarbageAndOverflow)
+{
+    unsigned long v = 99;
+    EXPECT_TRUE(env::parseUnsigned("0", 100, v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(env::parseUnsigned("100", 100, v));
+    EXPECT_EQ(v, 100u);
+    EXPECT_FALSE(env::parseUnsigned("101", 100, v));
+    EXPECT_FALSE(env::parseUnsigned("", 100, v));
+    EXPECT_FALSE(env::parseUnsigned(nullptr, 100, v));
+    EXPECT_FALSE(env::parseUnsigned("-1", 100, v));
+    EXPECT_FALSE(env::parseUnsigned("+7", 100, v));
+    EXPECT_FALSE(env::parseUnsigned(" 7", 100, v));
+    EXPECT_FALSE(env::parseUnsigned("7 ", 100, v));
+    EXPECT_FALSE(env::parseUnsigned("7junk", 100, v));
+    EXPECT_FALSE(env::parseUnsigned("0x10", 100, v));
+    // Larger than unsigned long itself: must fail, not wrap.
+    EXPECT_FALSE(env::parseUnsigned("99999999999999999999999999",
+                                    ~0ul, v));
+    EXPECT_TRUE(env::parseUnsigned("18446744073709551615", ~0ul, v));
+    EXPECT_EQ(v, ~0ul);
+
+    ASSERT_EQ(setenv("QRAMSIM_TEST_KNOB", "123", 1), 0);
+    EXPECT_EQ(env::readUnsigned("QRAMSIM_TEST_KNOB", 1000),
+              std::optional<unsigned long>(123));
+    EXPECT_EQ(env::readUnsigned("QRAMSIM_TEST_KNOB", 100),
+              std::nullopt);
+    ASSERT_EQ(unsetenv("QRAMSIM_TEST_KNOB"), 0);
+    EXPECT_EQ(env::readUnsigned("QRAMSIM_TEST_KNOB", 1000),
+              std::nullopt);
+}
+
+TEST(Pipeline, StatsReportStagesAndOccupancy)
+{
+    Rng rng(21);
+    Memory mem = Memory::random(3, rng);
+    QueryCircuit qc = BucketBrigadeQram(3).build(mem);
+    FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
+                          AddressSuperposition::uniform(3));
+    QubitChannelNoise noise(PauliRates::depolarizing(1e-2));
+
+    est.setPipeline(true);
+    est.estimate(noise, 128, 9, 2);
+    const PipelineStats st = est.lastPipelineStats();
+    EXPECT_TRUE(st.pipelined);
+    EXPECT_EQ(st.threads, 2u);
+    EXPECT_GT(st.wallSec, 0.0);
+    EXPECT_GT(st.sampleSec, 0.0);
+    EXPECT_GT(st.batches, 0u);
+    EXPECT_GT(st.busySec(), 0.0);
+    EXPECT_GT(st.occupancy(), 0.0);
+
+    est.setPipeline(false);
+    est.estimate(noise, 64, 9, 2);
+    EXPECT_FALSE(est.lastPipelineStats().pipelined);
+    EXPECT_EQ(est.lastPipelineStats().threads, 2u);
+}
+
+} // namespace
+} // namespace qramsim

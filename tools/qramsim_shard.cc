@@ -35,6 +35,10 @@
  *                 partition-invariant; sequential reproduces the
  *                 sequential estimator but fast-forwards shot 0..b)
  *   --threads T   in-process threads for this shard
+ *   --pipeline on|off   force the pipelined shot executor on or off
+ *                 (default: estimator default / QRAMSIM_PIPELINE; the
+ *                 pipeline only engages for counter streams with
+ *                 threads >= 2 and is bit-identical either way)
  *   --engine ensemble|slots|scalar  replay-engine pin (ensemble =
  *                                 op-major block replay, slots = the
  *                                 shot-major slot-loop baseline)
@@ -207,6 +211,7 @@ cmdRun(int argc, char **argv)
     std::vector<double> factors;
     ShotStream stream = ShotStream::Counter;
     unsigned threads = 1;
+    int pipeline = -1; // -1 = estimator default / QRAMSIM_PIPELINE
     std::string out, engine, tier;
 
     for (int i = 0; i < argc; ++i) {
@@ -267,7 +272,19 @@ cmdRun(int argc, char **argv)
         } else if (want("--threads"))
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
-        else if (want("--engine"))
+        else if (want("--pipeline")) {
+            const char *arg = argv[++i];
+            if (std::strcmp(arg, "on") == 0)
+                pipeline = 1;
+            else if (std::strcmp(arg, "off") == 0)
+                pipeline = 0;
+            else {
+                std::fprintf(stderr,
+                             "--pipeline wants on|off, got '%s'\n",
+                             arg);
+                return 2;
+            }
+        } else if (want("--engine"))
             engine = argv[++i];
         else if (want("--tier"))
             tier = argv[++i];
@@ -314,6 +331,8 @@ cmdRun(int argc, char **argv)
                           AddressSuperposition::uniform(
                               w.addressWidth()));
     applyShardPins(est, spec);
+    if (pipeline >= 0)
+        est.setPipeline(pipeline != 0);
     std::unique_ptr<NoiseModel> noise = w.makeNoise();
 
     PartialEstimate part = est.runShard(*noise, spec);
