@@ -30,6 +30,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
 #include "sim/fidelity.hh"
 #include "sim/sharding.hh"
@@ -59,6 +60,15 @@ struct BenchArgs
 
     /** Perf-trajectory file to append dated records to (--json). */
     std::string jsonPath;
+
+    /**
+     * Timing repeats for trajectory records (--repeats): timed
+     * sections re-run R times and the fastest lap is recorded, so
+     * dated records compare across commits with less scheduler
+     * jitter. Fidelity tables are unaffected (results are
+     * deterministic per seed).
+     */
+    unsigned repeats = 3;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -105,11 +115,33 @@ struct BenchArgs
                     std::fprintf(stderr,
                                  "warning: ignoring malformed "
                                  "--threads '%s'\n", arg);
+            } else if (want("--repeats")) {
+                unsigned long v = 0;
+                if (qramsim::env::parseUnsigned(argv[++i], 1u << 16,
+                                                v) &&
+                    v > 0)
+                    a.repeats = static_cast<unsigned>(v);
+                else
+                    std::fprintf(stderr,
+                                 "warning: ignoring malformed "
+                                 "--repeats '%s'\n", argv[i]);
             }
         }
         return a;
     }
 };
+
+/**
+ * Confidence-interval half-width of a result's full-state fidelity
+ * (the quantity the adaptive stopping rule targets), through the
+ * shared stats helpers so bench comparisons and the estimator use
+ * the same normal quantile.
+ */
+inline double
+ciHalfWidthFull(const FidelityResult &r, double confidence)
+{
+    return stats::ciHalfWidth(r.fullStderr, confidence);
+}
 
 /** Seconds elapsed since @p t0 (bench timing convention). */
 inline double

@@ -15,6 +15,7 @@
 #ifndef QRAMSIM_COMMON_ENV_HH
 #define QRAMSIM_COMMON_ENV_HH
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -42,6 +43,29 @@ parseUnsigned(const char *text, unsigned long cap, unsigned long &out)
             return false; // v * 10 + d would exceed cap
         v = v * 10 + d;
     }
+    out = v;
+    return true;
+}
+
+/**
+ * Parse @p text as a finite double. Strict: no leading whitespace
+ * (strtod would silently skip it), the entire string must be
+ * consumed, and non-finite results (inf/nan, overflowing exponents)
+ * fail. Used by the CLI tools for flag values, where a malformed
+ * number must be an error rather than a silent zero.
+ */
+inline bool
+parseDouble(const char *text, double &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    if (*text == ' ' || *text == '\t' || *text == '\n' ||
+        *text == '\r' || *text == '\v' || *text == '\f')
+        return false;
+    char *after = nullptr;
+    const double v = std::strtod(text, &after);
+    if (after == text || *after != '\0' || !std::isfinite(v))
+        return false;
     out = v;
     return true;
 }

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared mean / variance / confidence-interval helpers.
+ *
+ * One home for the summary arithmetic that used to be hand-rolled in
+ * three places (PartialEstimate::finalize, the bench seed estimator,
+ * and ad-hoc test checks). The moment formulas here are EXACTLY the
+ * expressions the estimator has always used — population variance
+ * from raw sums, max-clamped against negative rounding residue, and
+ * the sqrt(var / (n - 1)) standard error — evaluated in the same
+ * order, so switching a caller to these helpers is bit-identical.
+ *
+ * normalQuantile / ciHalfWidth serve the adaptive estimator's
+ * sequential-stopping rule (sim/fidelity.hh) and the CI tolerance
+ * tests: half-width = z_{(1+confidence)/2} * stderr.
+ */
+
+#ifndef QRAMSIM_COMMON_STATS_HH
+#define QRAMSIM_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace qramsim {
+namespace stats {
+
+/** Sample mean from a raw sum. Exactly sum / n. */
+inline double
+meanFromSums(double sum, std::size_t n)
+{
+    return sum / static_cast<double>(n);
+}
+
+/**
+ * Population variance from raw sums: max(0, E[x^2] - mean^2), the
+ * clamp absorbing the negative residue floating-point cancellation
+ * can leave for near-constant samples. Precondition: n >= 1.
+ */
+inline double
+varianceFromSums(double sum, double sumSq, std::size_t n)
+{
+    const double nd = static_cast<double>(n);
+    const double mean = sum / nd;
+    return std::max(0.0, sumSq / nd - mean * mean);
+}
+
+/**
+ * Standard error of the mean, sqrt(var / (n - 1)); 0 for n <= 1.
+ * (Population variance over n - 1 — the estimator's historical
+ * convention, equal to the unbiased sample variance over n.)
+ */
+inline double
+stderrFromSums(double sum, double sumSq, std::size_t n)
+{
+    if (n <= 1)
+        return 0.0;
+    return std::sqrt(varianceFromSums(sum, sumSq, n) /
+                     (static_cast<double>(n) - 1.0));
+}
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * |relative error| < 1.15e-9 — far below any Monte Carlo noise this
+ * code base compares against). p <= 0 / p >= 1 return -/+ infinity.
+ */
+inline double
+normalQuantile(double p)
+{
+    if (!(p > 0.0))
+        return -HUGE_VAL;
+    if (!(p < 1.0))
+        return HUGE_VAL;
+    static const double a[6] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[5] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static const double c[6] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[4] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+            r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+            r + 1.0);
+}
+
+/** The two-sided z score of a confidence level (0.95 -> ~1.96). */
+inline double
+normalZ(double confidence)
+{
+    return normalQuantile(0.5 + confidence / 2.0);
+}
+
+/** CI half-width at @p confidence for a given standard error. */
+inline double
+ciHalfWidth(double stderrOfMean, double confidence)
+{
+    return normalZ(confidence) * stderrOfMean;
+}
+
+} // namespace stats
+} // namespace qramsim
+
+#endif // QRAMSIM_COMMON_STATS_HH

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/env.hh"
+#include "common/stats.hh"
 #include "common/threadpool.hh"
 
 namespace qramsim {
@@ -1183,11 +1184,318 @@ FidelityEstimator::runPipelined(const NoiseModel &noise,
     pstats = st;
 }
 
+/**
+ * The adaptive estimator core. One pass over the spec's raw-draw
+ * range in policy.batch-sized batches:
+ *
+ *   classify  draw d's realization(s) come from CounterRng(seed, d)
+ *             — the same partition-invariant streams as a Counter
+ *             replay shard, with sweep points sharing one draw's
+ *             uniforms (common random numbers). Empty realizations
+ *             are resolved analytically (their class probability and
+ *             exact fidelity travel with the partial) and NEVER cost
+ *             an evaluation.
+ *   keep      a deterministic per-batch rule: with stopping disabled
+ *             every non-empty draw is kept (keep decisions then
+ *             depend only on the draw's class — the partition-
+ *             invariant mode shard merges rely on); with a CI target,
+ *             warm-up keeps everything until a stratum has kWarmup
+ *             shots, after which batches are rationed Neyman-style —
+ *             stratum s of point j gets a share proportional to
+ *             p_s * sigma_s, floored at kMinKeep so no live stratum
+ *             starves.
+ *   evaluate  kept realizations run through the same evalShots core
+ *             as replay mode, chunked across the worker pool when the
+ *             spec is threaded; rows are accumulated in draw order
+ *             after the chunks drain, so results are thread-count
+ *             independent.
+ *   stop      at each batch boundary (only there — a stop signal
+ *             drains the batch's in-flight chunks first) a point
+ *             whose CI half-width z * sqrt(sum_s p_s^2 se_s^2)
+ *             reaches the target stops keeping and evaluating; the
+ *             remaining budget flows to the live points (pooled
+ *             rollover). The run ends when every point converged,
+ *             the draw range is exhausted, or the pooled kept-shot
+ *             budget (maxShots * numPoints) is spent.
+ */
+PartialEstimate
+FidelityEstimator::runShardAdaptive(const NoiseModel &noise,
+                                    const ShardSpec &spec) const
+{
+    QRAMSIM_ASSERT(spec.shotBegin <= spec.shotEnd &&
+                   spec.shotEnd <= spec.totalShots,
+                   "malformed shard shot range");
+    QRAMSIM_ASSERT(spec.stream == ShotStream::Counter,
+                   "adaptive estimation requires the counter stream "
+                   "(keep decisions must not disturb a shared "
+                   "Mersenne draw sequence)");
+    const std::size_t npts =
+        spec.factors.empty() ? 1 : spec.factors.size();
+    if (spec.factors.empty())
+        noise.prepare(exec);
+    else
+        noise.prepareSweep(exec, spec.factors.data(), npts);
+
+    static const double kUnitFactor = 1.0;
+    const double *facs =
+        spec.factors.empty() ? &kUnitFactor : spec.factors.data();
+    std::vector<double> pE(npts), pZ(npts), pG(npts);
+    QRAMSIM_ASSERT(noise.classProbabilities(exec, facs, npts,
+                                            pE.data(), pZ.data()),
+                   "noise model '", noise.name(),
+                   "' has no closed-form class probabilities "
+                   "(required by EstimateMode::Adaptive)");
+    for (std::size_t j = 0; j < npts; ++j)
+        pG[j] = std::max(0.0, 1.0 - pE[j] - pZ[j]);
+
+    PartialEstimate part;
+    part.shotBegin = spec.shotBegin;
+    part.shotEnd = spec.shotEnd;
+    part.totalShots = spec.totalShots;
+    part.seed = spec.seed;
+    part.stream = spec.stream;
+    part.factors = spec.factors;
+    part.numPoints = npts;
+    part.adaptive = true;
+    part.probEmpty = pE;
+    part.probZOnly = pZ;
+    part.emptyFullShot = emptyFull;
+    part.emptyReducedShot = emptyReduced;
+
+    const AdaptivePolicy &pol = spec.policy;
+    const bool stopping = pol.targetHalfWidth > 0.0;
+    const double target = pol.targetHalfWidth;
+    const double zq = stats::normalZ(pol.confidence);
+    const std::size_t batchN = std::max<std::size_t>(1, pol.batch);
+    const unsigned threads = spec.resolvedThreads();
+    const auto wallBegin = std::chrono::steady_clock::now();
+
+    constexpr std::size_t kWarmup = 32;
+    constexpr std::size_t kMinKeep = 8;
+    constexpr std::size_t kAll =
+        std::numeric_limits<std::size_t>::max();
+
+    // Per-point per-stratum running sums of the full fidelity (the
+    // stopping rule and the Neyman weights watch the headline
+    // metric; finalize() recomputes both metrics from the rows).
+    struct Strat
+    {
+        std::size_t n = 0;
+        double sF = 0.0, sF2 = 0.0;
+    };
+    std::vector<Strat> zs(npts), gs(npts);
+    std::vector<char> converged(npts, 0);
+    std::size_t liveCount = npts;
+    for (std::size_t j = 0; j < npts; ++j) {
+        if (pZ[j] + pG[j] <= 0.0) {
+            // Every draw is empty at this point: the analytic term IS
+            // the answer, with zero variance and zero shots.
+            converged[j] = 1;
+            --liveCount;
+        }
+    }
+    const std::size_t keptCap = stopping ? pol.maxShots * npts : kAll;
+    std::size_t keptTotal = 0;
+
+    std::vector<FlatRealization> reals(npts);
+    std::vector<FlatRealization> keptReals;
+    struct Meta
+    {
+        std::size_t draw, point;
+        std::uint8_t stratum;
+    };
+    std::vector<Meta> keptMeta;
+    std::vector<double> fvals, rvals;
+    std::vector<EvalScratch> scratches(std::max(1u, threads));
+    std::vector<std::size_t> quotaZ(npts), quotaG(npts);
+    std::vector<std::size_t> usedZ(npts), usedG(npts);
+
+    std::size_t draw = spec.shotBegin;
+    while (draw < spec.shotEnd && liveCount > 0 &&
+           keptTotal < keptCap) {
+        const std::size_t batchEnd =
+            std::min(spec.shotEnd, draw + batchN);
+
+        for (std::size_t j = 0; j < npts; ++j) {
+            if (converged[j]) {
+                quotaZ[j] = quotaG[j] = 0;
+                continue;
+            }
+            if (!stopping) {
+                quotaZ[j] = quotaG[j] = kAll;
+                continue;
+            }
+            const bool zLive = pZ[j] > 0.0;
+            const bool gLive = pG[j] > 0.0;
+            if ((zLive && zs[j].n < kWarmup) ||
+                (gLive && gs[j].n < kWarmup)) {
+                quotaZ[j] = quotaG[j] = kAll;
+                continue;
+            }
+            const double sigZ =
+                zLive ? std::sqrt(stats::varianceFromSums(
+                            zs[j].sF, zs[j].sF2, zs[j].n))
+                      : 0.0;
+            const double sigG =
+                gLive ? std::sqrt(stats::varianceFromSums(
+                            gs[j].sF, gs[j].sF2, gs[j].n))
+                      : 0.0;
+            const double wZ = pZ[j] * sigZ;
+            const double wG = pG[j] * sigG;
+            const double wSum = wZ + wG;
+            const double total =
+                static_cast<double>(zs[j].n + gs[j].n) +
+                static_cast<double>(batchEnd - draw) *
+                    (pZ[j] + pG[j]);
+            auto quota = [&](bool live, double w,
+                             std::size_t have) -> std::size_t {
+                if (!live)
+                    return 0;
+                if (wSum <= 0.0)
+                    return kMinKeep;
+                const double want = std::ceil(
+                    total * (w / wSum) - static_cast<double>(have));
+                return want <= static_cast<double>(kMinKeep)
+                           ? kMinKeep
+                           : static_cast<std::size_t>(want);
+            };
+            quotaZ[j] = quota(zLive, wZ, zs[j].n);
+            quotaG[j] = quota(gLive, wG, gs[j].n);
+        }
+        std::fill(usedZ.begin(), usedZ.end(), 0);
+        std::fill(usedG.begin(), usedG.end(), 0);
+
+        // Sample and keep, first-come in draw order (deterministic).
+        keptReals.clear();
+        keptMeta.clear();
+        for (; draw < batchEnd; ++draw) {
+            CounterRng rng(spec.seed, draw);
+            if (spec.factors.empty()) {
+                noise.sampleFlat(exec, rng, reals[0]);
+            } else {
+                const bool ok = noise.sampleFlatSweep(
+                    exec, rng, spec.factors.data(), npts,
+                    reals.data());
+                QRAMSIM_ASSERT(ok, "noise model '", noise.name(),
+                               "' has no sweep sampler");
+            }
+            for (std::size_t j = 0; j < npts; ++j) {
+                if (converged[j])
+                    continue;
+                FlatRealization &r = reals[j];
+                if (r.empty())
+                    continue; // folded in analytically
+                const std::uint8_t stratum = r.zOnly ? 0 : 1;
+                std::size_t &used =
+                    stratum == 0 ? usedZ[j] : usedG[j];
+                if (used >= (stratum == 0 ? quotaZ[j] : quotaG[j]))
+                    continue;
+                ++used;
+                keptMeta.push_back({draw, j, stratum});
+                keptReals.push_back(std::move(r));
+            }
+        }
+
+        const std::size_t kn = keptReals.size();
+        fvals.assign(kn, 0.0);
+        rvals.assign(kn, 0.0);
+        if (kn > 0) {
+            if (threads <= 1 || kn == 1) {
+                evalShots(keptReals.data(), kn, scratches[0],
+                          fvals.data(), rvals.data());
+            } else {
+                // Contiguous chunks at disjoint result indices; the
+                // stopping decision below runs only after wait(), so
+                // a stop drains the batch's in-flight chunks.
+                TaskGroup group(poolFor(spec, threads));
+                const std::size_t chunk =
+                    (kn + threads - 1) / threads;
+                for (unsigned t = 0; t < threads; ++t) {
+                    const std::size_t b0 = std::size_t(t) * chunk;
+                    const std::size_t b1 = std::min(kn, b0 + chunk);
+                    if (b0 >= b1)
+                        break;
+                    EvalScratch &scr = scratches[t];
+                    group.run([this, &keptReals, &scr, &fvals,
+                               &rvals, b0, b1] {
+                        evalShots(keptReals.data() + b0, b1 - b0,
+                                  scr, fvals.data() + b0,
+                                  rvals.data() + b0);
+                    });
+                }
+                group.wait();
+            }
+        }
+
+        // Accumulate rows in draw order — thread-count independent.
+        for (std::size_t i = 0; i < kn; ++i) {
+            const Meta &m = keptMeta[i];
+            part.rowDraw.push_back(static_cast<double>(m.draw));
+            part.rowPoint.push_back(static_cast<double>(m.point));
+            part.rowStratum.push_back(
+                static_cast<double>(m.stratum));
+            part.full.push_back(fvals[i]);
+            part.reduced.push_back(rvals[i]);
+            Strat &st = m.stratum == 0 ? zs[m.point] : gs[m.point];
+            st.n += 1;
+            st.sF += fvals[i];
+            st.sF2 += fvals[i] * fvals[i];
+        }
+        keptTotal += kn;
+
+        if (!stopping)
+            continue;
+        for (std::size_t j = 0; j < npts; ++j) {
+            if (converged[j])
+                continue;
+            const std::size_t nZ = zs[j].n, nG = gs[j].n;
+            if (nZ + nG < pol.minShots)
+                continue;
+            // A stratum with non-negligible weight needs >= 2 shots
+            // before its stderr is meaningful; below that weight the
+            // worst-case unsampled bias is already a fraction of the
+            // target.
+            const double negligible = 0.25 * target;
+            if (pZ[j] > negligible && nZ < 2)
+                continue;
+            if (pG[j] > negligible && nG < 2)
+                continue;
+            const double seZ =
+                stats::stderrFromSums(zs[j].sF, zs[j].sF2, nZ);
+            const double seG =
+                stats::stderrFromSums(gs[j].sF, gs[j].sF2, nG);
+            const double se =
+                std::sqrt(pZ[j] * pZ[j] * seZ * seZ +
+                          pG[j] * pG[j] * seG * seG);
+            if (zq * se <= target) {
+                converged[j] = 1;
+                --liveCount;
+            }
+        }
+    }
+    part.drawsUsed = draw - spec.shotBegin;
+    part.recomputeSums();
+
+    {
+        PipelineStats st;
+        st.pipelined = false;
+        st.threads = threads;
+        st.wallSec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wallBegin)
+                         .count();
+        std::lock_guard<std::mutex> lock(poolMu);
+        pstats = st;
+    }
+    return part;
+}
+
 PartialEstimate
 FidelityEstimator::runShardImpl(const NoiseModel &noise,
                                 const ShardSpec &spec,
                                 bool keepRows) const
 {
+    if (spec.mode == EstimateMode::Adaptive)
+        return runShardAdaptive(noise, spec);
     QRAMSIM_ASSERT(spec.shotBegin <= spec.shotEnd &&
                    spec.shotEnd <= spec.totalShots,
                    "malformed shard shot range");
@@ -1405,6 +1713,13 @@ FidelityEstimator::estimate(const NoiseModel &noise, std::size_t shots,
     spec.stream = (threads <= 1 || shots <= 1)
                       ? ShotStream::Sequential
                       : ShotStream::Counter;
+    if (estMode == EstimateMode::Adaptive) {
+        // Adaptive runs treat `shots` as the raw-draw budget and
+        // need the partition-invariant counter streams.
+        spec.mode = EstimateMode::Adaptive;
+        spec.policy = apolicy;
+        spec.stream = ShotStream::Counter;
+    }
     return runShardImpl(noise, spec, /*keepRows=*/false)
         .finalize()
         .front();
@@ -1429,7 +1744,104 @@ FidelityEstimator::estimateSweep(const NoiseModel &noise,
     spec.stream = (threads <= 1 || shots <= 1)
                       ? ShotStream::Sequential
                       : ShotStream::Counter;
+    if (estMode == EstimateMode::Adaptive) {
+        spec.mode = EstimateMode::Adaptive;
+        spec.policy = apolicy;
+        spec.stream = ShotStream::Counter;
+    }
     return runShardImpl(noise, spec, /*keepRows=*/false).finalize();
+}
+
+AdaptiveReport
+FidelityEstimator::adaptiveRun(const NoiseModel &noise,
+                               const std::vector<double> &factors,
+                               std::uint64_t seed,
+                               unsigned threads) const
+{
+    const std::size_t npts = factors.empty() ? 1 : factors.size();
+    ShardSpec spec;
+    spec.seed = seed;
+    spec.threads = threads;
+    spec.stream = ShotStream::Counter;
+    spec.factors = factors;
+    spec.mode = EstimateMode::Adaptive;
+    spec.policy = apolicy;
+
+    // Raw-draw budget: the explicit policy.maxDraws, else sized so
+    // the point with the smallest non-empty class probability can
+    // still fill its kept-shot budget (with 2x headroom), capped to
+    // keep pE -> 1 workloads from demanding astronomically many
+    // draws — the stopping rule usually ends the run far earlier.
+    std::size_t budget = apolicy.maxDraws;
+    if (budget == 0) {
+        if (factors.empty())
+            noise.prepare(exec);
+        else
+            noise.prepareSweep(exec, factors.data(), npts);
+        static const double kUnitFactor = 1.0;
+        const double *facs =
+            factors.empty() ? &kUnitFactor : factors.data();
+        std::vector<double> pEv(npts), pZv(npts);
+        double minRate = 1.0;
+        if (noise.classProbabilities(exec, facs, npts, pEv.data(),
+                                     pZv.data())) {
+            for (std::size_t j = 0; j < npts; ++j) {
+                const double rate = std::max(0.0, 1.0 - pEv[j]);
+                if (rate > 0.0)
+                    minRate = std::min(minRate, rate);
+            }
+        }
+        const double perPoint =
+            2.0 * static_cast<double>(apolicy.maxShots) /
+            std::max(minRate, 1e-9);
+        const double cap = static_cast<double>(
+            std::max<std::size_t>(std::size_t(1) << 20,
+                                  apolicy.maxShots * 1024));
+        budget = static_cast<std::size_t>(
+            std::max(1.0, std::min(perPoint, cap)));
+    }
+    spec.shotEnd = spec.totalShots = budget;
+
+    const PartialEstimate part = runShardAdaptive(noise, spec);
+    AdaptiveReport rep;
+    rep.results = part.finalize();
+    rep.emptyProb = part.probEmpty;
+    rep.zOnlyProb = part.probZOnly;
+    rep.generalProb.resize(npts);
+    rep.zOnlyShots.resize(npts);
+    rep.generalShots.resize(npts);
+    rep.converged.assign(npts, 0);
+    const double zq = stats::normalZ(apolicy.confidence);
+    for (std::size_t j = 0; j < npts; ++j) {
+        rep.generalProb[j] = std::max(
+            0.0, 1.0 - part.probEmpty[j] - part.probZOnly[j]);
+        rep.zOnlyShots[j] =
+            static_cast<std::size_t>(part.zCount[j]);
+        rep.generalShots[j] =
+            static_cast<std::size_t>(part.gCount[j]);
+        if (apolicy.targetHalfWidth > 0.0 &&
+            zq * rep.results[j].fullStderr <= apolicy.targetHalfWidth)
+            rep.converged[j] = 1;
+    }
+    rep.rawDraws = part.drawsUsed;
+    rep.keptShots = part.rowDraw.size();
+    return rep;
+}
+
+AdaptiveReport
+FidelityEstimator::estimateAdaptive(const NoiseModel &noise,
+                                    std::uint64_t seed,
+                                    unsigned threads) const
+{
+    return adaptiveRun(noise, {}, seed, threads);
+}
+
+AdaptiveReport
+FidelityEstimator::estimateSweepAdaptive(
+    const NoiseModel &noise, const std::vector<double> &factors,
+    std::uint64_t seed, unsigned threads) const
+{
+    return adaptiveRun(noise, factors, seed, threads);
 }
 
 } // namespace qramsim

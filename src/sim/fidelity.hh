@@ -132,6 +132,34 @@ struct PipelineStats
 };
 
 /**
+ * Outcome of one adaptive estimation run (estimateAdaptive /
+ * estimateSweepAdaptive): the per-point results plus the stratum
+ * accounting behind them — what fraction of the draw space each class
+ * covers analytically, how many shots each sampled stratum consumed,
+ * and whether each point reached the CI target before the draw budget
+ * ran out.
+ */
+struct AdaptiveReport
+{
+    /** One result per sweep point (one element for a plain run). */
+    std::vector<FidelityResult> results;
+
+    /** Closed-form class probabilities per point. */
+    std::vector<double> emptyProb, zOnlyProb, generalProb;
+
+    /** Kept (evaluated) shots per point and stratum. */
+    std::vector<std::size_t> zOnlyShots, generalShots;
+
+    /** 1 where the CI half-width target was met (all zero when the
+     *  policy disables stopping). */
+    std::vector<char> converged;
+
+    /** Raw draws consumed and total shots actually evaluated. */
+    std::size_t rawDraws = 0;
+    std::size_t keptShots = 0;
+};
+
+/**
  * Reusable estimator: schedules and compiles the circuit once, caches
  * ideal outputs and replay checkpoints, then evaluates shots under any
  * noise model.
@@ -248,6 +276,51 @@ class FidelityEstimator
      */
     PartialEstimate runShard(const NoiseModel &noise,
                              const ShardSpec &spec) const;
+
+    /**
+     * Select the estimation policy estimate()/estimateSweep() run
+     * under (default Replay — the bit-identical fixed-budget path;
+     * see EstimateMode). Under Adaptive their `shots` argument is the
+     * RAW DRAW budget, the stream is forced to Counter, and results
+     * are statistically equivalent but not bit-identical to Replay.
+     */
+    void setEstimateMode(EstimateMode m) { estMode = m; }
+
+    EstimateMode estimateMode() const { return estMode; }
+
+    /** Adaptive policy used by estimate()/estimateSweep() under
+     *  EstimateMode::Adaptive and by estimate{,Sweep}Adaptive(). */
+    void setAdaptivePolicy(const AdaptivePolicy &p) { apolicy = p; }
+
+    const AdaptivePolicy &adaptivePolicy() const { return apolicy; }
+
+    /**
+     * Adaptive estimation with full stratum accounting. The raw-draw
+     * budget comes from the policy (maxDraws, or derived from
+     * maxShots and the smallest non-empty class probability when 0);
+     * shots run in policy.batch-sized batches until every point's CI
+     * half-width reaches the target (or the budget runs out), with
+     * the empty class folded in analytically at zero shot cost and
+     * kept shots allocated Neyman-style across the Z-only/general
+     * strata. Requires a noise model with closed-form class
+     * probabilities (all bundled models); panics otherwise.
+     */
+    AdaptiveReport estimateAdaptive(const NoiseModel &noise,
+                                    std::uint64_t seed,
+                                    unsigned threads = 1) const;
+
+    /**
+     * The sweep counterpart of estimateAdaptive: one result per rate
+     * scale factor, sampled with common random numbers like
+     * estimateSweep. Points that converge early stop keeping and
+     * evaluating shots, so the remaining draw budget flows to the
+     * slow-converging points (the pooled-budget rollover).
+     */
+    AdaptiveReport
+    estimateSweepAdaptive(const NoiseModel &noise,
+                          const std::vector<double> &factors,
+                          std::uint64_t seed,
+                          unsigned threads = 1) const;
 
     /**
      * Set the number of general-realization shots replayed per
@@ -430,6 +503,28 @@ class FidelityEstimator
                                  const ShardSpec &spec,
                                  bool keepRows) const;
 
+    /**
+     * The adaptive estimator core (EstimateMode::Adaptive): consume
+     * the spec's raw-draw range in policy.batch-sized batches. Each
+     * draw d samples from CounterRng(seed, d) (Counter stream
+     * required — keep decisions must never disturb a shared Mersenne
+     * sequence); empty realizations are never kept (their
+     * contribution is analytic), the rest pass a deterministic
+     * per-batch Neyman keep rule and are evaluated — chunked across
+     * the worker pool when the spec is threaded, with stopping
+     * decisions taken only after the batch's in-flight chunks drain.
+     * Returns an adaptive-shape PartialEstimate covering the full
+     * spec range (unconsumed draws simply kept nothing).
+     */
+    PartialEstimate runShardAdaptive(const NoiseModel &noise,
+                                     const ShardSpec &spec) const;
+
+    /** Shared body of estimateAdaptive / estimateSweepAdaptive. */
+    AdaptiveReport adaptiveRun(const NoiseModel &noise,
+                               const std::vector<double> &factors,
+                               std::uint64_t seed,
+                               unsigned threads) const;
+
     /** Accumulation core shared by shotFlat and the empty-shot cache. */
     struct ShotAccumulator;
 
@@ -581,6 +676,13 @@ class FidelityEstimator
 
     /** Pipelined executor on/off (see setPipeline). */
     bool pipelineOn = true;
+
+    /** Estimation policy of estimate()/estimateSweep()
+     *  (setEstimateMode). */
+    EstimateMode estMode = EstimateMode::Replay;
+
+    /** Adaptive knobs (setAdaptivePolicy). */
+    AdaptivePolicy apolicy;
 
     /** Lazily created persistent worker pool (see poolFor); reused
      *  across estimate/sweep/shard calls for the estimator's

@@ -164,6 +164,22 @@ sampleSitesFlat(const SampleSites &ss, R &rng, FlatRealization &out)
     out.sortByPos();
 }
 
+/**
+ * log P(no event fires at any of @p k independent sites whose
+ * any-event threshold is @p t): k * log1p(-t), with the degenerate
+ * ends handled exactly — a threshold >= 1 fires every draw
+ * (P(u < t) = 1 for u in [0,1)), a threshold <= 0 never fires.
+ */
+inline double
+logNoEvent(double t, double k)
+{
+    if (t >= 1.0)
+        return -HUGE_VAL;
+    if (t <= 0.0 || k <= 0.0)
+        return 0.0;
+    return k * std::log1p(-t);
+}
+
 /** Cheap structural fingerprint of a gate list (cache invalidation). */
 std::uint64_t
 circuitFingerprint(const Circuit &c)
@@ -342,6 +358,32 @@ QubitChannelNoise::sampleFlatSweep(const FeynmanExecutor &exec,
                                    FlatRealization *outs) const
 {
     sampleFlatSweepImpl(exec, rng, factors, n, outs);
+    return true;
+}
+
+bool
+QubitChannelNoise::classProbabilities(const FeynmanExecutor &exec,
+                                      const double *factors,
+                                      std::size_t n, double *pEmpty,
+                                      double *pZOnly) const
+{
+    // Every exposure site is identical: depth x nq draws (or
+    // rounds x nq under round-based exposure), each with the same
+    // scaled thresholds sampleFlatImpl / the sweep tables use
+    // (x*f, x*f + y*f, x*f + y*f + z*f).
+    const std::size_t depth = exec.schedule().depth();
+    const std::size_t nq = exec.circuit().numQubits();
+    const std::size_t exposures =
+        (rounds == 0 || rounds >= depth) ? depth : rounds;
+    const double sites = static_cast<double>(exposures * nq);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double f = factors[j];
+        const double txy = rates.x * f + rates.y * f;
+        const double txyz = txy + rates.z * f;
+        pEmpty[j] = std::exp(logNoEvent(txyz, sites));
+        pZOnly[j] = std::max(
+            0.0, std::exp(logNoEvent(txy, sites)) - pEmpty[j]);
+    }
     return true;
 }
 
@@ -614,6 +656,38 @@ GateNoise::sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
     sampleFlatImpl(exec, rng, out);
 }
 
+bool
+GateNoise::classProbabilities(const FeynmanExecutor &exec,
+                              const double *factors, std::size_t n,
+                              double *pEmpty, double *pZOnly) const
+{
+    // Per-gate thresholds exactly as the sweep tables build them:
+    // effectiveRatesFor(rates.scaled(f), g, weighted) — the
+    // decomposition-weighted nonlinearity included — applied once per
+    // operand site (controls + targets of non-barrier gates).
+    std::vector<double> logE(n, 0.0), logXY(n, 0.0);
+    const auto &gates = exec.circuit().gates();
+    for (const Gate &g : gates) {
+        if (g.kind == GateKind::Barrier)
+            continue;
+        const double sites = static_cast<double>(g.controls.size() +
+                                                 g.targets.size());
+        for (std::size_t j = 0; j < n; ++j) {
+            const PauliRates er = effectiveRatesFor(
+                rates.scaled(factors[j]), g, weighted);
+            const double txy = er.x + er.y;
+            logE[j] += logNoEvent(txy + er.z, sites);
+            logXY[j] += logNoEvent(txy, sites);
+        }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        pEmpty[j] = std::exp(logE[j]);
+        pZOnly[j] =
+            std::max(0.0, std::exp(logXY[j]) - pEmpty[j]);
+    }
+    return true;
+}
+
 void
 DeviceNoise::prepareSweep(const FeynmanExecutor &exec,
                           const double *factors, std::size_t n) const
@@ -806,6 +880,35 @@ DeviceNoise::sampleFlat(const FeynmanExecutor &exec, CounterRng &rng,
                         FlatRealization &out) const
 {
     sampleFlatImpl(exec, rng, out);
+}
+
+bool
+DeviceNoise::classProbabilities(const FeynmanExecutor &exec,
+                                const double *factors, std::size_t n,
+                                double *pEmpty, double *pZOnly) const
+{
+    // Only the arity class matters per operand site, so count the 1q-
+    // and 2q-gate sites once and apply each factor's scaled rates to
+    // the two totals.
+    double sites1 = 0.0, sites2 = 0.0;
+    for (const Gate &g : exec.circuit().gates()) {
+        if (g.kind == GateKind::Barrier)
+            continue;
+        const double sites = static_cast<double>(g.controls.size() +
+                                                 g.targets.size());
+        (g.aritytotal() >= 2 ? sites2 : sites1) += sites;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        const PauliRates r1 = rates1q.scaled(factors[j]);
+        const PauliRates r2 = rates2q.scaled(factors[j]);
+        const double logE = logNoEvent(r1.x + r1.y + r1.z, sites1) +
+                            logNoEvent(r2.x + r2.y + r2.z, sites2);
+        const double logXY = logNoEvent(r1.x + r1.y, sites1) +
+                             logNoEvent(r2.x + r2.y, sites2);
+        pEmpty[j] = std::exp(logE);
+        pZOnly[j] = std::max(0.0, std::exp(logXY) - pEmpty[j]);
+    }
+    return true;
 }
 
 } // namespace qramsim

@@ -205,6 +205,35 @@ class NoiseModel
         return false;
     }
 
+    /**
+     * Closed-form shot-class probabilities, per sweep factor: the
+     * probability that a sampled realization is *empty* (no event at
+     * any exposure site) and that it is *Z-only* (at least one event,
+     * all of them Z). Because every site draws independently with the
+     * cumulative thresholds tx <= txy <= txyz,
+     *
+     *   P(empty)  = prod_sites (1 - txyz_i),
+     *   P(Z-only) = prod_sites (1 - txy_i) - P(empty),
+     *
+     * evaluated in log space (sum of log1p) over exactly the site
+     * multiset the model's samplers draw from. The adaptive estimator
+     * folds the empty stratum's fidelity contribution analytically
+     * with these weights — zero shots spent on the empty class — and
+     * uses them as stratum weights for Z-only/general allocation.
+     * Writes pEmpty[j] / pZOnly[j] for each factors[j] and returns
+     * true; a model without closed-form probabilities returns false
+     * (the base implementation) and callers must check.
+     */
+    virtual bool
+    classProbabilities(const FeynmanExecutor &exec,
+                       const double *factors, std::size_t n,
+                       double *pEmpty, double *pZOnly) const
+    {
+        (void)exec; (void)factors; (void)n;
+        (void)pEmpty; (void)pZOnly;
+        return false;
+    }
+
     virtual std::string name() const = 0;
 };
 
@@ -249,6 +278,13 @@ class QubitChannelNoise : public NoiseModel
     bool sampleFlatSweep(const FeynmanExecutor &exec, CounterRng &rng,
                          const double *factors, std::size_t n,
                          FlatRealization *outs) const override;
+
+    /** Closed form over the (depth or rounds) x numQubits identical
+     *  sites of the channel. */
+    bool classProbabilities(const FeynmanExecutor &exec,
+                            const double *factors, std::size_t n,
+                            double *pEmpty,
+                            double *pZOnly) const override;
 
     std::string name() const override { return "qubit-channel"; }
 
@@ -332,6 +368,14 @@ class GateNoise : public NoiseModel
     bool sampleFlatSweep(const FeynmanExecutor &exec, CounterRng &rng,
                          const double *factors, std::size_t n,
                          FlatRealization *outs) const override;
+
+    /** Closed form over the per-gate operand sites, with the same
+     *  effectiveRatesFor thresholds the sweep tables are built from
+     *  (the 1-(1-p*f)^w nonlinearity included). */
+    bool classProbabilities(const FeynmanExecutor &exec,
+                            const double *factors, std::size_t n,
+                            double *pEmpty,
+                            double *pZOnly) const override;
 
     std::string name() const override { return "gate"; }
 
@@ -432,6 +476,12 @@ class DeviceNoise : public NoiseModel
     bool sampleFlatSweep(const FeynmanExecutor &exec, CounterRng &rng,
                          const double *factors, std::size_t n,
                          FlatRealization *outs) const override;
+
+    /** Closed form over the 1q/2q operand-site counts. */
+    bool classProbabilities(const FeynmanExecutor &exec,
+                            const double *factors, std::size_t n,
+                            double *pEmpty,
+                            double *pZOnly) const override;
 
     std::string name() const override { return "device"; }
 

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/simd.hh"
+#include "common/stats.hh"
 #include "common/threadpool.hh"
 #include "sim/fidelity.hh"
 
@@ -113,6 +114,46 @@ SweepPlan::partition(std::size_t shots, std::size_t nShards,
 void
 PartialEstimate::recomputeSums()
 {
+    if (adaptive) {
+        // Per-point per-stratum sums, reduced over the kept rows in
+        // draw order — like the replay branch, the sums depend only
+        // on the assembled rows, so any partition merges to the same
+        // values bit for bit.
+        sumF.clear();
+        sumF2.clear();
+        sumR.clear();
+        sumR2.clear();
+        zCount.assign(numPoints, 0.0);
+        zSumF.assign(numPoints, 0.0);
+        zSumF2.assign(numPoints, 0.0);
+        zSumR.assign(numPoints, 0.0);
+        zSumR2.assign(numPoints, 0.0);
+        gCount.assign(numPoints, 0.0);
+        gSumF.assign(numPoints, 0.0);
+        gSumF2.assign(numPoints, 0.0);
+        gSumR.assign(numPoints, 0.0);
+        gSumR2.assign(numPoints, 0.0);
+        for (std::size_t i = 0; i < rowDraw.size(); ++i) {
+            const std::size_t j =
+                static_cast<std::size_t>(rowPoint[i]);
+            const double f = full[i];
+            const double r = reduced[i];
+            if (rowStratum[i] == 0.0) {
+                zCount[j] += 1.0;
+                zSumF[j] += f;
+                zSumF2[j] += f * f;
+                zSumR[j] += r;
+                zSumR2[j] += r * r;
+            } else {
+                gCount[j] += 1.0;
+                gSumF[j] += f;
+                gSumF2[j] += f * f;
+                gSumR[j] += r;
+                gSumR2[j] += r * r;
+            }
+        }
+        return;
+    }
     sumF.assign(numPoints, 0.0);
     sumF2.assign(numPoints, 0.0);
     sumR.assign(numPoints, 0.0);
@@ -149,6 +190,19 @@ PartialEstimate::canMerge(const PartialEstimate &other,
         return fail("shot streams differ");
     if (numPoints != other.numPoints || factors != other.factors)
         return fail("sweep factors differ");
+    if (adaptive != other.adaptive)
+        return fail("estimate modes differ");
+    if (adaptive) {
+        // The analytic ingredients are pure functions of the plan, so
+        // honest partials agree exactly; anything else is a workload
+        // mixup the fingerprint failed to catch.
+        if (probEmpty != other.probEmpty ||
+            probZOnly != other.probZOnly)
+            return fail("class probabilities differ");
+        if (emptyFullShot != other.emptyFullShot ||
+            emptyReducedShot != other.emptyReducedShot)
+            return fail("empty-shot fidelities differ");
+    }
     if (other.shotBegin != shotEnd && other.shotEnd != shotBegin)
         return fail("shot ranges are not adjacent");
     return true;
@@ -164,14 +218,33 @@ PartialEstimate::merge(const PartialEstimate &other)
         full.insert(full.end(), other.full.begin(), other.full.end());
         reduced.insert(reduced.end(), other.reduced.begin(),
                        other.reduced.end());
+        if (adaptive) {
+            rowDraw.insert(rowDraw.end(), other.rowDraw.begin(),
+                           other.rowDraw.end());
+            rowPoint.insert(rowPoint.end(), other.rowPoint.begin(),
+                            other.rowPoint.end());
+            rowStratum.insert(rowStratum.end(),
+                              other.rowStratum.begin(),
+                              other.rowStratum.end());
+        }
         shotEnd = other.shotEnd;
     } else {
         full.insert(full.begin(), other.full.begin(),
                     other.full.end());
         reduced.insert(reduced.begin(), other.reduced.begin(),
                        other.reduced.end());
+        if (adaptive) {
+            rowDraw.insert(rowDraw.begin(), other.rowDraw.begin(),
+                           other.rowDraw.end());
+            rowPoint.insert(rowPoint.begin(), other.rowPoint.begin(),
+                            other.rowPoint.end());
+            rowStratum.insert(rowStratum.begin(),
+                              other.rowStratum.begin(),
+                              other.rowStratum.end());
+        }
         shotBegin = other.shotBegin;
     }
+    drawsUsed += other.drawsUsed;
     recomputeSums();
 }
 
@@ -183,19 +256,64 @@ PartialEstimate::finalize() const
                    shotBegin, ", ", shotEnd, ") of ", totalShots,
                    " shots)");
     std::vector<FidelityResult> out(numPoints);
-    const double n = static_cast<double>(totalShots);
+    if (adaptive) {
+        // Stratified estimate: F = pE * F_empty + pZ * mean_Z +
+        // pG * mean_G, the empty stratum folded in exactly. A stratum
+        // with no kept rows (possible when its probability is
+        // negligible) falls back to the empty-shot fidelity — a bias
+        // bounded by the stratum weight, which the stopping rule keeps
+        // below a fraction of the CI target. The empty term is exact,
+        // so only the sampled strata contribute variance.
+        for (std::size_t j = 0; j < numPoints; ++j) {
+            FidelityResult &res = out[j];
+            const double pE = probEmpty[j];
+            const double pZ = probZOnly[j];
+            const double pG = std::max(0.0, 1.0 - pE - pZ);
+            const std::size_t nZ =
+                static_cast<std::size_t>(zCount[j]);
+            const std::size_t nG =
+                static_cast<std::size_t>(gCount[j]);
+            res.shots = nZ + nG;
+            const double meanZF =
+                nZ > 0 ? stats::meanFromSums(zSumF[j], nZ)
+                       : emptyFullShot;
+            const double meanZR =
+                nZ > 0 ? stats::meanFromSums(zSumR[j], nZ)
+                       : emptyReducedShot;
+            const double meanGF =
+                nG > 0 ? stats::meanFromSums(gSumF[j], nG)
+                       : emptyFullShot;
+            const double meanGR =
+                nG > 0 ? stats::meanFromSums(gSumR[j], nG)
+                       : emptyReducedShot;
+            res.full = pE * emptyFullShot + pZ * meanZF + pG * meanGF;
+            res.reduced =
+                pE * emptyReducedShot + pZ * meanZR + pG * meanGR;
+            const double seZF =
+                stats::stderrFromSums(zSumF[j], zSumF2[j], nZ);
+            const double seZR =
+                stats::stderrFromSums(zSumR[j], zSumR2[j], nZ);
+            const double seGF =
+                stats::stderrFromSums(gSumF[j], gSumF2[j], nG);
+            const double seGR =
+                stats::stderrFromSums(gSumR[j], gSumR2[j], nG);
+            res.fullStderr = std::sqrt(pZ * pZ * seZF * seZF +
+                                       pG * pG * seGF * seGF);
+            res.reducedStderr = std::sqrt(pZ * pZ * seZR * seZR +
+                                          pG * pG * seGR * seGR);
+        }
+        return out;
+    }
     for (std::size_t j = 0; j < numPoints; ++j) {
         FidelityResult &res = out[j];
         res.shots = totalShots;
-        res.full = sumF[j] / n;
-        res.reduced = sumR[j] / n;
+        res.full = stats::meanFromSums(sumF[j], totalShots);
+        res.reduced = stats::meanFromSums(sumR[j], totalShots);
         if (totalShots > 1) {
-            double varF =
-                std::max(0.0, sumF2[j] / n - res.full * res.full);
-            double varR = std::max(0.0, sumR2[j] / n -
-                                            res.reduced * res.reduced);
-            res.fullStderr = std::sqrt(varF / (n - 1));
-            res.reducedStderr = std::sqrt(varR / (n - 1));
+            res.fullStderr =
+                stats::stderrFromSums(sumF[j], sumF2[j], totalShots);
+            res.reducedStderr =
+                stats::stderrFromSums(sumR[j], sumR2[j], totalShots);
         }
     }
     return out;
@@ -235,6 +353,18 @@ mergePartials(std::vector<PartialEstimate> parts, PartialEstimate &out,
         out.reduced.insert(out.reduced.end(),
                            parts[i].reduced.begin(),
                            parts[i].reduced.end());
+        if (out.adaptive) {
+            out.rowDraw.insert(out.rowDraw.end(),
+                               parts[i].rowDraw.begin(),
+                               parts[i].rowDraw.end());
+            out.rowPoint.insert(out.rowPoint.end(),
+                                parts[i].rowPoint.begin(),
+                                parts[i].rowPoint.end());
+            out.rowStratum.insert(out.rowStratum.end(),
+                                  parts[i].rowStratum.begin(),
+                                  parts[i].rowStratum.end());
+            out.drawsUsed += parts[i].drawsUsed;
+        }
         out.shotEnd = parts[i].shotEnd;
     }
     if (out.shotEnd != out.totalShots)
@@ -456,14 +586,55 @@ PartialEstimate::toJson() const
     s += buf;
     s += "  \"factors\": ";
     appendDoubleArray(s, factors);
-    s += ",\n  \"sum_full\": ";
-    appendDoubleArray(s, sumF);
-    s += ",\n  \"sum_full_sq\": ";
-    appendDoubleArray(s, sumF2);
-    s += ",\n  \"sum_reduced\": ";
-    appendDoubleArray(s, sumR);
-    s += ",\n  \"sum_reduced_sq\": ";
-    appendDoubleArray(s, sumR2);
+    if (adaptive) {
+        std::snprintf(buf, sizeof buf,
+                      ",\n  \"adaptive\": 1,\n  \"draws_used\": %zu,\n"
+                      "  \"empty_full_shot\": ",
+                      drawsUsed);
+        s += buf;
+        appendDouble(s, emptyFullShot);
+        s += ",\n  \"empty_reduced_shot\": ";
+        appendDouble(s, emptyReducedShot);
+        s += ",\n  \"prob_empty\": ";
+        appendDoubleArray(s, probEmpty);
+        s += ",\n  \"prob_zonly\": ";
+        appendDoubleArray(s, probZOnly);
+        s += ",\n  \"zonly_count\": ";
+        appendDoubleArray(s, zCount);
+        s += ",\n  \"zonly_sum_full\": ";
+        appendDoubleArray(s, zSumF);
+        s += ",\n  \"zonly_sum_full_sq\": ";
+        appendDoubleArray(s, zSumF2);
+        s += ",\n  \"zonly_sum_reduced\": ";
+        appendDoubleArray(s, zSumR);
+        s += ",\n  \"zonly_sum_reduced_sq\": ";
+        appendDoubleArray(s, zSumR2);
+        s += ",\n  \"general_count\": ";
+        appendDoubleArray(s, gCount);
+        s += ",\n  \"general_sum_full\": ";
+        appendDoubleArray(s, gSumF);
+        s += ",\n  \"general_sum_full_sq\": ";
+        appendDoubleArray(s, gSumF2);
+        s += ",\n  \"general_sum_reduced\": ";
+        appendDoubleArray(s, gSumR);
+        s += ",\n  \"general_sum_reduced_sq\": ";
+        appendDoubleArray(s, gSumR2);
+        s += ",\n  \"row_draw\": ";
+        appendDoubleArray(s, rowDraw);
+        s += ",\n  \"row_point\": ";
+        appendDoubleArray(s, rowPoint);
+        s += ",\n  \"row_stratum\": ";
+        appendDoubleArray(s, rowStratum);
+    } else {
+        s += ",\n  \"sum_full\": ";
+        appendDoubleArray(s, sumF);
+        s += ",\n  \"sum_full_sq\": ";
+        appendDoubleArray(s, sumF2);
+        s += ",\n  \"sum_reduced\": ";
+        appendDoubleArray(s, sumR);
+        s += ",\n  \"sum_reduced_sq\": ";
+        appendDoubleArray(s, sumR2);
+    }
     s += ",\n  \"rows_full\": ";
     appendDoubleArray(s, full);
     s += ",\n  \"rows_reduced\": ";
@@ -532,6 +703,46 @@ PartialEstimate::fromJson(const std::string &json, PartialEstimate &out,
                 ok = c.parseDoubleArray(out.full);
             } else if (key == "rows_reduced") {
                 ok = c.parseDoubleArray(out.reduced);
+            } else if (key == "adaptive") {
+                ok = c.parseU64(u);
+                out.adaptive = u != 0;
+            } else if (key == "draws_used") {
+                ok = c.parseU64(u);
+                out.drawsUsed = u;
+            } else if (key == "empty_full_shot") {
+                ok = c.parseNumber(out.emptyFullShot);
+            } else if (key == "empty_reduced_shot") {
+                ok = c.parseNumber(out.emptyReducedShot);
+            } else if (key == "prob_empty") {
+                ok = c.parseDoubleArray(out.probEmpty);
+            } else if (key == "prob_zonly") {
+                ok = c.parseDoubleArray(out.probZOnly);
+            } else if (key == "zonly_count") {
+                ok = c.parseDoubleArray(out.zCount);
+            } else if (key == "zonly_sum_full") {
+                ok = c.parseDoubleArray(out.zSumF);
+            } else if (key == "zonly_sum_full_sq") {
+                ok = c.parseDoubleArray(out.zSumF2);
+            } else if (key == "zonly_sum_reduced") {
+                ok = c.parseDoubleArray(out.zSumR);
+            } else if (key == "zonly_sum_reduced_sq") {
+                ok = c.parseDoubleArray(out.zSumR2);
+            } else if (key == "general_count") {
+                ok = c.parseDoubleArray(out.gCount);
+            } else if (key == "general_sum_full") {
+                ok = c.parseDoubleArray(out.gSumF);
+            } else if (key == "general_sum_full_sq") {
+                ok = c.parseDoubleArray(out.gSumF2);
+            } else if (key == "general_sum_reduced") {
+                ok = c.parseDoubleArray(out.gSumR);
+            } else if (key == "general_sum_reduced_sq") {
+                ok = c.parseDoubleArray(out.gSumR2);
+            } else if (key == "row_draw") {
+                ok = c.parseDoubleArray(out.rowDraw);
+            } else if (key == "row_point") {
+                ok = c.parseDoubleArray(out.rowPoint);
+            } else if (key == "row_stratum") {
+                ok = c.parseDoubleArray(out.rowStratum);
             } else {
                 ok = c.skipValue();
             }
@@ -554,6 +765,61 @@ PartialEstimate::fromJson(const std::string &json, PartialEstimate &out,
         return fail("num_points must be positive");
     if (!out.factors.empty() && out.factors.size() != out.numPoints)
         return fail("factors/num_points mismatch");
+    if (out.adaptive) {
+        const std::size_t rows = out.rowDraw.size();
+        if (out.full.size() != rows || out.reduced.size() != rows ||
+            out.rowPoint.size() != rows ||
+            out.rowStratum.size() != rows)
+            return fail("kept-row arrays disagree in length");
+        if (out.probEmpty.size() != out.numPoints ||
+            out.probZOnly.size() != out.numPoints)
+            return fail(
+                "class probability count does not match num_points");
+        if (out.zCount.size() != out.numPoints ||
+            out.zSumF.size() != out.numPoints ||
+            out.zSumF2.size() != out.numPoints ||
+            out.zSumR.size() != out.numPoints ||
+            out.zSumR2.size() != out.numPoints ||
+            out.gCount.size() != out.numPoints ||
+            out.gSumF.size() != out.numPoints ||
+            out.gSumF2.size() != out.numPoints ||
+            out.gSumR.size() != out.numPoints ||
+            out.gSumR2.size() != out.numPoints)
+            return fail(
+                "stratum sum count does not match num_points");
+        double prevDraw = -1.0;
+        for (std::size_t i = 0; i < rows; ++i) {
+            const double d = out.rowDraw[i];
+            if (!(d >= static_cast<double>(out.shotBegin)) ||
+                !(d < static_cast<double>(out.shotEnd)))
+                return fail("kept-row draw outside the shot range");
+            // Nondecreasing, not strict: one draw keeps up to one row
+            // per sweep point.
+            if (!(d >= prevDraw))
+                return fail("kept-row draws are not sorted");
+            prevDraw = d;
+            const double pt = out.rowPoint[i];
+            if (!(pt >= 0.0) ||
+                !(pt < static_cast<double>(out.numPoints)) ||
+                pt != static_cast<double>(
+                          static_cast<std::size_t>(pt)))
+                return fail("kept-row point index out of range");
+            if (out.rowStratum[i] != 0.0 && out.rowStratum[i] != 1.0)
+                return fail("kept-row stratum must be 0 or 1");
+        }
+        // The stratum sums are redundant with the rows; require
+        // exact agreement so silently corrupted files cannot merge.
+        PartialEstimate check = out;
+        check.recomputeSums();
+        if (check.zCount != out.zCount || check.zSumF != out.zSumF ||
+            check.zSumF2 != out.zSumF2 || check.zSumR != out.zSumR ||
+            check.zSumR2 != out.zSumR2 ||
+            check.gCount != out.gCount || check.gSumF != out.gSumF ||
+            check.gSumF2 != out.gSumF2 || check.gSumR != out.gSumR ||
+            check.gSumR2 != out.gSumR2)
+            return fail("stratum sums disagree with rows");
+        return true;
+    }
     const std::size_t rows = out.shots() * out.numPoints;
     if (out.full.size() != rows || out.reduced.size() != rows)
         return fail("row count does not match shot range");

@@ -91,6 +91,60 @@ bool parseShotStream(const std::string &name, ShotStream &out);
 enum class ReplayPin : std::uint8_t { Keep = 0, Ensemble, Slots, Scalar };
 
 /**
+ * Which estimation policy a shard runs under.
+ *
+ *  - Replay — the historical fixed-budget path: every shot in the
+ *    range is sampled, classified, and evaluated, and the result is
+ *    bit-identical across engines, SIMD tiers, thread counts, and
+ *    shard partitions. The default; nothing changes for existing
+ *    callers.
+ *  - Adaptive — the stratified sequential-stopping estimator:
+ *    statistically equivalent (CI-tolerance-validated, see
+ *    tests/test_adaptive.cc) but NOT bit-identical to Replay. The
+ *    empty stratum's contribution is folded in analytically from the
+ *    noise model's closed-form class probabilities, sampled shots are
+ *    kept per-stratum under a deterministic Neyman allocation rule,
+ *    and sweep points stop drawing once their CI half-width reaches
+ *    the policy target. Requires ShotStream::Counter.
+ */
+enum class EstimateMode : std::uint8_t { Replay = 0, Adaptive = 1 };
+
+/**
+ * Knobs of the adaptive estimator (ignored under EstimateMode::Replay).
+ *
+ * The degenerate default (targetHalfWidth <= 0) never stops early and
+ * keeps every non-empty draw: keep decisions then depend only on each
+ * draw's class, which makes the kept-row set partition-invariant and
+ * adaptive shard merges byte-identical to a single-process run. With
+ * a positive target, the sequential-stopping rule kicks in and only
+ * merge-order invariance (not partition invariance) is guaranteed.
+ */
+struct AdaptivePolicy
+{
+    /** Stop a sweep point once z_confidence * stderr(full fidelity)
+     *  falls to this half-width; <= 0 disables stopping. */
+    double targetHalfWidth = 0.0;
+
+    /** Confidence level of the stopping CI (two-sided). */
+    double confidence = 0.95;
+
+    /** Minimum kept shots per point before stopping is considered. */
+    std::size_t minShots = 64;
+
+    /** Kept-shot budget per point, pooled across the sweep: budget
+     *  freed by early-stopping points rolls over to slow ones. */
+    std::size_t maxShots = 65536;
+
+    /** Raw draws between stopping checks (batch boundaries are also
+     *  where in-flight evaluation chunks drain). */
+    std::size_t batch = 256;
+
+    /** Raw-draw budget; 0 derives one from maxShots and the smallest
+     *  non-empty class probability across the sweep. */
+    std::size_t maxDraws = 0;
+};
+
+/**
  * One unit of sharded work: a contiguous global shot range plus
  * everything needed to evaluate it reproducibly anywhere.
  */
@@ -130,6 +184,14 @@ struct ShardSpec
 
     /** SIMD tier pin ("", "scalar", "avx2", "avx512"). */
     std::string simdTier;
+
+    /** Estimation policy. Under Adaptive the shot range is a RAW DRAW
+     *  range: draw d uses CounterRng(seed, d), empty draws cost no
+     *  evaluation, and only kept draws become rows. */
+    EstimateMode mode = EstimateMode::Replay;
+
+    /** Adaptive knobs (ignored under Replay). */
+    AdaptivePolicy policy;
 
     std::size_t shots() const { return shotEnd - shotBegin; }
 
@@ -205,13 +267,54 @@ struct PartialEstimate
     std::size_t numPoints = 1;
 
     /** Per-shot rows: value of (global shot s, point j) lives at
-     *  [(s - shotBegin) * numPoints + j]. */
+     *  [(s - shotBegin) * numPoints + j]. Under `adaptive` the layout
+     *  changes: full/reduced hold one value per KEPT row, parallel to
+     *  rowDraw/rowPoint/rowStratum. */
     std::vector<double> full;
     std::vector<double> reduced;
 
     /** Summary sums per point, reduced in global shot order over the
-     *  covered range (maintained by recomputeSums). */
+     *  covered range (maintained by recomputeSums). Empty under
+     *  `adaptive` — the per-stratum sums below replace them. */
     std::vector<double> sumF, sumF2, sumR, sumR2;
+
+    // --- Adaptive-mode fields (EstimateMode::Adaptive) -----------------
+    //
+    // An adaptive partial covers a RAW DRAW range [shotBegin, shotEnd)
+    // but stores only the draws the allocation rule kept. Each kept
+    // row i records its global draw index (rowDraw, strictly
+    // increasing within a partial), sweep point (rowPoint) and stratum
+    // (rowStratum: 0 = Z-only, 1 = general) alongside its full/reduced
+    // fidelity in the row vectors above. The analytic ingredients
+    // (per-point class probabilities and the cached empty-shot
+    // fidelities) travel with the partial so finalize() needs no
+    // estimator, and merging validates they agree exactly. All
+    // counters are doubles for the JSON wire format; they hold exact
+    // integers far below 2^53.
+
+    /** Replay/adaptive shape switch; partials of different modes
+     *  never merge. */
+    bool adaptive = false;
+
+    /** Closed-form per-point class probabilities (size numPoints). */
+    std::vector<double> probEmpty, probZOnly;
+
+    /** Cached empty-shot fidelities (every empty draw evaluates to
+     *  exactly these, so the empty stratum needs no samples). */
+    double emptyFullShot = 0.0;
+    double emptyReducedShot = 0.0;
+
+    /** Raw draws actually consumed (<= shots(); reporting only —
+     *  summed on merge). */
+    std::size_t drawsUsed = 0;
+
+    /** Kept-row metadata, parallel to full/reduced. */
+    std::vector<double> rowDraw, rowPoint, rowStratum;
+
+    /** Per-point per-stratum summary sums, derived from the kept rows
+     *  in draw order by recomputeSums (size numPoints each). */
+    std::vector<double> zCount, zSumF, zSumF2, zSumR, zSumR2;
+    std::vector<double> gCount, gSumF, gSumF2, gSumR, gSumR2;
 
     std::size_t shots() const { return shotEnd - shotBegin; }
 

@@ -542,6 +542,95 @@ TEST(Sharding, CliRunMergeEndToEnd)
               expect.substr(expect.find(key)));
     std::system(("rm -rf " + dir).c_str());
 }
+
+TEST(Sharding, CliRejectsMalformedAndUnknownFlags)
+{
+    const std::string bin = QRAMSIM_SHARD_BIN;
+    auto sh = [&](const std::string &cmd) {
+        return std::system(
+            (bin + cmd + " > /dev/null 2>&1").c_str());
+    };
+    const std::string base =
+        " run --arch bb --noise gate-depol --eps 2e-3 --shots 8"
+        " --out /dev/null";
+    // Well-formed baseline sanity: the workload itself runs.
+    ASSERT_EQ(sh(base + " --m 3"), 0);
+    // Malformed unsigned values: trailing junk, signs, empty.
+    EXPECT_NE(sh(base + " --m 3x"), 0);
+    EXPECT_NE(sh(base + " --m -1"), 0);
+    EXPECT_NE(sh(base + " --m "
+                 "999999999999999999999999"),
+              0);
+    EXPECT_NE(sh(" run --arch bb --m 3 --noise gate-depol"
+                 " --eps 2e-3 --shots 1e3 --out /dev/null"),
+              0);
+    // Malformed doubles.
+    EXPECT_NE(sh(" run --arch bb --m 3 --noise gate-depol"
+                 " --eps abc --shots 8 --out /dev/null"),
+              0);
+    EXPECT_NE(sh(base + " --m 3 --factors 0.5,,2"), 0);
+    // Unknown flags must not be silently ignored.
+    EXPECT_NE(sh(base + " --m 3 --frobnicate"), 0);
+    EXPECT_NE(sh(" merge --out /dev/null --frobnicate"), 0);
+    // Missing values.
+    EXPECT_NE(sh(base + " --m"), 0);
+    EXPECT_NE(sh(" merge --out"), 0);
+    // Adaptive flag validation: confidence range and the stream
+    // requirement (sequential replay has no per-draw addressing).
+    EXPECT_NE(sh(base + " --m 3 --adaptive --confidence 1.5"), 0);
+    EXPECT_NE(sh(base + " --m 3 --adaptive --target-ci nope"), 0);
+    EXPECT_NE(sh(base +
+                 " --m 3 --adaptive --stream sequential"),
+              0);
+    EXPECT_EQ(sh(base + " --m 3 --adaptive --target-ci 0.05"), 0);
+}
+
+TEST(Sharding, CliAdaptiveRunMergeEndToEnd)
+{
+    const std::string bin = QRAMSIM_SHARD_BIN;
+    const std::string dir =
+        ::testing::TempDir() + "qramsim_shard_adaptive_" +
+        std::to_string(static_cast<unsigned>(getpid()));
+    ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+    auto sh = [&](const std::string &cmd) {
+        return std::system((bin + cmd).c_str());
+    };
+    // Keep-all adaptive mode (no --target-ci): heterogeneous shard
+    // draw counts still merge to the byte-identical single run.
+    const std::string workload =
+        " run --arch bb --m 3 --noise gate-depol --eps 2e-3"
+        " --shots 90 --seed 321 --factors 0.5,1,2 --adaptive";
+    ASSERT_EQ(sh(workload + " --shard 0/3 --out " + dir + "/a0.json"),
+              0);
+    ASSERT_EQ(sh(workload + " --shard 1/3 --out " + dir + "/a1.json"),
+              0);
+    ASSERT_EQ(sh(workload + " --shard 2/3 --out " + dir + "/a2.json"),
+              0);
+    ASSERT_EQ(sh(" merge --out " + dir + "/amerged3.json " + dir +
+                 "/a0.json " + dir + "/a1.json " + dir + "/a2.json"),
+              0);
+    ASSERT_EQ(sh(workload + " --shard 0/1 --out " + dir +
+                 "/aall.json"),
+              0);
+    ASSERT_EQ(sh(" merge --out " + dir + "/amerged1.json " + dir +
+                 "/aall.json"),
+              0);
+    EXPECT_EQ(std::system(("cmp -s " + dir + "/amerged3.json " + dir +
+                           "/amerged1.json")
+                              .c_str()),
+              0);
+    // Adaptive and replay partials of the same plan must not merge.
+    const std::string replayWorkload =
+        " run --arch bb --m 3 --noise gate-depol --eps 2e-3"
+        " --shots 90 --seed 321 --factors 0.5,1,2";
+    ASSERT_EQ(sh(replayWorkload + " --shard 0/3 --out " + dir +
+                 "/r0.json"),
+              0);
+    EXPECT_NE(sh(" merge --out /dev/null " + dir + "/r0.json " + dir +
+                 "/a1.json " + dir + "/a2.json"),
+              0);
+    std::system(("rm -rf " + dir).c_str());
+}
 #endif // QRAMSIM_SHARD_BIN
 
 } // namespace

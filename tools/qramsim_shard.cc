@@ -43,15 +43,32 @@
  *                                 op-major block replay, slots = the
  *                                 shot-major slot-loop baseline)
  *   --tier scalar|avx2|avx512     SIMD tier pin
+ *   --adaptive    run the shard under EstimateMode::Adaptive: --shots
+ *                 becomes the raw-draw budget, the empty class is
+ *                 folded in analytically and only kept draws are
+ *                 evaluated (counter stream only)
+ *   --target-ci W       adaptive CI half-width target (<= 0, the
+ *                       default, keeps every non-empty draw — the
+ *                       partition-invariant mode)
+ *   --confidence C      adaptive CI confidence level (default 0.95)
+ *   --min-shots N --max-shots N --batch N   adaptive stopping floor,
+ *                       pooled per-point kept-shot budget, and draws
+ *                       per stopping check
+ *
+ * Numeric flag values are parsed strictly (common/env.hh): signs,
+ * whitespace, trailing junk, or overflow print a diagnostic and exit
+ * nonzero instead of being silently truncated.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "qram/baselines.hh"
 #include "qram/bucket_brigade.hh"
 #include "qram/compact.hh"
@@ -212,91 +229,203 @@ cmdRun(int argc, char **argv)
     ShotStream stream = ShotStream::Counter;
     unsigned threads = 1;
     int pipeline = -1; // -1 = estimator default / QRAMSIM_PIPELINE
+    bool adaptive = false;
+    AdaptivePolicy pol;
     std::string out, engine, tier;
 
+    constexpr unsigned long kNoCap =
+        std::numeric_limits<unsigned long>::max();
     for (int i = 0; i < argc; ++i) {
-        auto want = [&](const char *flag) {
-            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        const std::string flag = argv[i];
+        // Strict value parsing (common/env.hh): a malformed number is
+        // a hard error, never a silently truncated zero.
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s wants a value\n",
+                             flag.c_str());
+                return nullptr;
+            }
+            return argv[++i];
         };
-        if (want("--arch"))
-            w.arch = argv[++i];
-        else if (want("--m"))
-            w.m = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (want("--k"))
-            w.k = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (want("--mem-seed"))
-            w.memSeed = std::strtoull(argv[++i], nullptr, 10);
-        else if (want("--noise"))
-            w.noise = argv[++i];
-        else if (want("--eps"))
-            w.eps = std::strtod(argv[++i], nullptr);
-        else if (want("--eps2"))
-            w.eps2 = std::strtod(argv[++i], nullptr);
-        else if (want("--rounds"))
-            w.rounds = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (std::strcmp(argv[i], "--unweighted") == 0)
+        auto uintVal = [&](unsigned long cap,
+                           unsigned long &dst) -> bool {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!env::parseUnsigned(v, cap, dst)) {
+                std::fprintf(stderr,
+                             "malformed value '%s' for %s (want an "
+                             "unsigned integer <= %lu)\n",
+                             v, flag.c_str(), cap);
+                return false;
+            }
+            return true;
+        };
+        auto doubleVal = [&](double &dst) -> bool {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!env::parseDouble(v, dst)) {
+                std::fprintf(stderr,
+                             "malformed value '%s' for %s (want a "
+                             "finite number)\n",
+                             v, flag.c_str());
+                return false;
+            }
+            return true;
+        };
+        unsigned long u = 0;
+        if (flag == "--arch") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            w.arch = v;
+        } else if (flag == "--m") {
+            if (!uintVal(64, u))
+                return usage();
+            w.m = static_cast<unsigned>(u);
+        } else if (flag == "--k") {
+            if (!uintVal(64, u))
+                return usage();
+            w.k = static_cast<unsigned>(u);
+        } else if (flag == "--mem-seed") {
+            if (!uintVal(kNoCap, u))
+                return usage();
+            w.memSeed = u;
+        } else if (flag == "--noise") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            w.noise = v;
+        } else if (flag == "--eps") {
+            if (!doubleVal(w.eps))
+                return usage();
+        } else if (flag == "--eps2") {
+            if (!doubleVal(w.eps2))
+                return usage();
+        } else if (flag == "--rounds") {
+            if (!uintVal(1ul << 30, u))
+                return usage();
+            w.rounds = static_cast<unsigned>(u);
+        } else if (flag == "--unweighted") {
             w.weighted = false;
-        else if (want("--shots"))
-            shots = std::strtoull(argv[++i], nullptr, 10);
-        else if (want("--seed"))
-            seed = std::strtoull(argv[++i], nullptr, 10);
-        else if (want("--factors")) {
+        } else if (flag == "--shots") {
+            if (!uintVal(kNoCap, u))
+                return usage();
+            shots = u;
+        } else if (flag == "--seed") {
+            if (!uintVal(kNoCap, u))
+                return usage();
+            seed = u;
+        } else if (flag == "--factors") {
+            const char *v = value();
+            if (!v)
+                return usage();
             factors.clear();
-            for (const char *p = argv[++i]; *p;) {
+            for (const char *p = v; *p;) {
                 char *end = nullptr;
-                factors.push_back(std::strtod(p, &end));
-                if (end == p) {
-                    std::fprintf(stderr, "malformed --factors\n");
-                    return 2;
+                const double f = std::strtod(p, &end);
+                if (end == p || (*end != '\0' && *end != ',')) {
+                    std::fprintf(stderr,
+                                 "malformed --factors '%s'\n", v);
+                    return usage();
                 }
+                factors.push_back(f);
                 p = *end == ',' ? end + 1 : end;
             }
-        } else if (want("--shard")) {
-            const char *arg = argv[++i];
-            char *slash = nullptr;
-            shardIdx = std::strtoull(arg, &slash, 10);
-            if (!slash || *slash != '/') {
-                std::fprintf(stderr, "--shard wants I/N\n");
-                return 2;
+        } else if (flag == "--shard") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            const char *slash = std::strchr(v, '/');
+            unsigned long idx = 0, cnt = 0;
+            if (!slash ||
+                !env::parseUnsigned(
+                    std::string(v, slash).c_str(), kNoCap, idx) ||
+                !env::parseUnsigned(slash + 1, kNoCap, cnt)) {
+                std::fprintf(stderr, "--shard wants I/N, got '%s'\n",
+                             v);
+                return usage();
             }
-            shardCount = std::strtoull(slash + 1, nullptr, 10);
-        } else if (want("--stream")) {
-            if (!parseShotStream(argv[++i], stream)) {
+            shardIdx = idx;
+            shardCount = cnt;
+        } else if (flag == "--stream") {
+            const char *v = value();
+            if (!v || !parseShotStream(v, stream)) {
                 std::fprintf(stderr, "unknown --stream '%s'\n",
-                             argv[i]);
-                return 2;
+                             v ? v : "");
+                return usage();
             }
-        } else if (want("--threads"))
-            threads = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (want("--pipeline")) {
-            const char *arg = argv[++i];
-            if (std::strcmp(arg, "on") == 0)
+        } else if (flag == "--threads") {
+            if (!uintVal(1ul << 16, u))
+                return usage();
+            threads = static_cast<unsigned>(u);
+        } else if (flag == "--pipeline") {
+            const char *v = value();
+            if (v && std::strcmp(v, "on") == 0)
                 pipeline = 1;
-            else if (std::strcmp(arg, "off") == 0)
+            else if (v && std::strcmp(v, "off") == 0)
                 pipeline = 0;
             else {
                 std::fprintf(stderr,
                              "--pipeline wants on|off, got '%s'\n",
-                             arg);
-                return 2;
+                             v ? v : "");
+                return usage();
             }
-        } else if (want("--engine"))
-            engine = argv[++i];
-        else if (want("--tier"))
-            tier = argv[++i];
-        else if (want("--out"))
-            out = argv[++i];
-        else {
+        } else if (flag == "--engine") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            engine = v;
+        } else if (flag == "--tier") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            tier = v;
+        } else if (flag == "--out") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            out = v;
+        } else if (flag == "--adaptive") {
+            adaptive = true;
+        } else if (flag == "--target-ci") {
+            if (!doubleVal(pol.targetHalfWidth))
+                return usage();
+        } else if (flag == "--confidence") {
+            if (!doubleVal(pol.confidence))
+                return usage();
+            if (!(pol.confidence > 0.0 && pol.confidence < 1.0)) {
+                std::fprintf(stderr,
+                             "--confidence wants a value in (0, 1)\n");
+                return usage();
+            }
+        } else if (flag == "--min-shots") {
+            if (!uintVal(kNoCap, u))
+                return usage();
+            pol.minShots = u;
+        } else if (flag == "--max-shots") {
+            if (!uintVal(kNoCap, u))
+                return usage();
+            pol.maxShots = u;
+        } else if (flag == "--batch") {
+            if (!uintVal(1ul << 24, u))
+                return usage();
+            pol.batch = std::max<std::size_t>(1, u);
+        } else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return usage();
         }
     }
     if (shardCount == 0 || shardIdx >= shardCount) {
         std::fprintf(stderr, "--shard index out of range\n");
+        return 2;
+    }
+    if (adaptive && stream == ShotStream::Sequential) {
+        std::fprintf(stderr,
+                     "--adaptive requires the counter stream "
+                     "(keep decisions would desynchronize a shared "
+                     "sequential draw sequence)\n");
         return 2;
     }
 
@@ -313,6 +442,10 @@ cmdRun(int argc, char **argv)
     }
     ShardSpec spec = plan.shards[shardIdx];
     spec.threads = threads;
+    if (adaptive) {
+        spec.mode = EstimateMode::Adaptive;
+        spec.policy = pol;
+    }
     if (engine == "ensemble")
         spec.replay = ReplayPin::Ensemble;
     else if (engine == "slots" || engine == "ensemble-slots")
@@ -346,10 +479,18 @@ cmdMerge(int argc, char **argv)
     std::string out;
     std::vector<std::string> files;
     for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--out") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--out wants a value\n");
+                return usage();
+            }
             out = argv[++i];
-        else
+        } else if (std::strncmp(argv[i], "--", 2) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        } else {
             files.push_back(argv[i]);
+        }
     }
     if (files.empty())
         return usage();
