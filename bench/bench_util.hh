@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomicfile.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -373,31 +374,11 @@ appendJsonRecord(const std::string &path, const std::string &record)
         out = "[\n" + record + "\n]\n";
     }
 
-    // Write-temp-then-rename so a crash mid-write can never truncate
-    // the accumulated trajectory. Non-regular targets (e.g. the CI
-    // smoke runs against /dev/null) must not be renamed over — a
-    // device node would be replaced by a regular file — so those are
-    // written directly.
-    struct stat st;
-    const bool regular =
-        ::stat(path.c_str(), &st) != 0 || S_ISREG(st.st_mode);
-    const std::string tmp = path + ".tmp";
-    std::FILE *f =
-        std::fopen((regular ? tmp : path).c_str(), "w");
-    if (!f)
-        return false;
-    const bool ok =
-        std::fwrite(out.data(), 1, out.size(), f) == out.size();
-    if (std::fclose(f) != 0 || !ok) {
-        if (regular)
-            std::remove(tmp.c_str());
-        return false;
-    }
-    if (regular && std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    // Crash-safe through the shared write-temp-then-rename helper
+    // (which also handles non-regular targets like the CI smoke's
+    // /dev/null), so a crash mid-write can never truncate the
+    // accumulated trajectory.
+    return atomicWriteFile(path, out);
 }
 
 } // namespace qramsim::bench

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Crash-safe file replacement: write-temp-then-rename, the one
+ * primitive every JSON artifact writer in the tree goes through
+ * (shard partials and merge results, orchestrator checkpoints and job
+ * manifests, the bench trajectory's read-modify-write). A reader can
+ * then assume any file it finds is complete-or-absent: a worker
+ * killed mid-write leaves at most a stale temp file, never a torn
+ * target — which is what makes a checkpoint directory resumable and
+ * lets duplicate shard completions be compared byte for byte.
+ */
+
+#ifndef QRAMSIM_COMMON_ATOMICFILE_HH
+#define QRAMSIM_COMMON_ATOMICFILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace qramsim {
+
+/**
+ * Atomically replace @p path with @p content. The bytes land in
+ * `path.tmp.<pid>` first (pid-suffixed so concurrent writers — e.g. a
+ * speculative duplicate shard — never clobber each other's temp) and
+ * are renamed over the target only after a clean close, so a crash at
+ * any instant leaves the old content or the new, never a prefix.
+ *
+ * Non-regular targets (pipes, /dev/null, ...) must not be renamed
+ * over — a device node would be replaced by a regular file — so those
+ * are written directly; such targets opt out of crash-safety by
+ * nature. On failure returns false with a one-line reason in @p err
+ * (when non-null) and removes the temp file.
+ */
+inline bool
+atomicWriteFile(const std::string &path, const std::string &content,
+                std::string *err = nullptr)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    struct stat st;
+    const bool regular =
+        ::stat(path.c_str(), &st) != 0 || S_ISREG(st.st_mode);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const std::string &target = regular ? tmp : path;
+    std::FILE *f = std::fopen(target.c_str(), "wb");
+    if (!f)
+        return fail("cannot open " + target + " for writing");
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        if (regular)
+            std::remove(tmp.c_str());
+        return fail("short write to " + target);
+    }
+    if (regular && std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return fail("cannot rename " + tmp + " over " + path);
+    }
+    return true;
+}
+
+} // namespace qramsim
+
+#endif // QRAMSIM_COMMON_ATOMICFILE_HH

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/simd.hh"
 #include "common/stats.hh"
@@ -374,199 +376,16 @@ mergePartials(std::vector<PartialEstimate> parts, PartialEstimate &out,
 }
 
 // --- JSON --------------------------------------------------------------
+//
+// Serialization goes through common/json.hh: the shared hardened
+// writer/reader used by every tool artifact (partials, orchestrator
+// manifests, bench records). The reader rejects non-finite and
+// wrapped-negative numbers outright, so the structural validation
+// below only needs to check shape and cross-field consistency.
 
-namespace {
-
-/** Shortest exact double: %.17g round-trips through strtod. */
-void
-appendDouble(std::string &s, double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    s += buf;
-}
-
-void
-appendDoubleArray(std::string &s, const std::vector<double> &v)
-{
-    s += '[';
-    for (std::size_t i = 0; i < v.size(); ++i) {
-        if (i)
-            s += ',';
-        appendDouble(s, v[i]);
-    }
-    s += ']';
-}
-
-void
-appendEscaped(std::string &s, const std::string &v)
-{
-    s += '"';
-    for (char c : v) {
-        if (c == '"' || c == '\\') {
-            s += '\\';
-            s += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x",
-                          static_cast<unsigned>(c));
-            s += buf;
-        } else {
-            s += c;
-        }
-    }
-    s += '"';
-}
-
-/**
- * Minimal parser for the JSON subset these files use: objects with
- * string keys whose values are strings, numbers, or arrays of
- * numbers. Unknown keys are skipped, so the format can grow.
- */
-struct JsonCursor
-{
-    const char *p;
-    const char *end;
-    std::string err;
-
-    bool
-    fail(const char *msg)
-    {
-        if (err.empty())
-            err = msg;
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (p < end &&
-               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
-            ++p;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (p < end && *p == c) {
-            ++p;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        skipWs();
-        if (p >= end || *p != '"')
-            return fail("expected string");
-        ++p;
-        out.clear();
-        while (p < end && *p != '"') {
-            if (*p == '\\') {
-                ++p;
-                if (p >= end)
-                    return fail("truncated escape");
-                switch (*p) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'u': {
-                    if (end - p < 5)
-                        return fail("truncated \\u escape");
-                    char hex[5] = {p[1], p[2], p[3], p[4], 0};
-                    out += static_cast<char>(
-                        std::strtoul(hex, nullptr, 16));
-                    p += 4;
-                    break;
-                  }
-                  default: return fail("unsupported escape");
-                }
-                ++p;
-            } else {
-                out += *p++;
-            }
-        }
-        if (p >= end)
-            return fail("unterminated string");
-        ++p; // closing quote
-        return true;
-    }
-
-    bool
-    parseNumber(double &out)
-    {
-        skipWs();
-        const char *start = p;
-        // Accept strtod's syntax (covers ints, doubles, inf/nan).
-        char *after = nullptr;
-        out = std::strtod(start, &after);
-        if (after == start)
-            return fail("expected number");
-        p = after;
-        return true;
-    }
-
-    bool
-    parseU64(std::uint64_t &out)
-    {
-        skipWs();
-        const char *start = p;
-        char *after = nullptr;
-        out = std::strtoull(start, &after, 10);
-        if (after == start)
-            return fail("expected integer");
-        p = after;
-        return true;
-    }
-
-    bool
-    parseDoubleArray(std::vector<double> &out)
-    {
-        out.clear();
-        if (!consume('['))
-            return fail("expected array");
-        skipWs();
-        if (consume(']'))
-            return true;
-        for (;;) {
-            double v;
-            if (!parseNumber(v))
-                return false;
-            out.push_back(v);
-            if (consume(']'))
-                return true;
-            if (!consume(','))
-                return fail("expected ',' or ']' in array");
-        }
-    }
-
-    /** Skip any value of the supported subset (unknown keys). */
-    bool
-    skipValue()
-    {
-        skipWs();
-        if (p >= end)
-            return fail("truncated value");
-        if (*p == '"') {
-            std::string tmp;
-            return parseString(tmp);
-        }
-        if (*p == '[') {
-            std::vector<double> tmp;
-            return parseDoubleArray(tmp);
-        }
-        double tmp;
-        return parseNumber(tmp);
-    }
-};
-
-} // namespace
+using json::appendDouble;
+using json::appendDoubleArray;
+using json::appendEscaped;
 
 std::string
 PartialEstimate::toJson() const
@@ -653,7 +472,7 @@ PartialEstimate::fromJson(const std::string &json, PartialEstimate &out,
         return false;
     };
     out = PartialEstimate{};
-    JsonCursor c{json.data(), json.data() + json.size(), {}};
+    qramsim::json::Cursor c(json);
     if (!c.consume('{'))
         return fail("not a JSON object");
     bool sawMagic = false;
@@ -820,6 +639,13 @@ PartialEstimate::fromJson(const std::string &json, PartialEstimate &out,
             return fail("stratum sums disagree with rows");
         return true;
     }
+    // Overflow-safe expected-row-count: shots() and numPoints come
+    // straight from the (possibly hostile) file, and their product
+    // must not wrap before the comparison.
+    if (out.numPoints != 0 &&
+        out.shots() >
+            std::numeric_limits<std::size_t>::max() / out.numPoints)
+        return fail("row count overflows");
     const std::size_t rows = out.shots() * out.numPoints;
     if (out.full.size() != rows || out.reduced.size() != rows)
         return fail("row count does not match shot range");

@@ -327,6 +327,75 @@ TEST(ThreadPool, TaskGroupRethrowsTheFirstStageException)
     EXPECT_EQ(ran.load(), 9);
 }
 
+TEST(ThreadPool, EveryWorkerThrowingAtOnceNeitherLeaksNorDeadlocks)
+{
+    // The worst case for the capture path: every task on every worker
+    // throws in the same wave, so the exception slot is contended from
+    // all sides. wait() must report exactly one failure per wave and
+    // leave the group and pool fully reusable.
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int wave = 0; wave < 20; ++wave) {
+        for (int i = 0; i < 32; ++i)
+            group.run([&ran, i] {
+                ++ran;
+                throw std::runtime_error("task " + std::to_string(i));
+            });
+        EXPECT_THROW(group.wait(), std::runtime_error);
+    }
+    EXPECT_EQ(ran.load(), 20 * 32);
+    // A clean wave after the storm: no stale captured error.
+    group.run([&ran] { ++ran; });
+    group.wait();
+    EXPECT_EQ(ran.load(), 20 * 32 + 1);
+}
+
+TEST(ThreadPool, ConcurrentGroupsOnOneTaskPoolIsolateTheirFailures)
+{
+    // Several TaskGroups — the shape of several pipeline stages in
+    // flight — share one pool, driven from independent caller threads.
+    // A failure in one group must surface only on that group's wait()
+    // and must not wedge or poison its siblings.
+    ThreadPool pool(3);
+    std::atomic<int> clean{0};
+    std::atomic<int> faults{0};
+    std::vector<std::thread> callers;
+    for (int g = 0; g < 6; ++g)
+        callers.emplace_back([&, g] {
+            const bool throwing = (g % 2 == 0);
+            TaskGroup group(pool);
+            for (int round = 0; round < 8; ++round) {
+                for (int i = 0; i < 16; ++i)
+                    group.run([&, i] {
+                        if (throwing && i == 7)
+                            throw std::runtime_error("stage fault");
+                        ++clean;
+                    });
+                try {
+                    group.wait();
+                    EXPECT_FALSE(throwing)
+                        << "a throwing group's wait() came back clean";
+                } catch (const std::runtime_error &) {
+                    ++faults;
+                    EXPECT_TRUE(throwing)
+                        << "a clean group caught a sibling's fault";
+                }
+            }
+        });
+    for (std::thread &t : callers)
+        t.join();
+    EXPECT_EQ(faults.load(), 3 * 8);
+    EXPECT_EQ(clean.load(), 6 * 8 * 16 - 3 * 8);
+    // The pool outlives the storm and still runs ordinary work.
+    TaskGroup after(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i)
+        after.run([&ran] { ++ran; });
+    after.wait();
+    EXPECT_EQ(ran.load(), 32);
+}
+
 TEST(Pipeline, PersistentPoolReusedAcrossEstimates)
 {
     Rng rng(11);

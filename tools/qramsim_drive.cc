@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Fault-tolerant sweep driver: run a whole sharded estimation job
+ * end-to-end under the supervision of sim/orchestrator.hh — the CLI
+ * face of checkpoint/resume, bounded retries with backoff, hard
+ * deadlines, and straggler re-dispatch.
+ *
+ *   qramsim_drive [orchestration flags] [workload flags]
+ *
+ * Workload flags are exactly `qramsim_shard run`'s (minus --shard and
+ * --out, which the driver owns) and are forwarded verbatim to the
+ * worker subprocesses; the driver parses them too (tools/workload.hh,
+ * the same parser the worker uses) to learn the plan geometry it is
+ * partitioning. Orchestration flags:
+ *
+ *   --job DIR         job directory: manifest, checkpoints, result,
+ *                     report, per-attempt logs (required)
+ *   --resume          trust valid checkpoints already in DIR and
+ *                     recompute only the missing shards
+ *   --shards N        partition the shot budget N ways (default 4)
+ *   --workers W       concurrent worker subprocesses (default 2)
+ *   --worker-bin P    the qramsim_shard binary (default: the
+ *                     QRAMSIM_SHARD environment variable)
+ *   --in-process      run shards on this process's estimator instead
+ *                     of subprocesses (no deadlines/speculation — a
+ *                     library call cannot be killed)
+ *   --max-attempts N  dispatch attempts per shard (default 3)
+ *   --backoff-base MS exponential-backoff base delay (default 200)
+ *   --deadline SEC    per-attempt hard deadline; overdue workers are
+ *                     SIGKILLed and retried (0 = off)
+ *   --straggler F     speculatively duplicate an attempt running
+ *                     longer than F x the median completed duration
+ *                     (0 = off)
+ *   --straggler-min N completed shards needed before the median is
+ *                     trusted (default 3)
+ *   --wait-duplicates keep the job alive until duplicate attempts
+ *                     finish, so each speculation ends in a
+ *                     byte-for-byte cross-check
+ *   --out FILE        also write the merged result JSON here
+ *                     ("-" = stdout)
+ *
+ * Exit codes (same contract as qramsim_shard, see ToolExit):
+ *   0  complete — every shard checkpointed and merged; result.json is
+ *      byte-identical to a fault-free single-process run
+ *   1  degraded — some shards failed permanently; their indices are
+ *      in report.json, completed checkpoints survive, and a later
+ *      --resume continues from them
+ *   2  usage
+ *   3  fatal setup error (job dir, resume mismatch, ...)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/atomicfile.hh"
+#include "sim/orchestrator.hh"
+#include "workload.hh"
+
+using namespace qramsim;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: qramsim_drive --job DIR [--resume] [--shards N] "
+        "[--workers W]\n"
+        "         [--worker-bin P | --in-process] [--max-attempts N] "
+        "[--backoff-base MS]\n"
+        "         [--deadline SEC] [--straggler F] "
+        "[--straggler-min N] [--wait-duplicates]\n"
+        "         [--out FILE] [workload flags of qramsim_shard "
+        "run]\n"
+        "see the file header of tools/qramsim_drive.cc\n");
+    return kToolExitUsage;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OrchestratorConfig cfg;
+    cfg.requestedShards = 4;
+    std::string outPath;
+    bool inProcess = false;
+    std::vector<char *> workloadArgv;
+
+    constexpr unsigned long kNoCap = ~0ul;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s wants a value\n",
+                             flag.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        auto uintVal = [&](unsigned long cap,
+                           unsigned long &dst) -> bool {
+            const char *v = value();
+            if (!v || !env::parseUnsigned(v, cap, dst)) {
+                std::fprintf(stderr,
+                             "malformed value for %s (want an "
+                             "unsigned integer)\n",
+                             flag.c_str());
+                return false;
+            }
+            return true;
+        };
+        auto doubleVal = [&](double &dst) -> bool {
+            const char *v = value();
+            if (!v || !env::parseDouble(v, dst) || dst < 0.0) {
+                std::fprintf(stderr,
+                             "malformed value for %s (want a "
+                             "nonnegative number)\n",
+                             flag.c_str());
+                return false;
+            }
+            return true;
+        };
+        unsigned long u = 0;
+        if (flag == "--job") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.jobDir = v;
+        } else if (flag == "--resume") {
+            cfg.resume = true;
+        } else if (flag == "--shards") {
+            if (!uintVal(1ul << 20, u) || u == 0)
+                return usage();
+            cfg.requestedShards = u;
+        } else if (flag == "--workers") {
+            if (!uintVal(1ul << 12, u) || u == 0)
+                return usage();
+            cfg.workers = static_cast<unsigned>(u);
+        } else if (flag == "--worker-bin") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.workerBin = v;
+        } else if (flag == "--in-process") {
+            inProcess = true;
+        } else if (flag == "--max-attempts") {
+            if (!uintVal(1000, u) || u == 0)
+                return usage();
+            cfg.retry.maxAttempts = static_cast<unsigned>(u);
+        } else if (flag == "--backoff-base") {
+            if (!doubleVal(cfg.retry.backoffBaseMs))
+                return usage();
+        } else if (flag == "--deadline") {
+            if (!doubleVal(cfg.retry.shardDeadlineSec))
+                return usage();
+        } else if (flag == "--straggler") {
+            if (!doubleVal(cfg.retry.stragglerFactor))
+                return usage();
+        } else if (flag == "--straggler-min") {
+            if (!uintVal(kNoCap, u))
+                return usage();
+            cfg.retry.stragglerMinDone = u;
+        } else if (flag == "--wait-duplicates") {
+            cfg.retry.waitForDuplicates = true;
+        } else if (flag == "--out") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            outPath = v;
+        } else if (flag == "--shard" || flag == "--out-worker") {
+            std::fprintf(stderr,
+                         "%s is owned by the driver and cannot be "
+                         "forwarded\n",
+                         flag.c_str());
+            return usage();
+        } else {
+            // Everything else is workload vocabulary, forwarded
+            // verbatim to the workers (and parsed below to learn the
+            // plan geometry).
+            workloadArgv.push_back(argv[i]);
+            continue;
+        }
+    }
+    if (cfg.jobDir.empty()) {
+        std::fprintf(stderr, "--job is required\n");
+        return usage();
+    }
+    if (!inProcess && cfg.workerBin.empty()) {
+        const char *envBin = std::getenv("QRAMSIM_SHARD");
+        if (envBin && *envBin)
+            cfg.workerBin = envBin;
+        else {
+            std::fprintf(stderr,
+                         "no worker binary: pass --worker-bin, set "
+                         "QRAMSIM_SHARD, or use --in-process\n");
+            return usage();
+        }
+    }
+    if (inProcess)
+        cfg.workerBin.clear();
+
+    // Parse the forwarded workload flags with the worker's own parser
+    // — a flag the worker would reject must fail here, before any
+    // subprocess is spawned (and --shard/--out were screened above).
+    tool::RunOptions opt;
+    if (!tool::parseRunFlags(static_cast<int>(workloadArgv.size()),
+                             workloadArgv.data(), opt))
+        return usage();
+    cfg.workloadArgs.assign(workloadArgv.begin(), workloadArgv.end());
+    cfg.plan = SweepPlan::partition(opt.shots, cfg.requestedShards,
+                                    opt.seed, opt.factors, opt.stream);
+
+    // In-process mode: one estimator serves every shard on this
+    // thread, with pins applied once per process.
+    QueryCircuit qc;
+    std::unique_ptr<FidelityEstimator> est;
+    std::unique_ptr<NoiseModel> noise;
+    if (inProcess) {
+        qc = opt.w.build();
+        est = std::make_unique<FidelityEstimator>(
+            qc.circuit, qc.addressQubits, qc.busQubit,
+            AddressSuperposition::uniform(opt.w.addressWidth()));
+        ShardSpec pinSpec = cfg.plan.shards.front();
+        if (!tool::finishSpec(opt, pinSpec))
+            return usage();
+        applyShardPins(*est, pinSpec);
+        if (opt.pipeline >= 0)
+            est->setPipeline(opt.pipeline != 0);
+        noise = opt.w.makeNoise();
+        cfg.inlineRunner = [&opt, &est,
+                            &noise](const ShardSpec &planned) {
+            ShardSpec spec = planned;
+            tool::finishSpec(opt, spec); // validated above
+            PartialEstimate part = est->runShard(*noise, spec);
+            part.workload = opt.w.fingerprint(opt.shots);
+            return part;
+        };
+    }
+
+    Orchestrator orch(std::move(cfg));
+    const DriveReport report = orch.run();
+
+    if (!report.error.empty()) {
+        std::fprintf(stderr, "qramsim_drive: %s\n",
+                     report.error.c_str());
+        return kToolExitIo;
+    }
+    std::fprintf(stderr,
+                 "qramsim_drive: %s — %zu launched, %zu retries, "
+                 "%zu timeouts, %zu speculative (%zu byte-matched, "
+                 "%zu mismatched), %zu resumed\n",
+                 report.complete ? "complete" : "DEGRADED",
+                 report.launched, report.retries, report.timeouts,
+                 report.speculativeLaunches, report.duplicateMatches,
+                 report.duplicateMismatches, report.resumedShards);
+    for (std::size_t shard : report.missing)
+        std::fprintf(stderr, "qramsim_drive: shard %zu missing: %s\n",
+                     shard,
+                     report.shards[shard].lastError.c_str());
+    if (report.complete && !outPath.empty()) {
+        if (outPath == "-") {
+            if (std::fwrite(report.resultJson.data(), 1,
+                            report.resultJson.size(), stdout) !=
+                    report.resultJson.size() ||
+                std::fflush(stdout) != 0)
+                return kToolExitIo;
+        } else {
+            std::string err;
+            if (!atomicWriteFile(outPath, report.resultJson, &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return kToolExitIo;
+            }
+        }
+    }
+    return report.complete ? 0 : 1;
+}

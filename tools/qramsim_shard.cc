@@ -3,16 +3,38 @@
  * Sharded-estimation CLI: execute one shard of a fidelity estimate or
  * eps_r sweep, or merge shard partials into the final result — the
  * process/host-level face of sim/sharding.hh, so sweeps can be farmed
- * out by any job runner (xargs, slurm, make -j, ssh loops, ...).
+ * out by any job runner (qramsim_drive, xargs, slurm, make -j, ssh
+ * loops, ...).
  *
  *   qramsim_shard run   [workload flags] --shard I/N [--out FILE]
  *   qramsim_shard merge [--out FILE] partial1.json partial2.json ...
  *
  * `run` evaluates shard I of the N-way partition of the workload's
- * shot budget and writes its PartialEstimate JSON. `merge` folds any
- * complete set of partials and writes the FidelityResult JSON, which
- * is byte-identical for every partition of the same workload (the CI
- * sharded smoke leg diffs a 2-way merge against the 1-way run).
+ * shot budget and writes its PartialEstimate JSON (atomically, via
+ * write-temp-then-rename — a killed worker never leaves a torn
+ * partial). `merge` folds any complete set of partials and writes the
+ * FidelityResult JSON, which is byte-identical for every partition of
+ * the same workload (the CI sharded smoke leg diffs a 2-way merge
+ * against the 1-way run).
+ *
+ * Exit codes follow the supervision contract of sim/orchestrator.hh
+ * (ToolExit) — qramsim_drive classifies retryability from them:
+ *
+ *   0  success
+ *   2  usage: unknown flag/arch/noise, malformed value, shard index
+ *      out of range (permanent — the command line itself is wrong)
+ *   3  I/O: an input could not be read or the output could not be
+ *      written (retryable)
+ *   4  runtime: inputs read fine but are invalid — unparsable
+ *      partial, merge mismatch (permanent)
+ *   5  injected fault (the QRAMSIM_FAULT `exit` kind's default;
+ *      retryable)
+ *
+ * Fault injection: QRAMSIM_FAULT (see common/fault.hh) deterministically
+ * makes `run` crash, stall, truncate its output, corrupt its JSON, or
+ * exit with a chosen code, keyed by global shot index — the testing
+ * backbone of the orchestrator's recovery paths. Honest runs never
+ * consult it.
  *
  * Workload flags (all have defaults; the fingerprint embedded in the
  * partials guards against merging mismatched runs):
@@ -57,128 +79,32 @@
  *
  * Numeric flag values are parsed strictly (common/env.hh): signs,
  * whitespace, trailing junk, or overflow print a diagnostic and exit
- * nonzero instead of being silently truncated.
+ * with the usage code instead of being silently truncated.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <limits>
-#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "common/env.hh"
-#include "qram/baselines.hh"
-#include "qram/bucket_brigade.hh"
-#include "qram/compact.hh"
-#include "qram/fanout.hh"
-#include "qram/select_swap.hh"
-#include "qram/virtual_qram.hh"
-#include "sim/fidelity.hh"
-#include "sim/noise.hh"
-#include "sim/sharding.hh"
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/atomicfile.hh"
+#include "common/fault.hh"
+#include "sim/orchestrator.hh"
+#include "workload.hh"
 
 using namespace qramsim;
 
 namespace {
 
-struct Workload
-{
-    std::string arch = "bb";
-    unsigned m = 3;
-    unsigned k = 0;
-    std::uint64_t memSeed = 7;
-    std::string noise = "gate-z";
-    double eps = 1e-3;
-    double eps2 = 1e-3;
-    unsigned rounds = 0;
-    bool weighted = true;
-
-    unsigned
-    addressWidth() const
-    {
-        return (arch == "bb" || arch == "fanout") ? m : m + k;
-    }
-
-    QueryCircuit
-    build() const
-    {
-        Rng rng(memSeed);
-        Memory mem = Memory::random(addressWidth(), rng);
-        if (arch == "bb")
-            return BucketBrigadeQram(m).build(mem);
-        if (arch == "fanout")
-            return FanoutQram(m).build(mem);
-        if (arch == "virtual")
-            return VirtualQram(m, k).build(mem);
-        if (arch == "sqc")
-            return SqcBucketBrigade(m, k).build(mem);
-        if (arch == "select-swap")
-            return SelectSwapQram(m, k).build(mem);
-        if (arch == "compact")
-            return CompactQram(m, k).build(mem);
-        std::fprintf(stderr, "unknown --arch '%s'\n", arch.c_str());
-        std::exit(2);
-    }
-
-    std::unique_ptr<NoiseModel>
-    makeNoise() const
-    {
-        auto pauli = [&](const char *kind) -> PauliRates {
-            if (std::strcmp(kind, "x") == 0)
-                return PauliRates::bitFlip(eps);
-            if (std::strcmp(kind, "y") == 0)
-                return PauliRates{0.0, eps, 0.0};
-            if (std::strcmp(kind, "z") == 0)
-                return PauliRates::phaseFlip(eps);
-            return PauliRates::depolarizing(eps); // depol
-        };
-        if (noise.rfind("qubit-", 0) == 0)
-            return std::make_unique<QubitChannelNoise>(
-                pauli(noise.c_str() + 6), rounds);
-        if (noise.rfind("gate-", 0) == 0)
-            return std::make_unique<GateNoise>(pauli(noise.c_str() + 5),
-                                               weighted);
-        if (noise == "device")
-            return std::make_unique<DeviceNoise>(eps, eps2);
-        std::fprintf(stderr, "unknown --noise '%s'\n", noise.c_str());
-        std::exit(2);
-    }
-
-    /** Canonical fingerprint: merge refuses mismatched partials. */
-    std::string
-    fingerprint(std::size_t shots) const
-    {
-        char buf[256];
-        std::snprintf(buf, sizeof buf,
-                      "arch=%s;m=%u;k=%u;mem-seed=%llu;noise=%s;"
-                      "eps=%.17g;eps2=%.17g;rounds=%u;weighted=%d;"
-                      "input=uniform;shots=%zu",
-                      arch.c_str(), m, k,
-                      static_cast<unsigned long long>(memSeed),
-                      noise.c_str(), eps, eps2, rounds,
-                      weighted ? 1 : 0, shots);
-        return buf;
-    }
-};
-
-bool
-readFile(const std::string &path, std::string &out)
-{
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    char buf[1 << 16];
-    std::size_t nr;
-    out.clear();
-    while ((nr = std::fread(buf, 1, sizeof buf, f)) > 0)
-        out.append(buf, nr);
-    const bool ok = !std::ferror(f);
-    std::fclose(f);
-    return ok;
-}
-
+/** Write @p content to @p path ("" or "-" = stdout). File targets go
+ *  through atomicWriteFile, so a crash mid-write leaves no torn
+ *  partial behind a success-looking file. */
 bool
 writeOutput(const std::string &path, const std::string &content)
 {
@@ -194,15 +120,12 @@ writeOutput(const std::string &path, const std::string &content)
             std::fprintf(stderr, "short write to stdout\n");
         return ok;
     }
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::string err;
+    if (!atomicWriteFile(path, content, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
         return false;
     }
-    const bool ok =
-        std::fwrite(content.data(), 1, content.size(), f) ==
-        content.size();
-    return std::fclose(f) == 0 && ok;
+    return true;
 }
 
 int
@@ -214,263 +137,96 @@ usage()
         "--seed S --shard I/N [--out FILE]\n"
         "       qramsim_shard merge [--out FILE] partial.json ...\n"
         "see the file header of tools/qramsim_shard.cc for the "
-        "workload flags\n");
-    return 2;
+        "workload flags and the exit-code contract\n");
+    return kToolExitUsage;
 }
 
 int
 cmdRun(int argc, char **argv)
 {
-    Workload w;
-    std::size_t shots = 1024;
-    std::uint64_t seed = 2023;
-    std::size_t shardIdx = 0, shardCount = 1;
-    std::vector<double> factors;
-    ShotStream stream = ShotStream::Counter;
-    unsigned threads = 1;
-    int pipeline = -1; // -1 = estimator default / QRAMSIM_PIPELINE
-    bool adaptive = false;
-    AdaptivePolicy pol;
-    std::string out, engine, tier;
+    tool::RunOptions opt;
+    if (!tool::parseRunFlags(argc, argv, opt))
+        return usage();
 
-    constexpr unsigned long kNoCap =
-        std::numeric_limits<unsigned long>::max();
-    for (int i = 0; i < argc; ++i) {
-        const std::string flag = argv[i];
-        // Strict value parsing (common/env.hh): a malformed number is
-        // a hard error, never a silently truncated zero.
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s wants a value\n",
-                             flag.c_str());
-                return nullptr;
-            }
-            return argv[++i];
-        };
-        auto uintVal = [&](unsigned long cap,
-                           unsigned long &dst) -> bool {
-            const char *v = value();
-            if (!v)
-                return false;
-            if (!env::parseUnsigned(v, cap, dst)) {
-                std::fprintf(stderr,
-                             "malformed value '%s' for %s (want an "
-                             "unsigned integer <= %lu)\n",
-                             v, flag.c_str(), cap);
-                return false;
-            }
-            return true;
-        };
-        auto doubleVal = [&](double &dst) -> bool {
-            const char *v = value();
-            if (!v)
-                return false;
-            if (!env::parseDouble(v, dst)) {
-                std::fprintf(stderr,
-                             "malformed value '%s' for %s (want a "
-                             "finite number)\n",
-                             v, flag.c_str());
-                return false;
-            }
-            return true;
-        };
-        unsigned long u = 0;
-        if (flag == "--arch") {
-            const char *v = value();
-            if (!v)
-                return usage();
-            w.arch = v;
-        } else if (flag == "--m") {
-            if (!uintVal(64, u))
-                return usage();
-            w.m = static_cast<unsigned>(u);
-        } else if (flag == "--k") {
-            if (!uintVal(64, u))
-                return usage();
-            w.k = static_cast<unsigned>(u);
-        } else if (flag == "--mem-seed") {
-            if (!uintVal(kNoCap, u))
-                return usage();
-            w.memSeed = u;
-        } else if (flag == "--noise") {
-            const char *v = value();
-            if (!v)
-                return usage();
-            w.noise = v;
-        } else if (flag == "--eps") {
-            if (!doubleVal(w.eps))
-                return usage();
-        } else if (flag == "--eps2") {
-            if (!doubleVal(w.eps2))
-                return usage();
-        } else if (flag == "--rounds") {
-            if (!uintVal(1ul << 30, u))
-                return usage();
-            w.rounds = static_cast<unsigned>(u);
-        } else if (flag == "--unweighted") {
-            w.weighted = false;
-        } else if (flag == "--shots") {
-            if (!uintVal(kNoCap, u))
-                return usage();
-            shots = u;
-        } else if (flag == "--seed") {
-            if (!uintVal(kNoCap, u))
-                return usage();
-            seed = u;
-        } else if (flag == "--factors") {
-            const char *v = value();
-            if (!v)
-                return usage();
-            factors.clear();
-            for (const char *p = v; *p;) {
-                char *end = nullptr;
-                const double f = std::strtod(p, &end);
-                if (end == p || (*end != '\0' && *end != ',')) {
-                    std::fprintf(stderr,
-                                 "malformed --factors '%s'\n", v);
-                    return usage();
-                }
-                factors.push_back(f);
-                p = *end == ',' ? end + 1 : end;
-            }
-        } else if (flag == "--shard") {
-            const char *v = value();
-            if (!v)
-                return usage();
-            const char *slash = std::strchr(v, '/');
-            unsigned long idx = 0, cnt = 0;
-            if (!slash ||
-                !env::parseUnsigned(
-                    std::string(v, slash).c_str(), kNoCap, idx) ||
-                !env::parseUnsigned(slash + 1, kNoCap, cnt)) {
-                std::fprintf(stderr, "--shard wants I/N, got '%s'\n",
-                             v);
-                return usage();
-            }
-            shardIdx = idx;
-            shardCount = cnt;
-        } else if (flag == "--stream") {
-            const char *v = value();
-            if (!v || !parseShotStream(v, stream)) {
-                std::fprintf(stderr, "unknown --stream '%s'\n",
-                             v ? v : "");
-                return usage();
-            }
-        } else if (flag == "--threads") {
-            if (!uintVal(1ul << 16, u))
-                return usage();
-            threads = static_cast<unsigned>(u);
-        } else if (flag == "--pipeline") {
-            const char *v = value();
-            if (v && std::strcmp(v, "on") == 0)
-                pipeline = 1;
-            else if (v && std::strcmp(v, "off") == 0)
-                pipeline = 0;
-            else {
-                std::fprintf(stderr,
-                             "--pipeline wants on|off, got '%s'\n",
-                             v ? v : "");
-                return usage();
-            }
-        } else if (flag == "--engine") {
-            const char *v = value();
-            if (!v)
-                return usage();
-            engine = v;
-        } else if (flag == "--tier") {
-            const char *v = value();
-            if (!v)
-                return usage();
-            tier = v;
-        } else if (flag == "--out") {
-            const char *v = value();
-            if (!v)
-                return usage();
-            out = v;
-        } else if (flag == "--adaptive") {
-            adaptive = true;
-        } else if (flag == "--target-ci") {
-            if (!doubleVal(pol.targetHalfWidth))
-                return usage();
-        } else if (flag == "--confidence") {
-            if (!doubleVal(pol.confidence))
-                return usage();
-            if (!(pol.confidence > 0.0 && pol.confidence < 1.0)) {
-                std::fprintf(stderr,
-                             "--confidence wants a value in (0, 1)\n");
-                return usage();
-            }
-        } else if (flag == "--min-shots") {
-            if (!uintVal(kNoCap, u))
-                return usage();
-            pol.minShots = u;
-        } else if (flag == "--max-shots") {
-            if (!uintVal(kNoCap, u))
-                return usage();
-            pol.maxShots = u;
-        } else if (flag == "--batch") {
-            if (!uintVal(1ul << 24, u))
-                return usage();
-            pol.batch = std::max<std::size_t>(1, u);
-        } else {
-            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
-            return usage();
-        }
-    }
-    if (shardCount == 0 || shardIdx >= shardCount) {
-        std::fprintf(stderr, "--shard index out of range\n");
-        return 2;
-    }
-    if (adaptive && stream == ShotStream::Sequential) {
-        std::fprintf(stderr,
-                     "--adaptive requires the counter stream "
-                     "(keep decisions would desynchronize a shared "
-                     "sequential draw sequence)\n");
-        return 2;
-    }
-
-    SweepPlan plan =
-        SweepPlan::partition(shots, shardCount, seed, factors, stream);
+    SweepPlan plan = SweepPlan::partition(opt.shots, opt.shardCount,
+                                          opt.seed, opt.factors,
+                                          opt.stream);
+    std::size_t shardIdx = opt.shardIdx;
     if (shardIdx >= plan.shards.size()) {
         // More shards requested than shots: this shard is empty.
         // Emit a valid zero-shot partial so the merge side never has
         // to special-case job runners with fixed worker counts.
         ShardSpec empty = plan.shards.front();
-        empty.shotBegin = empty.shotEnd = shots;
+        empty.shotBegin = empty.shotEnd = opt.shots;
         plan.shards.push_back(empty);
         shardIdx = plan.shards.size() - 1;
     }
     ShardSpec spec = plan.shards[shardIdx];
-    spec.threads = threads;
-    if (adaptive) {
-        spec.mode = EstimateMode::Adaptive;
-        spec.policy = pol;
-    }
-    if (engine == "ensemble")
-        spec.replay = ReplayPin::Ensemble;
-    else if (engine == "slots" || engine == "ensemble-slots")
-        spec.replay = ReplayPin::Slots;
-    else if (engine == "scalar")
-        spec.replay = ReplayPin::Scalar;
-    else if (!engine.empty()) {
-        std::fprintf(stderr, "unknown --engine '%s'\n",
-                     engine.c_str());
-        return 2;
-    }
-    spec.simdTier = tier;
+    if (!tool::finishSpec(opt, spec))
+        return kToolExitUsage;
 
-    QueryCircuit qc = w.build();
+    // Fault injection: the armed spec (if any) is the one whose
+    // global shot index falls in THIS shard's range, so any fault in
+    // QRAMSIM_FAULT deterministically selects one worker of the job.
+    const std::vector<fault::Spec> faults = fault::fromEnv();
+    const fault::Spec *injected =
+        fault::arm(faults, spec.shotBegin, spec.shotEnd);
+    if (injected) {
+        switch (injected->kind) {
+          case fault::Kind::Crash:
+            // Die the way a segfaulting or OOM-killed worker dies:
+            // no output, no exit code, just a signal death.
+            ::kill(::getpid(), SIGKILL);
+            break;
+          case fault::Kind::Exit:
+            return static_cast<int>(injected->param);
+          case fault::Kind::Stall:
+            // A pure straggler: sleep, then complete normally (if
+            // the orchestrator's deadline doesn't kill us first).
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                injected->param));
+            break;
+          default:
+            break; // truncate/corrupt fire at write time below
+        }
+    }
+
+    QueryCircuit qc = opt.w.build();
     FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
                           AddressSuperposition::uniform(
-                              w.addressWidth()));
+                              opt.w.addressWidth()));
     applyShardPins(est, spec);
-    if (pipeline >= 0)
-        est.setPipeline(pipeline != 0);
-    std::unique_ptr<NoiseModel> noise = w.makeNoise();
+    if (opt.pipeline >= 0)
+        est.setPipeline(opt.pipeline != 0);
+    std::unique_ptr<NoiseModel> noise = opt.w.makeNoise();
 
     PartialEstimate part = est.runShard(*noise, spec);
-    part.workload = w.fingerprint(shots);
-    return writeOutput(out, part.toJson()) ? 0 : 1;
+    part.workload = opt.w.fingerprint(opt.shots);
+    std::string payload = part.toJson();
+
+    if (injected && injected->kind == fault::Kind::Truncate) {
+        // A torn file behind a success exit code: write a prefix
+        // NON-atomically — exactly the corruption atomicWriteFile
+        // exists to prevent, so downstream validation must catch it.
+        const std::size_t keep =
+            injected->param >= 0.0
+                ? std::min(payload.size(),
+                           static_cast<std::size_t>(injected->param))
+                : payload.size() / 2;
+        std::FILE *f = opt.out.empty() || opt.out == "-"
+                           ? stdout
+                           : std::fopen(opt.out.c_str(), "wb");
+        if (f) {
+            std::fwrite(payload.data(), 1, keep, f);
+            if (f != stdout)
+                std::fclose(f);
+        }
+        return kToolExitOk; // the lie is the point
+    }
+    if (injected && injected->kind == fault::Kind::Corrupt)
+        fault::corruptJson(payload);
+
+    return writeOutput(opt.out, payload) ? kToolExitOk : kToolExitIo;
 }
 
 int
@@ -499,15 +255,15 @@ cmdMerge(int argc, char **argv)
     parts.reserve(files.size());
     for (const std::string &path : files) {
         std::string json, err;
-        if (!readFile(path, json)) {
+        if (!tool::readFile(path, json)) {
             std::fprintf(stderr, "cannot read %s\n", path.c_str());
-            return 1;
+            return kToolExitIo;
         }
         PartialEstimate p;
         if (!PartialEstimate::fromJson(json, p, &err)) {
             std::fprintf(stderr, "%s: %s\n", path.c_str(),
                          err.c_str());
-            return 1;
+            return kToolExitRuntime;
         }
         parts.push_back(std::move(p));
     }
@@ -515,9 +271,10 @@ cmdMerge(int argc, char **argv)
     std::string err;
     if (!mergePartials(std::move(parts), merged, &err)) {
         std::fprintf(stderr, "merge failed: %s\n", err.c_str());
-        return 1;
+        return kToolExitRuntime;
     }
-    return writeOutput(out, merged.resultJson()) ? 0 : 1;
+    return writeOutput(out, merged.resultJson()) ? kToolExitOk
+                                                 : kToolExitIo;
 }
 
 } // namespace
