@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Resident-server dispatch benchmark: what does keeping compiled
+ * circuits, estimator caches, and finished results RESIDENT buy over
+ * fork/exec-per-shard?
+ *
+ *   bench_server --json BENCH_simulator.json [--m M] [--shots N]
+ *                [--shards K] [--workers W] [--repeats R]
+ *
+ * Measures, on the paper's m=8 gate-depolarizing sweep workload
+ * (factors 0.5/1/2):
+ *
+ *  - cold_dispatch_sec:  first request ever — connect + full circuit/
+ *    estimator build + shard compute + response
+ *  - cold_setup_sec:     the build share of that, as the server
+ *    reports it
+ *  - warm_setup_sec:     setup reported by the next shard of the same
+ *    sweep (compiled-cache hit — MUST be 0)
+ *  - warm_dispatch_sec:  fastest round trip of a result-cache hit
+ *    (pure transport + cache lookup, zero compute)
+ *  - e2e_server_sec / e2e_forkexec_sec: the same sharded job driven
+ *    by the Orchestrator over the socket vs fork/exec, with the
+ *    merged result.json byte-compared (recorded as byte_identical)
+ *
+ * Appends one dated "server" record to the perf-trajectory file
+ * (bench_util.hh appendJsonRecord) so the speedup is tracked across
+ * commits.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/orchestrator.hh"
+#include "sim/server.hh"
+
+using namespace qramsim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string
+readFileStr(const std::string &path)
+{
+    std::string out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[1 << 14];
+    std::size_t nr;
+    while ((nr = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, nr);
+    std::fclose(f);
+    return out;
+}
+
+/** One framed request/response round trip; returns the wall time and
+ *  fills @p resp. Exits on any transport or server error — a bench
+ *  against a broken server would record garbage. */
+double
+roundTrip(const std::string &sock,
+          const std::vector<std::string> &args,
+          srv::ShardResponse &resp)
+{
+    const Clock::time_point t0 = Clock::now();
+    std::string err;
+    const int fd = srv::connectUnix(sock, &err);
+    if (fd < 0) {
+        std::fprintf(stderr, "bench_server: %s\n", err.c_str());
+        std::exit(1);
+    }
+    std::string frame;
+    if (!srv::sendFrame(fd, srv::buildShardRequest(args), &err) ||
+        !srv::recvFrame(fd, frame, srv::kDefaultMaxFrameBytes,
+                        &err) ||
+        !srv::parseShardResponse(frame, resp, &err)) {
+        std::fprintf(stderr, "bench_server: transport: %s\n",
+                     err.c_str());
+        std::exit(1);
+    }
+    ::close(fd);
+    const double sec = secondsSince(t0);
+    if (resp.status != 0) {
+        std::fprintf(stderr, "bench_server: server status %d: %s\n",
+                     resp.status, resp.error.c_str());
+        std::exit(1);
+    }
+    return sec;
+}
+
+/** Drive the full sharded job through the Orchestrator; returns the
+ *  wall time and fills @p resultJson with the merged result bytes. */
+double
+driveJob(const std::string &jobDir,
+         const std::vector<std::string> &workloadArgs,
+         std::size_t shots, unsigned shards, unsigned workers,
+         const std::string &serverPath, std::string &resultJson)
+{
+    std::system(("rm -rf " + jobDir).c_str());
+    OrchestratorConfig cfg;
+    cfg.jobDir = jobDir;
+    cfg.workerBin = QRAMSIM_SHARD_BIN;
+    cfg.serverPath = serverPath;
+    cfg.requestedShards = shards;
+    cfg.workers = workers;
+    cfg.workloadArgs = workloadArgs;
+    cfg.plan = SweepPlan::partition(shots, shards, 2023,
+                                    {0.5, 1.0, 2.0});
+    const Clock::time_point t0 = Clock::now();
+    Orchestrator orch(std::move(cfg));
+    const DriveReport report = orch.run();
+    const double sec = secondsSince(t0);
+    if (!report.complete) {
+        std::fprintf(stderr, "bench_server: job in %s DEGRADED: %s\n",
+                     jobDir.c_str(), report.error.c_str());
+        std::exit(1);
+    }
+    resultJson = report.resultJson;
+    return sec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    unsigned m = 8;
+    std::size_t shots = 96;
+    unsigned shards = 6;
+    unsigned workers = 2;
+    unsigned repeats = 5;
+    for (int i = 1; i < argc; ++i) {
+        auto want = [&](const char *flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (want("--json"))
+            jsonPath = argv[++i];
+        else if (want("--m"))
+            m = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (want("--shots"))
+            shots = std::strtoul(argv[++i], nullptr, 10);
+        else if (want("--shards"))
+            shards = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (want("--workers"))
+            workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (want("--repeats"))
+            repeats = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_server [--json FILE] [--m M] "
+                         "[--shots N] [--shards K] [--workers W] "
+                         "[--repeats R]\n");
+            return 2;
+        }
+    }
+    if (repeats == 0)
+        repeats = 1;
+    if (shards < 2)
+        shards = 2; // need a 2nd shard for the compiled-hit probe
+
+    const std::string stem =
+        "/tmp/qramsim_bench_server_" +
+        std::to_string(static_cast<unsigned>(getpid()));
+    const std::string sock = stem + ".sock";
+
+    srv::ServerConfig scfg;
+    scfg.socketPath = sock;
+    scfg.threads = workers;
+    srv::Server server(scfg);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "bench_server: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::vector<std::string> workloadArgs = {
+        "--arch",    "bb",      "--m",     std::to_string(m),
+        "--noise",   "gate-depol", "--eps", "2e-3",
+        "--shots",   std::to_string(shots), "--seed", "2023",
+        "--factors", "0.5,1,2"};
+    auto shardArgs = [&](unsigned idx) {
+        std::vector<std::string> a = workloadArgs;
+        a.push_back("--shard");
+        a.push_back(std::to_string(idx) + "/" +
+                    std::to_string(shards));
+        return a;
+    };
+
+    // Cold: the very first request pays the full build.
+    srv::ShardResponse resp;
+    const double coldDispatch = roundTrip(sock, shardArgs(0), resp);
+    const double coldSetup = resp.setupSeconds;
+    const bool coldWasCold = resp.cache == "cold";
+
+    // Compiled hit: next shard of the same sweep — zero setup.
+    const double compiledDispatch =
+        roundTrip(sock, shardArgs(1), resp);
+    const double warmSetup = resp.setupSeconds;
+    const bool compiledHit = resp.cache == "compiled";
+
+    // Result hit: re-request shard 0; fastest of R laps is the pure
+    // dispatch overhead (transport + cache lookup, zero compute).
+    double warmDispatch = 1e30;
+    bool resultHit = true;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const double lap = roundTrip(sock, shardArgs(0), resp);
+        if (lap < warmDispatch)
+            warmDispatch = lap;
+        resultHit = resultHit && resp.cache == "result";
+    }
+
+    // End to end: the Orchestrator drives the same job over the
+    // socket, then via fork/exec; results must be byte-identical.
+    std::string viaServer, viaFork;
+    const double e2eServer =
+        driveJob(stem + ".jobS", workloadArgs, shots, shards,
+                 workers, sock, viaServer);
+    const double e2eFork =
+        driveJob(stem + ".jobF", workloadArgs, shots, shards,
+                 workers, /*serverPath=*/"", viaFork);
+    const bool byteIdentical =
+        !viaServer.empty() && viaServer == viaFork;
+
+    server.stop();
+    std::system(("rm -rf " + stem + ".jobS " + stem + ".jobF").c_str());
+
+    std::printf("bench_server: m=%u shots=%zu shards=%u\n"
+                "  cold dispatch  %.6f s (setup %.6f s, cache=%s)\n"
+                "  compiled hit   %.6f s (setup %.6f s, cache=%s)\n"
+                "  result hit     %.6f s (fastest of %u)\n"
+                "  e2e server     %.6f s\n"
+                "  e2e fork/exec  %.6f s (x%.2f)\n"
+                "  byte-identical %s\n",
+                m, shots, shards, coldDispatch, coldSetup,
+                coldWasCold ? "cold" : "??", compiledDispatch,
+                warmSetup, compiledHit ? "compiled" : "??",
+                warmDispatch, repeats, e2eServer, e2eFork,
+                e2eServer > 0.0 ? e2eFork / e2eServer : 0.0,
+                byteIdentical ? "yes" : "NO");
+
+    if (!coldWasCold || !compiledHit || !resultHit ||
+        warmSetup != 0.0 || !byteIdentical) {
+        std::fprintf(stderr, "bench_server: cache ladder violated — "
+                             "not recording\n");
+        return 1;
+    }
+
+    if (!jsonPath.empty()) {
+        char rec[1024];
+        std::snprintf(
+            rec, sizeof rec,
+            "{\n"
+            " \"bench\": \"server\",\n"
+            " \"date\": \"%s\",\n"
+            " \"git\": \"%s\",\n"
+            " \"workload\": \"bucket_brigade_gate_depol_sweep\",\n"
+            " \"m\": %u,\n"
+            " \"shots\": %zu,\n"
+            " \"shards\": %u,\n"
+            " \"workers\": %u,\n"
+            " \"cold_dispatch_sec\": %.6g,\n"
+            " \"cold_setup_sec\": %.6g,\n"
+            " \"warm_dispatch_sec\": %.6g,\n"
+            " \"warm_setup_sec\": %.6g,\n"
+            " \"compiled_dispatch_sec\": %.6g,\n"
+            " \"e2e_server_sec\": %.6g,\n"
+            " \"e2e_forkexec_sec\": %.6g,\n"
+            " \"e2e_speedup\": %.4g,\n"
+            " \"byte_identical\": %s,\n"
+            " \"repeats\": %u,\n"
+            " \"host_hw_threads\": %u\n"
+            "}",
+            bench::isoDateUtc().c_str(),
+            bench::gitRevision().c_str(), m, shots, shards, workers,
+            coldDispatch, coldSetup, warmDispatch, warmSetup,
+            compiledDispatch, e2eServer, e2eFork,
+            e2eServer > 0.0 ? e2eFork / e2eServer : 0.0,
+            byteIdentical ? "true" : "false", repeats,
+            hardwareThreads());
+        if (!bench::appendJsonRecord(jsonPath, rec)) {
+            std::fprintf(stderr,
+                         "bench_server: cannot append to %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("appended \"server\" record to %s\n",
+                    jsonPath.c_str());
+    }
+    return 0;
+}

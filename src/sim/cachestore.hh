@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The resident server's two cache layers, kept independent of the
+ * socket code so they are unit-testable with dummy payloads:
+ *
+ *  - CompiledCache: an LRU of expensive-to-build process-local
+ *    objects (compiled circuits + estimators with their ideal and
+ *    checkpoint caches) keyed by a canonical string. Concurrent
+ *    requests for the same missing key coalesce: exactly one caller
+ *    runs the builder while the rest block until the entry is ready,
+ *    so a burst of identical shards pays ONE setup.
+ *
+ *  - ResultCache: a content-addressed store of finished result blobs
+ *    (PartialEstimate JSON) with the same in-flight coalescing plus
+ *    an atomic on-disk spill (common/atomicfile.hh) that survives
+ *    process restarts. Spilled blobs carry their full key and are
+ *    re-validated on load, so a hash collision or corrupt file can
+ *    never serve wrong bytes — it is simply recomputed.
+ *
+ * Both caches bound MEMORY by entry count (LRU). The spill directory
+ * is unbounded by design: blobs are small relative to compute cost,
+ * and a cron-style sweep is a deployment concern, not a correctness
+ * one.
+ */
+
+#ifndef QRAMSIM_SIM_CACHESTORE_HH
+#define QRAMSIM_SIM_CACHESTORE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace qramsim {
+
+/** FNV-1a 64-bit content hash — names spill files; never trusted for
+ *  equality (the full key is stored alongside and compared exactly). */
+std::uint64_t fnv1a64(const std::string &s);
+
+/**
+ * LRU cache of type-erased resident objects with coalesced builds.
+ * Thread-safe. Payloads are shared_ptr-held, so eviction while a
+ * request is still using an entry is safe.
+ */
+class CompiledCache
+{
+  public:
+    /** @p capacity: max READY entries kept (>=1). */
+    explicit CompiledCache(std::size_t capacity);
+
+    struct Result
+    {
+        std::shared_ptr<void> payload;
+        /** Seconds the builder ran for THIS call: 0.0 on a hit or a
+         *  coalesced wait — the caller did not pay the build. */
+        double buildSeconds = 0.0;
+        /** True iff this caller ran the builder. */
+        bool built = false;
+    };
+
+    /**
+     * Look up @p key; on a miss run @p build (exactly once per key
+     * even under concurrent misses — the others wait). The builder
+     * returns nullptr with a reason in *err to signal failure, which
+     * is propagated to every coalesced waiter and NOT cached: the
+     * next acquire retries. False on failure with the reason in
+     * @p err.
+     */
+    bool acquire(const std::string &key,
+                 const std::function<std::shared_ptr<void>(
+                     std::string *err)> &build,
+                 Result &out, std::string *err = nullptr);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t coalesced = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t failures = 0;
+    };
+    Stats stats() const;
+    std::size_t size() const;
+
+  private:
+    struct Slot;
+
+    void touchLocked(const std::string &key);
+    void evictLocked();
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+    std::list<std::string> lru_; // front = most recent, READY only
+    Stats stats_;
+};
+
+/**
+ * Content-addressed result store: memory LRU + optional disk spill,
+ * with in-flight coalescing via an explicit claim protocol:
+ *
+ *   acquire() -> Hit | SpillHit  caller has the payload, done;
+ *             -> Coalesced       another request computed it while
+ *                                this one waited; payload is filled;
+ *             -> MustCompute     this caller OWNS the key: it must
+ *                                call publish() or abandon().
+ *
+ * abandon() hands the claim to one waiting request (which then gets
+ * MustCompute itself), so a failed computation never strands the
+ * queue.
+ */
+class ResultCache
+{
+  public:
+    /** Optional payload validator applied to spilled blobs before
+     *  they are served (e.g. PartialEstimate::fromJson round-trip).
+     *  Null accepts any non-empty payload. */
+    using Validator = std::function<bool(const std::string &payload)>;
+
+    /**
+     * @p capacity: max in-memory entries (>=1).
+     * @p spillDir: directory for on-disk spill blobs; "" disables
+     *  spill. Created (mkdir -p) on first publish.
+     */
+    ResultCache(std::size_t capacity, std::string spillDir,
+                Validator validate = nullptr);
+
+    enum class Outcome
+    {
+        Hit,         ///< served from memory
+        SpillHit,    ///< served from a validated disk blob
+        Coalesced,   ///< served by waiting on an in-flight compute
+        MustCompute, ///< caller owns the key: publish() or abandon()
+    };
+
+    Outcome acquire(const std::string &key, std::string &payload);
+
+    /** Store @p payload for @p key, release the claim, wake waiters,
+     *  and spill to disk (atomic rename; failures are counted, not
+     *  fatal — the memory entry still serves). */
+    void publish(const std::string &key, const std::string &payload);
+
+    /** Release the claim on @p key without a result; one waiter (if
+     *  any) takes over the computation. */
+    void abandon(const std::string &key);
+
+    /** Spill file path for @p key ("" when spill is disabled). */
+    std::string spillPath(const std::string &key) const;
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t spillHits = 0;
+        std::uint64_t coalesced = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t publishes = 0;
+        std::uint64_t corruptSpills = 0;
+        std::uint64_t spillWriteFailures = 0;
+    };
+    Stats stats() const;
+    std::size_t size() const;
+
+  private:
+    bool loadSpill(const std::string &key, std::string &payload);
+    void touchLocked(const std::string &key);
+    void insertLocked(const std::string &key,
+                      const std::string &payload);
+
+    const std::size_t capacity_;
+    const std::string spillDir_;
+    const Validator validate_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<std::string, std::string> entries_;
+    std::unordered_map<std::string, bool> inflight_;
+    std::list<std::string> lru_;
+    Stats stats_;
+};
+
+} // namespace qramsim
+
+#endif // QRAMSIM_SIM_CACHESTORE_HH

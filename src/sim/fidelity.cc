@@ -863,7 +863,13 @@ PartialEstimate
 FidelityEstimator::runShard(const NoiseModel &noise,
                             const ShardSpec &spec) const
 {
-    return runShardImpl(noise, spec, /*keepRows=*/true);
+    const auto t0 = std::chrono::steady_clock::now();
+    PartialEstimate part = runShardImpl(noise, spec, /*keepRows=*/true);
+    part.computeSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return part;
 }
 
 /**

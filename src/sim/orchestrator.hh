@@ -115,6 +115,11 @@ struct ExitClass
 /** Map a waitpid() status to the retry classification above. */
 ExitClass classifyWaitStatus(int status);
 
+/** Map a bare ToolExit code (a worker's exit code, or the `status`
+ *  field of a server shard response — the wire format reuses the
+ *  contract) to the same classification. */
+ExitClass classifyExitCode(int code);
+
 /** Retry, deadline, and straggler policy of one orchestrated job. */
 struct RetryPolicy
 {
@@ -194,6 +199,13 @@ struct ShardOutcome
     bool done = false;
     bool resumed = false; ///< satisfied by a pre-existing checkpoint
     double seconds = 0.0; ///< duration of the winning attempt
+
+    /** Setup (schedule/compile/checkpoint build) vs evaluation split
+     *  of the winning attempt. Socket dispatches report what THIS
+     *  dispatch paid (a warm server hit shows ~0 for both); other
+     *  transports read the committed checkpoint's own split. */
+    double setupSeconds = 0.0;
+    double computeSeconds = 0.0;
     std::string lastError;
 };
 
@@ -211,6 +223,10 @@ struct DriveReport
     std::size_t duplicateMismatches = 0; ///< integrity failures
     std::size_t resumedShards = 0;
     std::size_t timeouts = 0; ///< attempts killed at the deadline
+
+    /** Socket-transport accounting (serverPath mode). */
+    std::size_t serverAttempts = 0; ///< dispatches sent to the server
+    std::size_t serverTransportFailures = 0; ///< fell back to fork/exec
 
     /** Merged FidelityResult JSON (empty unless complete). */
     std::string resultJson;
@@ -249,6 +265,20 @@ struct OrchestratorConfig
     unsigned workers = 2;
 
     RetryPolicy retry;
+
+    /**
+     * Unix-socket path of a resident qramsim_server (sim/server.hh).
+     * When set (subprocess mode only), shard attempts are dispatched
+     * over the socket instead of fork/exec: the whole supervision
+     * contract still applies — response status codes classify exactly
+     * like exit codes, deadlines shut the connection down, straggler
+     * duplicates cross-check byte-for-byte. The FIRST transport
+     * failure (dead socket, torn frame) marks the server down for the
+     * rest of the run and every later launch falls back to fork/exec;
+     * the interrupted attempt itself is relaunched without burning a
+     * retry.
+     */
+    std::string serverPath;
 
     /** Trust valid checkpoints already in the job directory. */
     bool resume = false;

@@ -247,6 +247,8 @@ PartialEstimate::merge(const PartialEstimate &other)
         shotBegin = other.shotBegin;
     }
     drawsUsed += other.drawsUsed;
+    setupSeconds += other.setupSeconds;
+    computeSeconds += other.computeSeconds;
     recomputeSums();
 }
 
@@ -367,6 +369,8 @@ mergePartials(std::vector<PartialEstimate> parts, PartialEstimate &out,
                                   parts[i].rowStratum.end());
             out.drawsUsed += parts[i].drawsUsed;
         }
+        out.setupSeconds += parts[i].setupSeconds;
+        out.computeSeconds += parts[i].computeSeconds;
         out.shotEnd = parts[i].shotEnd;
     }
     if (out.shotEnd != out.totalShots)
@@ -405,6 +409,10 @@ PartialEstimate::toJson() const
     s += buf;
     s += "  \"factors\": ";
     appendDoubleArray(s, factors);
+    s += ",\n  \"setup_seconds\": ";
+    appendDouble(s, setupSeconds);
+    s += ",\n  \"compute_seconds\": ";
+    appendDouble(s, computeSeconds);
     if (adaptive) {
         std::snprintf(buf, sizeof buf,
                       ",\n  \"adaptive\": 1,\n  \"draws_used\": %zu,\n"
@@ -510,6 +518,10 @@ PartialEstimate::fromJson(const std::string &json, PartialEstimate &out,
                 out.numPoints = u;
             } else if (key == "factors") {
                 ok = c.parseDoubleArray(out.factors);
+            } else if (key == "setup_seconds") {
+                ok = c.parseNumber(out.setupSeconds);
+            } else if (key == "compute_seconds") {
+                ok = c.parseNumber(out.computeSeconds);
             } else if (key == "sum_full") {
                 ok = c.parseDoubleArray(out.sumF);
             } else if (key == "sum_full_sq") {
@@ -582,6 +594,8 @@ PartialEstimate::fromJson(const std::string &json, PartialEstimate &out,
         return fail("inconsistent shot range");
     if (out.numPoints == 0)
         return fail("num_points must be positive");
+    if (out.setupSeconds < 0.0 || out.computeSeconds < 0.0)
+        return fail("negative timing");
     if (!out.factors.empty() && out.factors.size() != out.numPoints)
         return fail("factors/num_points mismatch");
     if (out.adaptive) {

@@ -266,6 +266,21 @@ struct PartialEstimate
     /** Sweep points per shot (1 for a plain estimate). */
     std::size_t numPoints = 1;
 
+    /**
+     * Wall-clock split of producing this partial. setupSeconds is the
+     * schedule/compile/checkpoint-build cost the producer paid for
+     * THIS run — a fresh `qramsim_shard run` pays it in full, a
+     * resident qramsim_server pays ~0 on a compiled-cache hit.
+     * computeSeconds is the runShard evaluation wall time (stamped by
+     * runShard itself). Reporting only: merge sums them and they never
+     * participate in canMerge, the sum cross-checks, or resultJson —
+     * two byte-identical results can legitimately carry different
+     * timings, which is why the orchestrator's speculative duplicate
+     * cross-check compares partials with these two keys zeroed.
+     */
+    double setupSeconds = 0.0;
+    double computeSeconds = 0.0;
+
     /** Per-shot rows: value of (global shot s, point j) lives at
      *  [(s - shotBegin) * numPoints + j]. Under `adaptive` the layout
      *  changes: full/reduced hold one value per KEPT row, parallel to

@@ -24,6 +24,15 @@
  *   --in-process      run shards on this process's estimator instead
  *                     of subprocesses (no deadlines/speculation — a
  *                     library call cannot be killed)
+ *   --server PATH     dispatch shards to a resident qramsim_server
+ *                     listening on the Unix socket PATH instead of
+ *                     forking workers; the full retry/deadline/
+ *                     straggler contract still applies, and any
+ *                     transport failure degrades the rest of the run
+ *                     to fork/exec (so --worker-bin/QRAMSIM_SHARD is
+ *                     still required). Ignored with a warning when
+ *                     the workload pins --tier (a server rejects
+ *                     process-global pins).
  *   --max-attempts N  dispatch attempts per shard (default 3)
  *   --backoff-base MS exponential-backoff base delay (default 200)
  *   --deadline SEC    per-attempt hard deadline; overdue workers are
@@ -52,10 +61,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/atomicfile.hh"
+#include "common/threadpool.hh"
 #include "sim/orchestrator.hh"
 #include "workload.hh"
 
@@ -70,8 +81,8 @@ usage()
         stderr,
         "usage: qramsim_drive --job DIR [--resume] [--shards N] "
         "[--workers W]\n"
-        "         [--worker-bin P | --in-process] [--max-attempts N] "
-        "[--backoff-base MS]\n"
+        "         [--worker-bin P | --in-process] [--server PATH] "
+        "[--max-attempts N] [--backoff-base MS]\n"
         "         [--deadline SEC] [--straggler F] "
         "[--straggler-min N] [--wait-duplicates]\n"
         "         [--out FILE] [workload flags of qramsim_shard "
@@ -148,6 +159,11 @@ main(int argc, char **argv)
             cfg.workerBin = v;
         } else if (flag == "--in-process") {
             inProcess = true;
+        } else if (flag == "--server") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.serverPath = v;
         } else if (flag == "--max-attempts") {
             if (!uintVal(1000, u) || u == 0)
                 return usage();
@@ -215,11 +231,32 @@ main(int argc, char **argv)
     cfg.plan = SweepPlan::partition(opt.shots, cfg.requestedShards,
                                     opt.seed, opt.factors, opt.stream);
 
+    if (!cfg.serverPath.empty() && inProcess) {
+        std::fprintf(stderr,
+                     "warning: --server is a subprocess-mode "
+                     "transport; ignored with --in-process\n");
+        cfg.serverPath.clear();
+    }
+    if (!cfg.serverPath.empty() && !opt.tier.empty()) {
+        // The server rejects --tier (a process-global SIMD pin a
+        // shared process must not toggle); forcing it through would
+        // just burn one transport round-trip per shard before the
+        // inevitable fallback. Results are tier-invariant, but the
+        // user asked for the pin, so honor it via fork/exec.
+        std::fprintf(stderr,
+                     "warning: --tier pins are per-process; "
+                     "ignoring --server and using fork/exec\n");
+        cfg.serverPath.clear();
+    }
+
     // In-process mode: one estimator serves every shard on this
-    // thread, with pins applied once per process.
+    // thread, and — so concurrent shards don't each spin up their
+    // own workers — ONE ThreadPool is shared across all shards via
+    // ShardSpec::pool.
     QueryCircuit qc;
     std::unique_ptr<FidelityEstimator> est;
     std::unique_ptr<NoiseModel> noise;
+    std::unique_ptr<ThreadPool> pool;
     if (inProcess) {
         qc = opt.w.build();
         est = std::make_unique<FidelityEstimator>(
@@ -232,10 +269,13 @@ main(int argc, char **argv)
         if (opt.pipeline >= 0)
             est->setPipeline(opt.pipeline != 0);
         noise = opt.w.makeNoise();
-        cfg.inlineRunner = [&opt, &est,
-                            &noise](const ShardSpec &planned) {
+        pool = std::make_unique<ThreadPool>(
+            resolveThreads(opt.threads));
+        cfg.inlineRunner = [&opt, &est, &noise,
+                            &pool](const ShardSpec &planned) {
             ShardSpec spec = planned;
             tool::finishSpec(opt, spec); // validated above
+            spec.pool = pool.get();
             PartialEstimate part = est->runShard(*noise, spec);
             part.workload = opt.w.fingerprint(opt.shots);
             return part;

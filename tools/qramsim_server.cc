@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The resident estimation server CLI.
+ *
+ *     qramsim_server --socket PATH [--threads N]
+ *                    [--compiled-cache N] [--result-cache N]
+ *                    [--spill DIR] [--max-width N] [--max-shots N]
+ *                    [--max-frame BYTES]
+ *
+ * Listens on a Unix-domain socket for framed `qramsim_shard run`
+ * requests (protocol: src/sim/server.hh) and executes them over
+ * resident compiled-circuit and result caches, so repeated shards of
+ * the same sweep pay zero setup and identical queries pay zero
+ * compute. Run it next to `qramsim_drive --server PATH`.
+ *
+ * Prints "listening on PATH" once ready (clients can also just
+ * retry connect), then serves until SIGINT/SIGTERM, exiting 0 after
+ * a clean drain. Exit 2 on bad flags, 1 when the socket cannot be
+ * bound.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "common/env.hh"
+#include "sim/server.hh"
+
+using namespace qramsim;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: qramsim_server --socket PATH [--threads N]\n"
+        "                      [--compiled-cache N] [--result-cache "
+        "N]\n"
+        "                      [--spill DIR] [--max-width N]\n"
+        "                      [--max-shots N] [--max-frame BYTES]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    srv::ServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s wants a value\n",
+                             flag.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        auto uintVal = [&](unsigned long cap,
+                           unsigned long &dst) -> bool {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!env::parseUnsigned(v, cap, dst)) {
+                std::fprintf(stderr,
+                             "malformed value '%s' for %s\n", v,
+                             flag.c_str());
+                return false;
+            }
+            return true;
+        };
+        unsigned long u = 0;
+        if (flag == "--socket") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.socketPath = v;
+        } else if (flag == "--threads") {
+            if (!uintVal(1ul << 16, u))
+                return usage();
+            cfg.threads = static_cast<unsigned>(u);
+        } else if (flag == "--compiled-cache") {
+            if (!uintVal(1ul << 16, u))
+                return usage();
+            cfg.compiledCapacity = u;
+        } else if (flag == "--result-cache") {
+            if (!uintVal(1ul << 24, u))
+                return usage();
+            cfg.resultCapacity = u;
+        } else if (flag == "--spill") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.spillDir = v;
+        } else if (flag == "--max-width") {
+            if (!uintVal(64, u))
+                return usage();
+            cfg.maxAddressWidth = static_cast<unsigned>(u);
+        } else if (flag == "--max-shots") {
+            if (!uintVal(1ul << 30, u))
+                return usage();
+            cfg.maxShots = u;
+        } else if (flag == "--max-frame") {
+            if (!uintVal(1ul << 31, u))
+                return usage();
+            cfg.maxFrameBytes = static_cast<std::uint32_t>(u);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (cfg.socketPath.empty()) {
+        std::fprintf(stderr, "--socket is required\n");
+        return usage();
+    }
+
+    // Mask SIGINT/SIGTERM BEFORE any thread exists so every thread
+    // inherits the mask and sigwait below owns delivery — otherwise
+    // a signal landing on a worker thread takes the default
+    // (process-killing) action instead of the clean drain.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    srv::Server server(cfg);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "cannot start server: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    std::printf("listening on %s\n", cfg.socketPath.c_str());
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&set, &sig);
+
+    server.stop();
+    const srv::Server::Stats st = server.stats();
+    std::fprintf(stderr,
+                 "served %llu requests (%llu result hits, %llu "
+                 "coalesced, %llu computed, %llu builds)\n",
+                 static_cast<unsigned long long>(st.requests),
+                 static_cast<unsigned long long>(st.resultHits),
+                 static_cast<unsigned long long>(st.resultCoalesced),
+                 static_cast<unsigned long long>(st.computed),
+                 static_cast<unsigned long long>(st.compiledBuilds));
+    return 0;
+}

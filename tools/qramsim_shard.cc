@@ -148,21 +148,8 @@ cmdRun(int argc, char **argv)
     if (!tool::parseRunFlags(argc, argv, opt))
         return usage();
 
-    SweepPlan plan = SweepPlan::partition(opt.shots, opt.shardCount,
-                                          opt.seed, opt.factors,
-                                          opt.stream);
-    std::size_t shardIdx = opt.shardIdx;
-    if (shardIdx >= plan.shards.size()) {
-        // More shards requested than shots: this shard is empty.
-        // Emit a valid zero-shot partial so the merge side never has
-        // to special-case job runners with fixed worker counts.
-        ShardSpec empty = plan.shards.front();
-        empty.shotBegin = empty.shotEnd = opt.shots;
-        plan.shards.push_back(empty);
-        shardIdx = plan.shards.size() - 1;
-    }
-    ShardSpec spec = plan.shards[shardIdx];
-    if (!tool::finishSpec(opt, spec))
+    ShardSpec spec;
+    if (!tool::cutShardSpec(opt, spec))
         return kToolExitUsage;
 
     // Fault injection: the armed spec (if any) is the one whose
@@ -191,6 +178,7 @@ cmdRun(int argc, char **argv)
         }
     }
 
+    const auto setup0 = std::chrono::steady_clock::now();
     QueryCircuit qc = opt.w.build();
     FidelityEstimator est(qc.circuit, qc.addressQubits, qc.busQubit,
                           AddressSuperposition::uniform(
@@ -199,9 +187,14 @@ cmdRun(int argc, char **argv)
     if (opt.pipeline >= 0)
         est.setPipeline(opt.pipeline != 0);
     std::unique_ptr<NoiseModel> noise = opt.w.makeNoise();
+    const double setupSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      setup0)
+            .count();
 
     PartialEstimate part = est.runShard(*noise, spec);
     part.workload = opt.w.fingerprint(opt.shots);
+    part.setupSeconds = setupSec;
     std::string payload = part.toJson();
 
     if (injected && injected->kind == fault::Kind::Truncate) {

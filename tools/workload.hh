@@ -117,6 +117,37 @@ struct Workload
                       weighted ? 1 : 0, shots);
         return buf;
     }
+
+    /**
+     * Non-exiting validation of the names build()/makeNoise() would
+     * otherwise reject with std::exit(2). A CLI worker may die on a
+     * bad workload — a resident server must refuse the request and
+     * keep serving, so it calls this BEFORE touching build().
+     */
+    bool
+    validate(std::string *err = nullptr) const
+    {
+        auto fail = [&](const std::string &msg) {
+            if (err)
+                *err = msg;
+            return false;
+        };
+        static const char *const kArchs[] = {
+            "bb", "fanout", "virtual", "sqc", "select-swap", "compact"};
+        bool knownArch = false;
+        for (const char *a : kArchs)
+            knownArch = knownArch || arch == a;
+        if (!knownArch)
+            return fail("unknown arch '" + arch + "'");
+        if (m == 0)
+            return fail("m must be positive");
+        // Mirrors makeNoise(): any qubit-*/gate-* suffix is a Pauli
+        // channel name (unrecognized suffixes mean depolarizing).
+        if (noise.rfind("qubit-", 0) != 0 &&
+            noise.rfind("gate-", 0) != 0 && noise != "device")
+            return fail("unknown noise '" + noise + "'");
+        return true;
+    }
 };
 
 /** Everything `qramsim_shard run` accepts (the driver parses the
@@ -371,6 +402,91 @@ finishSpec(const RunOptions &opt, ShardSpec &spec)
     }
     spec.simdTier = opt.tier;
     return true;
+}
+
+/**
+ * Cut this request's ShardSpec from its SweepPlan exactly the way
+ * `qramsim_shard run` does — including the empty-shard special case
+ * when more shards are requested than there are shots — then apply
+ * the per-shard execution options via finishSpec. Shared by the
+ * shard CLI and the resident server so the two transports can never
+ * disagree about which shots a request covers. False (diagnostic on
+ * stderr and in *err) on an unknown engine name.
+ */
+inline bool
+cutShardSpec(const RunOptions &opt, ShardSpec &spec,
+             std::string *err = nullptr)
+{
+    SweepPlan plan = SweepPlan::partition(opt.shots, opt.shardCount,
+                                          opt.seed, opt.factors,
+                                          opt.stream);
+    std::size_t shardIdx = opt.shardIdx;
+    if (shardIdx >= plan.shards.size()) {
+        // More shards requested than shots: this shard is empty.
+        // Emit a valid zero-shot partial so the merge side never has
+        // to special-case job runners with fixed worker counts.
+        ShardSpec empty = plan.shards.front();
+        empty.shotBegin = empty.shotEnd = opt.shots;
+        plan.shards.push_back(empty);
+        shardIdx = plan.shards.size() - 1;
+    }
+    spec = plan.shards[shardIdx];
+    if (!finishSpec(opt, spec)) {
+        if (err)
+            *err = "unknown --engine '" + opt.engine + "'";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Canonical content key of one shard request's RESULT. Two requests
+ * with equal keys produce byte-identical PartialEstimate JSON, so a
+ * result cache may serve one computation to both.
+ *
+ * Built from the PARSED request, never the flag text: permuted flag
+ * orderings and equivalent spellings of the same value ("2e-3" vs
+ * "0.002", factor lists with the same doubles) canonicalize to the
+ * same key, while every semantic knob (noise rates, seed, shot
+ * range, stream, mode and the full adaptive policy — batch included,
+ * it moves stopping decisions) changes it.
+ *
+ * Deliberately EXCLUDED: threads, pipeline, engine and SIMD-tier
+ * pins, and the output path. The estimation invariants enforced by
+ * the test suite make results bit-identical across all of them, so
+ * keying on them would only split the cache.
+ */
+inline std::string
+resultCacheKey(const RunOptions &opt, const ShardSpec &spec)
+{
+    std::string key = opt.w.fingerprint(opt.shots);
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  ";seed=%llu;stream=%s;range=%zu-%zu",
+                  static_cast<unsigned long long>(opt.seed),
+                  shotStreamName(spec.stream), spec.shotBegin,
+                  spec.shotEnd);
+    key += buf;
+    key += ";factors=";
+    for (std::size_t i = 0; i < spec.factors.size(); ++i) {
+        std::snprintf(buf, sizeof buf, "%s%.17g", i ? "," : "",
+                      spec.factors[i]);
+        key += buf;
+    }
+    if (spec.mode == EstimateMode::Adaptive) {
+        std::snprintf(buf, sizeof buf,
+                      ";mode=adaptive;target-ci=%.17g;confidence=%.17g;"
+                      "min-shots=%zu;max-shots=%zu;batch=%zu;"
+                      "max-draws=%zu",
+                      spec.policy.targetHalfWidth,
+                      spec.policy.confidence, spec.policy.minShots,
+                      spec.policy.maxShots, spec.policy.batch,
+                      spec.policy.maxDraws);
+        key += buf;
+    } else {
+        key += ";mode=replay";
+    }
+    return key;
 }
 
 inline bool
