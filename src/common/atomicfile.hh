@@ -16,10 +16,27 @@
 #include <cstdio>
 #include <string>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/env.hh"
+
 namespace qramsim {
+
+/**
+ * Process-wide durability toggle for atomicWriteFile. Defaults to ON
+ * (or the QRAMSIM_FSYNC env knob, strict env.hh parsing); tests and
+ * benchmarks that churn thousands of throwaway files may flip the
+ * returned reference to false — crash-durability is meaningless for
+ * artifacts that do not outlive the process.
+ */
+inline bool &
+atomicFileFsync()
+{
+    static bool on = env::readBool("QRAMSIM_FSYNC").value_or(true);
+    return on;
+}
 
 /**
  * Atomically replace @p path with @p content. The bytes land in
@@ -27,6 +44,17 @@ namespace qramsim {
  * speculative duplicate shard — never clobber each other's temp) and
  * are renamed over the target only after a clean close, so a crash at
  * any instant leaves the old content or the new, never a prefix.
+ *
+ * DURABILITY INVARIANT: the temp file is fsync'd before the rename
+ * and the parent directory is fsync'd after it (unless
+ * atomicFileFsync() is off). rename(2) alone orders nothing against
+ * the data blocks — on a power-loss-shaped crash a journaling
+ * filesystem may commit the rename but not the contents, surfacing a
+ * ZERO-LENGTH committed file, which is exactly the
+ * "complete-or-absent" promise this primitive exists to keep. Do not
+ * remove the fsync without removing every caller that relies on a
+ * found file being complete (checkpoint resume, journal replay,
+ * spill-cache loads).
  *
  * Non-regular targets (pipes, /dev/null, ...) must not be renamed
  * over — a device node would be replaced by a regular file — so those
@@ -52,9 +80,13 @@ atomicWriteFile(const std::string &path, const std::string &content,
     std::FILE *f = std::fopen(target.c_str(), "wb");
     if (!f)
         return fail("cannot open " + target + " for writing");
-    const bool wrote =
+    bool wrote =
         std::fwrite(content.data(), 1, content.size(), f) ==
         content.size();
+    // Flush libc buffers and push the data to stable storage BEFORE
+    // the rename publishes the name (see the invariant above).
+    if (wrote && regular && atomicFileFsync())
+        wrote = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
     const bool closed = std::fclose(f) == 0;
     if (!wrote || !closed) {
         if (regular)
@@ -64,6 +96,19 @@ atomicWriteFile(const std::string &path, const std::string &content,
     if (regular && std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return fail("cannot rename " + tmp + " over " + path);
+    }
+    if (regular && atomicFileFsync()) {
+        // Make the rename itself durable: fsync the parent directory.
+        // Best-effort — some filesystems refuse directory fsync, and
+        // the data is already safe; only the NAME could revert.
+        const std::size_t slash = path.rfind('/');
+        const std::string dir =
+            slash == std::string::npos ? "." : path.substr(0, slash);
+        const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+        if (dfd >= 0) {
+            ::fsync(dfd);
+            ::close(dfd);
+        }
     }
     return true;
 }

@@ -34,6 +34,28 @@
  *   exit:S[:CODE]  exit CODE (default 5) without writing output —
  *                  exercises the retry classifier's code mapping
  *
+ * Broker-layer kinds (consulted only by `qramsim_server --broker`
+ * workers and, for journal-truncate, by the broker itself — never by
+ * the resident socket server's request path):
+ *
+ *   kill-on-pull:S      worker dies by SIGKILL immediately after
+ *                       pulling the assignment whose shard range
+ *                       contains S — the lease is live, no heartbeat
+ *                       ever arrives, the broker must re-dispatch
+ *   drop-heartbeat:S    worker computes the shard containing S but
+ *                       sends NO heartbeats while doing so — looks
+ *                       dead to the broker (steal), then still
+ *                       commits (duplicate cross-check path)
+ *   lease-stall:S[:SEC] worker heartbeats normally but with a FROZEN
+ *                       progress counter and delays the compute by
+ *                       SEC seconds (default 5) — the lease expires
+ *                       un-renewed and the shard is stolen while the
+ *                       worker is demonstrably alive
+ *   journal-truncate:S  the broker writes only the first half of the
+ *                       journal line committing the shard containing
+ *                       S, then dies by SIGKILL — a torn tail the
+ *                       restarted broker must drop and recompute
+ *
  * One-shot marks: when QRAMSIM_FAULT_MARK is set to a path prefix,
  * spec i fires only if `<prefix>.<i>` can be created exclusively
  * (O_CREAT|O_EXCL). The first worker to hit the fault consumes it;
@@ -68,6 +90,10 @@ enum class Kind : std::uint8_t
     Truncate,
     Corrupt,
     Exit,
+    KillOnPull,
+    DropHeartbeat,
+    LeaseStall,
+    JournalTruncate,
 };
 
 struct Spec
@@ -117,6 +143,14 @@ parseSpecs(const char *text, std::vector<Spec> &out, std::string *err)
             spec.kind = Kind::Corrupt;
         else if (kindName == "exit")
             spec.kind = Kind::Exit;
+        else if (kindName == "kill-on-pull")
+            spec.kind = Kind::KillOnPull;
+        else if (kindName == "drop-heartbeat")
+            spec.kind = Kind::DropHeartbeat;
+        else if (kindName == "lease-stall")
+            spec.kind = Kind::LeaseStall;
+        else if (kindName == "journal-truncate")
+            spec.kind = Kind::JournalTruncate;
         else
             return fail("unknown fault kind '" + kindName + "'");
         const std::size_t c2 = item.find(':', c1 + 1);
@@ -132,9 +166,10 @@ parseSpecs(const char *text, std::vector<Spec> &out, std::string *err)
             return fail("malformed fault shot '" + shotText + "'");
         spec.shot = shot;
         // Kind-specific parameter defaults.
-        spec.param = spec.kind == Kind::Stall  ? 3600.0
-                     : spec.kind == Kind::Exit ? 5.0
-                                               : -1.0;
+        spec.param = spec.kind == Kind::Stall        ? 3600.0
+                     : spec.kind == Kind::Exit       ? 5.0
+                     : spec.kind == Kind::LeaseStall ? 5.0
+                                                     : -1.0;
         if (c2 != std::string::npos) {
             const std::string paramText = item.substr(c2 + 1);
             if (!env::parseDouble(paramText.c_str(), spec.param) ||

@@ -21,13 +21,21 @@
 
 #include "sim/cachestore.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
 
+#include <dirent.h>
+#include <signal.h>
 #include <sys/stat.h>
+#include <sys/types.h>
 
 #include "common/atomicfile.hh"
+#include "common/env.hh"
 #include "common/json.hh"
 
 namespace qramsim {
@@ -209,10 +217,124 @@ CompiledCache::size() const
 // --- ResultCache -------------------------------------------------------
 
 ResultCache::ResultCache(std::size_t capacity, std::string spillDir,
-                         Validator validate)
+                         Validator validate,
+                         std::size_t spillCapBytes)
     : capacity_(capacity < 1 ? 1 : capacity),
-      spillDir_(std::move(spillDir)), validate_(std::move(validate))
+      spillDir_(std::move(spillDir)), spillCapBytes_(spillCapBytes),
+      validate_(std::move(validate))
 {
+    // Startup sweep: a restarted server inherits whatever its
+    // predecessors left behind — torn temps, stale-schema wrappers,
+    // and an unbounded accumulation of valid ones.
+    sweepSpill(true);
+}
+
+void
+ResultCache::sweepSpill(bool checkContents)
+{
+    if (spillDir_.empty())
+        return;
+    DIR *d = ::opendir(spillDir_.c_str());
+    if (!d)
+        return; // nothing spilled yet
+    struct SpillFile
+    {
+        std::string path;
+        std::uint64_t size;
+        long long mtimeNs;
+    };
+    std::vector<SpillFile> files;
+    std::uint64_t swept = 0;
+    for (dirent *e; (e = ::readdir(d)) != nullptr;) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..")
+            continue;
+        const std::string path = spillDir_ + "/" + name;
+        struct stat st;
+        if (::lstat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        const std::size_t tmpAt = name.find(".json.tmp.");
+        if (tmpAt != std::string::npos) {
+            // atomicWriteFile temp: orphaned iff its writer (the pid
+            // suffix) is gone; a live writer's in-flight temp is
+            // left alone.
+            unsigned long pid = 0;
+            const bool live =
+                env::parseUnsigned(name.c_str() + tmpAt + 10,
+                                   std::numeric_limits<
+                                       unsigned long>::max(),
+                                   pid) &&
+                pid != 0 &&
+                !(::kill(static_cast<pid_t>(pid), 0) != 0 &&
+                  errno == ESRCH);
+            if (!live && std::remove(path.c_str()) == 0)
+                ++swept;
+            continue;
+        }
+        // Wrapper name: exactly 16 lowercase hex digits + ".json".
+        // Anything else in the directory is not ours: never deleted,
+        // never counted toward the cap.
+        bool wrapperName =
+            name.size() == 21 && name.compare(16, 5, ".json") == 0;
+        for (std::size_t i = 0; wrapperName && i < 16; ++i) {
+            const char c = name[i];
+            wrapperName = (c >= '0' && c <= '9') ||
+                          (c >= 'a' && c <= 'f');
+        }
+        if (!wrapperName)
+            continue;
+        if (checkContents) {
+            // Cheap shape probe: every wrapper opens with the magic
+            // key. Full key/payload validation still happens on load;
+            // this just stops garbage from occupying cap space.
+            char head[64] = {0};
+            std::FILE *f = std::fopen(path.c_str(), "rb");
+            if (f) {
+                const std::size_t nr =
+                    std::fread(head, 1, sizeof head - 1, f);
+                head[nr] = '\0';
+                std::fclose(f);
+            }
+            if (std::strstr(head, "\"qramsim_cached_result\"") ==
+                nullptr) {
+                if (std::remove(path.c_str()) == 0)
+                    ++swept;
+                continue;
+            }
+        }
+        files.push_back({path, static_cast<std::uint64_t>(st.st_size),
+                         static_cast<long long>(st.st_mtim.tv_sec) *
+                                 1000000000ll +
+                             st.st_mtim.tv_nsec});
+    }
+    ::closedir(d);
+    std::uint64_t evicted = 0;
+    if (spillCapBytes_ > 0) {
+        std::uint64_t total = 0;
+        for (const SpillFile &f : files)
+            total += f.size;
+        // Oldest write first; path tiebreak keeps the order (and
+        // therefore tests) deterministic on coarse-mtime filesystems.
+        std::sort(files.begin(), files.end(),
+                  [](const SpillFile &a, const SpillFile &b) {
+                      return a.mtimeNs != b.mtimeNs
+                                 ? a.mtimeNs < b.mtimeNs
+                                 : a.path < b.path;
+                  });
+        for (const SpillFile &f : files) {
+            if (total <= spillCapBytes_)
+                break;
+            if (std::remove(f.path.c_str()) == 0) {
+                total -= f.size;
+                ++evicted;
+            }
+        }
+    }
+    if (swept + evicted > 0) {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.spillSwept += swept;
+        stats_.spillEvictions += evicted;
+    }
 }
 
 std::string
@@ -380,7 +502,11 @@ ResultCache::publish(const std::string &key,
         !atomicWriteFile(spillPath(key), wrapper, &err)) {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.spillWriteFailures;
+        return;
     }
+    // Re-enforce the byte cap after every write (content probing is
+    // startup-only: blobs this process just wrote are known-good).
+    sweepSpill(false);
 }
 
 void

@@ -18,9 +18,13 @@
  *    never serve wrong bytes — it is simply recomputed.
  *
  * Both caches bound MEMORY by entry count (LRU). The spill directory
- * is unbounded by design: blobs are small relative to compute cost,
- * and a cron-style sweep is a deployment concern, not a correctness
- * one.
+ * is bounded by BYTES: a sweep on startup and after each spill write
+ * deletes corrupt wrappers and orphaned temp files outright (never
+ * counted toward the cap) and then evicts least-recently-written
+ * wrappers until the directory fits spillCapBytes. The directory is
+ * cache-owned — only files matching the cache's own naming
+ * (`<16 hex>.json` wrappers and their `.tmp.<pid>` temps) are ever
+ * touched; foreign files are ignored entirely.
  */
 
 #ifndef QRAMSIM_SIM_CACHESTORE_HH
@@ -126,9 +130,13 @@ class ResultCache
      * @p capacity: max in-memory entries (>=1).
      * @p spillDir: directory for on-disk spill blobs; "" disables
      *  spill. Created (mkdir -p) on first publish.
+     * @p spillCapBytes: on-disk size cap enforced by mtime-LRU sweep
+     *  (0 = unbounded). The constructor runs a full sweep (corrupt +
+     *  orphan deletion, then cap); each publish re-enforces the cap.
      */
     ResultCache(std::size_t capacity, std::string spillDir,
-                Validator validate = nullptr);
+                Validator validate = nullptr,
+                std::size_t spillCapBytes = 0);
 
     enum class Outcome
     {
@@ -162,9 +170,16 @@ class ResultCache
         std::uint64_t publishes = 0;
         std::uint64_t corruptSpills = 0;
         std::uint64_t spillWriteFailures = 0;
+        std::uint64_t spillEvictions = 0; ///< cap-driven deletions
+        std::uint64_t spillSwept = 0; ///< corrupt/orphan deletions
     };
     Stats stats() const;
     std::size_t size() const;
+
+    /** Sweep the spill directory: delete corrupt wrappers (when
+     *  @p checkContents) and orphaned temps, then enforce the byte
+     *  cap mtime-LRU. Public so tests can force a sweep. */
+    void sweepSpill(bool checkContents);
 
   private:
     bool loadSpill(const std::string &key, std::string &payload);
@@ -174,6 +189,7 @@ class ResultCache
 
     const std::size_t capacity_;
     const std::string spillDir_;
+    const std::size_t spillCapBytes_;
     const Validator validate_;
     mutable std::mutex mu_;
     std::condition_variable cv_;

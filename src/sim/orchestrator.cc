@@ -111,9 +111,15 @@ backoffDelayMs(const RetryPolicy &policy, std::uint64_t seed,
 {
     QRAMSIM_ASSERT(attempt >= 1, "backoff of a zeroth attempt");
     double base = policy.backoffBaseMs;
-    for (unsigned k = 1; k < attempt && base < policy.backoffMaxMs;
-         ++k)
-        base *= policy.backoffFactor;
+    // A non-growing factor (<= 1) or a zero base would make the loop
+    // below spin `attempt` times without ever reaching the cap —
+    // with attempt counts near UINT_MAX that is billions of useless
+    // iterations for an answer that is just baseMs. Only grow when
+    // growth can terminate the loop.
+    if (policy.backoffFactor > 1.0 && base > 0.0)
+        for (unsigned k = 1; k < attempt && base < policy.backoffMaxMs;
+             ++k)
+            base *= policy.backoffFactor;
     base = std::min(base, policy.backoffMaxMs);
     // Deterministic jitter: the schedule is a pure function of
     // (seed, shard, attempt), so recovery runs replay exactly.
@@ -243,10 +249,13 @@ DriveReport::toJson() const
         "  \"duplicate_mismatches\": %zu,\n"
         "  \"resumed_shards\": %zu,\n"
         "  \"server_attempts\": %zu,\n"
-        "  \"server_transport_failures\": %zu,\n",
+        "  \"server_transport_failures\": %zu,\n"
+        "  \"broker_shards\": %zu,\n"
+        "  \"broker_transport_failures\": %zu,\n",
         complete ? "true" : "false", launched, retries, timeouts,
         speculativeLaunches, duplicateMatches, duplicateMismatches,
-        resumedShards, serverAttempts, serverTransportFailures);
+        resumedShards, serverAttempts, serverTransportFailures,
+        brokerShards, brokerTransportFailures);
     s += buf;
     s += "  \"missing\": [";
     for (std::size_t i = 0; i < missing.size(); ++i) {
@@ -383,12 +392,13 @@ struct Track
     int running = 0;            ///< live attempts (primary + dup)
 };
 
-/**
- * The speculative-duplicate integrity check. Timing keys are
- * observability metadata two byte-identical computations legitimately
- * disagree on, so equality is judged on the partials with
- * setup/compute zeroed; everything else must match to the byte.
- */
+} // namespace
+
+// The speculative-duplicate integrity check (exported — the broker
+// reuses it for every stolen/duplicated shard commit). Timing keys
+// are observability metadata two byte-identical computations
+// legitimately disagree on, so equality is judged on the partials
+// with setup/compute zeroed; everything else must match to the byte.
 bool
 equivalentPartials(const std::string &a, const std::string &b)
 {
@@ -403,12 +413,12 @@ equivalentPartials(const std::string &a, const std::string &b)
     return pa.toJson() == pb.toJson();
 }
 
-} // namespace
-
 DriveReport
 Orchestrator::run()
 {
     DriveReport report;
+    report.brokerShards = cfg.brokerShards;
+    report.brokerTransportFailures = cfg.brokerTransportFailures;
     const std::size_t n = cfg.plan.shards.size();
     const std::string maniPath = manifestPath(cfg.jobDir);
 

@@ -166,6 +166,14 @@ double backoffDelayMs(const RetryPolicy &policy, std::uint64_t seed,
                       std::size_t shard, unsigned attempt);
 
 /**
+ * Byte-for-byte equivalence of two PartialEstimate JSON payloads with
+ * the setup/compute timing keys zeroed — the duplicate cross-check
+ * shared by the orchestrator's straggler speculation and the broker's
+ * stolen-shard commits. Unparsable payloads are never equivalent.
+ */
+bool equivalentPartials(const std::string &a, const std::string &b);
+
+/**
  * The durable face of a job: plan geometry (validated on resume
  * against the requested job) plus per-shard attempt counters and
  * states. Rewritten atomically on every state transition, so a
@@ -228,6 +236,12 @@ struct DriveReport
     std::size_t serverAttempts = 0; ///< dispatches sent to the server
     std::size_t serverTransportFailures = 0; ///< fell back to fork/exec
 
+    /** Broker-phase accounting (qramsim_drive --broker; carried in
+     *  from OrchestratorConfig — the broker phase runs before the
+     *  orchestrator and its counters ride along in report.json). */
+    std::size_t brokerShards = 0; ///< checkpoints streamed from broker
+    std::size_t brokerTransportFailures = 0; ///< fell back to this run
+
     /** Merged FidelityResult JSON (empty unless complete). */
     std::string resultJson;
 
@@ -282,6 +296,12 @@ struct OrchestratorConfig
 
     /** Trust valid checkpoints already in the job directory. */
     bool resume = false;
+
+    /** Broker-phase counters to surface in the report (the drive's
+     *  broker phase fills these before handing over; the orchestrator
+     *  itself never talks to a broker). */
+    std::size_t brokerShards = 0;
+    std::size_t brokerTransportFailures = 0;
 
     /** Completion-poll interval of the event loop. */
     double pollIntervalMs = 15.0;

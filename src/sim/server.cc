@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -59,6 +60,13 @@ readAll(int fd, char *data, std::size_t len, std::string *err)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_RCVTIMEO expired: the peer went idle (or is
+                // trickling a frame slower than the deadline).
+                if (err)
+                    *err = "idle timeout";
+                return -1;
+            }
             if (err)
                 *err = std::string("recv: ") + std::strerror(errno);
             return -1;
@@ -338,7 +346,7 @@ Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)), pool_(resolveThreads(cfg_.threads)),
       compiled_(cfg_.compiledCapacity),
       results_(cfg_.resultCapacity, cfg_.spillDir,
-               &validPartialPayload)
+               &validPartialPayload, cfg_.spillCapBytes)
 {
 }
 
@@ -445,11 +453,31 @@ Server::acceptLoop()
 void
 Server::serveConnection(int fd)
 {
+    if (cfg_.idleTimeoutSec > 0.0) {
+        // Slow-loris defense: a connection holding a thread must make
+        // frame progress. SO_RCVTIMEO bounds each recv(), which
+        // bounds a silent peer; readAll maps the expiry to the "idle
+        // timeout" reason counted below.
+        timeval tv;
+        tv.tv_sec = static_cast<time_t>(cfg_.idleTimeoutSec);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (cfg_.idleTimeoutSec - static_cast<double>(tv.tv_sec)) *
+            1e6);
+        if (tv.tv_sec == 0 && tv.tv_usec == 0)
+            tv.tv_usec = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
     std::string frame;
     for (;;) {
         std::string err;
-        if (!recvFrame(fd, frame, cfg_.maxFrameBytes, &err))
-            break; // clean EOF, torn frame, or oversized prefix
+        if (!recvFrame(fd, frame, cfg_.maxFrameBytes, &err)) {
+            // clean EOF, torn frame, oversized prefix, or idle peer
+            if (err == "idle timeout") {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++stats_.transportTimeouts;
+            }
+            break;
+        }
         std::vector<std::string> args;
         ShardResponse resp;
         if (!parseShardRequest(frame, args, &err)) {

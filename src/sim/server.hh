@@ -130,7 +130,16 @@ struct ServerConfig
     std::size_t resultCapacity = 256;
     /** Result spill directory; "" disables the on-disk cache. */
     std::string spillDir;
+    /** Spill-directory size cap in bytes; the cache sweeps the
+     *  directory LRU-by-mtime on startup and after each spill write
+     *  (0 = unbounded, the pre-cap behaviour). */
+    std::size_t spillCapBytes = 256u << 20;
     std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+    /** Per-connection idle deadline in seconds: a connection that
+     *  sends no complete frame for this long is closed (counted in
+     *  Stats::transportTimeouts) — the slow-loris defense. 0
+     *  disables. */
+    double idleTimeoutSec = 300.0;
     /** Reject workloads wider than this (address width ~ state
      *  cost); a shared server must bound one request's footprint. */
     unsigned maxAddressWidth = 24;
@@ -173,6 +182,7 @@ class Server
         std::uint64_t resultCoalesced = 0;
         std::uint64_t computed = 0;    ///< "compiled" + "cold"
         std::uint64_t compiledBuilds = 0; ///< "cold"
+        std::uint64_t transportTimeouts = 0; ///< idle connections cut
     };
     Stats stats() const;
 

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -133,6 +134,64 @@ TEST(Orchestrator, BackoffIsDeterministicAndBounded)
     EXPECT_EQ(backoffDelayMs(p, 42, 3, 1), 100.0);
     EXPECT_EQ(backoffDelayMs(p, 42, 3, 2), 200.0);
     EXPECT_EQ(backoffDelayMs(p, 42, 3, 5), 1000.0);
+}
+
+TEST(Orchestrator, BackoffSurvivesExtremeInputs)
+{
+    // A non-growing factor must NOT iterate `attempt` times looking
+    // for growth that never comes: with attempt counts near UINT_MAX
+    // that loop would spin for minutes. The whole grid below
+    // finishing inside the test timeout IS the regression test.
+    RetryPolicy p;
+    p.backoffBaseMs = 100.0;
+    p.backoffMaxMs = 1000.0;
+    p.jitterFrac = 0.0;
+    const unsigned kHuge[] = {1u, 1000u, 1u << 20,
+                              std::numeric_limits<unsigned>::max()};
+    for (const double factor : {0.0, 0.5, 1.0}) {
+        p.backoffFactor = factor;
+        for (const unsigned attempt : kHuge)
+            EXPECT_EQ(100.0, backoffDelayMs(p, 42, 0, attempt))
+                << "factor " << factor << " attempt " << attempt;
+    }
+    // A growing factor reaches the cap and stops there, regardless
+    // of how absurd the attempt count is.
+    p.backoffFactor = 2.0;
+    for (const unsigned attempt : kHuge)
+        EXPECT_LE(backoffDelayMs(p, 42, 0, attempt), 1000.0);
+    EXPECT_EQ(1000.0, backoffDelayMs(
+                          p, 42, 0,
+                          std::numeric_limits<unsigned>::max()));
+
+    // Degenerate policies stay non-negative and bounded: a jitter
+    // fraction of 2 spans [0, 2] x base, never below zero.
+    p.jitterFrac = 2.0;
+    for (std::size_t shard = 0; shard < 8; ++shard)
+        for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+            const double d = backoffDelayMs(p, 7, shard, attempt);
+            EXPECT_GE(d, 0.0);
+            EXPECT_LE(d, 1000.0 * 2.0);
+        }
+    // Zero base: every delay is exactly zero — no NaN, no negative.
+    p.backoffBaseMs = 0.0;
+    EXPECT_EQ(0.0, backoffDelayMs(p, 7, 0, 1));
+    EXPECT_EQ(0.0, backoffDelayMs(
+                       p, 7, 0,
+                       std::numeric_limits<unsigned>::max()));
+
+    // The jitter stream decorrelates across shards and seeds. The
+    // counter is shard*131 + attempt, so pairs like (shard 0,
+    // attempt 132) and (shard 1, attempt 1) intentionally share a
+    // jitter draw — never assert inequality across such collisions;
+    // the bases differ (exponent 131 apart), which is what keeps the
+    // schedules distinct.
+    p.backoffBaseMs = 100.0;
+    p.backoffFactor = 2.0;
+    p.jitterFrac = 0.5;
+    EXPECT_NE(backoffDelayMs(p, 7, 0, 132),
+              backoffDelayMs(p, 7, 1, 1))
+        << "colliding jitter counters still yield distinct delays "
+           "via the capped-vs-base exponent";
 }
 
 // --- Wait-status classification ----------------------------------------

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The work-stealing shard broker CLI.
+ *
+ *     qramsim_broker --socket PATH [--state DIR] [--resume]
+ *                    [--stats-out FILE] [--heartbeat SEC]
+ *                    [--dead SEC] [--lease SEC] [--straggler X]
+ *                    [--straggler-min N] [--max-attempts N]
+ *                    [--park SEC] [--rotate BYTES]
+ *
+ * Owns one global shard queue across jobs: drives submit
+ * (`qramsim_drive --broker PATH`), workers pull
+ * (`qramsim_server --broker PATH`), and the broker leases,
+ * re-dispatches stalled shards, cross-checks stolen duplicates, and
+ * journals every accepted transition under --state so a SIGKILLed
+ * broker restarted with --resume finishes every in-flight job
+ * byte-identically. Protocol and recovery contract: src/sim/broker.hh.
+ *
+ * Prints "brokering on PATH" once ready, serves until SIGINT/SIGTERM,
+ * writes the stats JSON to --stats-out (atomic rename) on a clean
+ * drain, exits 0. Exit 2 on bad flags, 1 when the socket cannot be
+ * bound or the journal will not replay (tampered, or present without
+ * --resume).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/atomicfile.hh"
+#include "common/env.hh"
+#include "sim/broker.hh"
+
+using namespace qramsim;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: qramsim_broker --socket PATH [--state DIR] "
+        "[--resume]\n"
+        "                      [--stats-out FILE] [--heartbeat SEC]\n"
+        "                      [--dead SEC] [--lease SEC]\n"
+        "                      [--straggler X] [--straggler-min N]\n"
+        "                      [--max-attempts N] [--park SEC]\n"
+        "                      [--rotate BYTES]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    brk::BrokerConfig cfg;
+    std::string statsOut;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s wants a value\n",
+                             flag.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        auto uintVal = [&](unsigned long cap,
+                           unsigned long &dst) -> bool {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!env::parseUnsigned(v, cap, dst)) {
+                std::fprintf(stderr,
+                             "malformed value '%s' for %s\n", v,
+                             flag.c_str());
+                return false;
+            }
+            return true;
+        };
+        auto doubleVal = [&](double &dst) -> bool {
+            const char *v = value();
+            if (!v)
+                return false;
+            double d = 0.0;
+            if (!env::parseDouble(v, d) || d < 0.0) {
+                std::fprintf(stderr,
+                             "malformed value '%s' for %s\n", v,
+                             flag.c_str());
+                return false;
+            }
+            dst = d;
+            return true;
+        };
+        unsigned long u = 0;
+        if (flag == "--socket") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.socketPath = v;
+        } else if (flag == "--state") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            cfg.stateDir = v;
+        } else if (flag == "--resume") {
+            cfg.resume = true;
+        } else if (flag == "--stats-out") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            statsOut = v;
+        } else if (flag == "--heartbeat") {
+            if (!doubleVal(cfg.heartbeatSec))
+                return usage();
+        } else if (flag == "--dead") {
+            if (!doubleVal(cfg.workerDeadSec))
+                return usage();
+        } else if (flag == "--lease") {
+            if (!doubleVal(cfg.leaseBaseSec))
+                return usage();
+        } else if (flag == "--straggler") {
+            if (!doubleVal(cfg.stragglerFactor))
+                return usage();
+        } else if (flag == "--straggler-min") {
+            if (!uintVal(1ul << 20, u))
+                return usage();
+            cfg.stragglerMinDone = u;
+        } else if (flag == "--max-attempts") {
+            if (!uintVal(1000, u) || u == 0)
+                return usage();
+            cfg.maxAttempts = static_cast<unsigned>(u);
+        } else if (flag == "--park") {
+            if (!doubleVal(cfg.parkAfterSec))
+                return usage();
+        } else if (flag == "--rotate") {
+            if (!uintVal(1ul << 32, u) || u == 0)
+                return usage();
+            cfg.rotateBytes = u;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (cfg.socketPath.empty()) {
+        std::fprintf(stderr, "--socket is required\n");
+        return usage();
+    }
+    if (cfg.heartbeatSec <= 0.0) {
+        std::fprintf(stderr, "--heartbeat must be positive\n");
+        return usage();
+    }
+
+    // Mask SIGINT/SIGTERM before the broker spawns its threads so
+    // sigwait below owns delivery (same pattern as qramsim_server).
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    brk::Broker broker(cfg);
+    std::string err;
+    if (!broker.start(&err)) {
+        std::fprintf(stderr, "cannot start broker: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    std::printf("brokering on %s\n", cfg.socketPath.c_str());
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&set, &sig);
+
+    broker.stop();
+    const std::string statsJson = broker.statsJson();
+    if (!statsOut.empty() &&
+        !atomicWriteFile(statsOut, statsJson, &err))
+        std::fprintf(stderr, "cannot write %s: %s\n",
+                     statsOut.c_str(), err.c_str());
+    const brk::Broker::Stats st = broker.stats();
+    std::fprintf(
+        stderr,
+        "brokered %llu jobs (%llu assignments, %llu steals, %llu "
+        "redispatches, %llu duplicate commits, %llu mismatches)\n",
+        static_cast<unsigned long long>(st.jobsSubmitted +
+                                        st.jobsResumed),
+        static_cast<unsigned long long>(st.assignments +
+                                        st.speculativeAssignments),
+        static_cast<unsigned long long>(st.steals),
+        static_cast<unsigned long long>(st.redispatches),
+        static_cast<unsigned long long>(st.duplicateCommits),
+        static_cast<unsigned long long>(st.duplicateMismatches));
+    return 0;
+}

@@ -33,6 +33,17 @@
  *                     still required). Ignored with a warning when
  *                     the workload pins --tier (a server rejects
  *                     process-global pins).
+ *   --broker PATH     submit the job to a qramsim_broker on the Unix
+ *                     socket PATH and stream finished shards into
+ *                     the job directory as checkpoints; whatever the
+ *                     broker does not deliver (it dies, stalls, or
+ *                     parks) is recomputed through the normal
+ *                     --server / fork-exec ladder, so the result is
+ *                     byte-identical either way. A dead drive can
+ *                     rerun the same command line: the matching
+ *                     workload fingerprint resumes the parked job.
+ *   --broker-stall S  give up on the broker when no new result has
+ *                     arrived for S seconds (default 60)
  *   --max-attempts N  dispatch attempts per shard (default 3)
  *   --backoff-base MS exponential-backoff base delay (default 200)
  *   --deadline SEC    per-attempt hard deadline; overdue workers are
@@ -58,15 +69,21 @@
  *   3  fatal setup error (job dir, resume mismatch, ...)
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "common/atomicfile.hh"
+#include "common/json.hh"
 #include "common/threadpool.hh"
+#include "sim/broker.hh"
 #include "sim/orchestrator.hh"
 #include "workload.hh"
 
@@ -82,13 +99,173 @@ usage()
         "usage: qramsim_drive --job DIR [--resume] [--shards N] "
         "[--workers W]\n"
         "         [--worker-bin P | --in-process] [--server PATH] "
-        "[--max-attempts N] [--backoff-base MS]\n"
+        "[--broker PATH] [--broker-stall S]\n"
+        "         [--max-attempts N] [--backoff-base MS]\n"
         "         [--deadline SEC] [--straggler F] "
         "[--straggler-min N] [--wait-duplicates]\n"
         "         [--out FILE] [workload flags of qramsim_shard "
         "run]\n"
         "see the file header of tools/qramsim_drive.cc\n");
     return kToolExitUsage;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    std::string prefix;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i < path.size() && path[i] != '/') {
+            prefix += path[i];
+            continue;
+        }
+        if (!prefix.empty() &&
+            ::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+        if (i < path.size())
+            prefix += '/';
+    }
+    return true;
+}
+
+/**
+ * The broker phase: submit the job, stream finished shards into the
+ * job directory as checkpoints, and bail out (latching a transport
+ * failure in @p cfg) the moment the broker misbehaves — the
+ * orchestrator behind it recomputes whatever is missing, so the
+ * broker can only ever make the run cheaper, never wrong.
+ */
+void
+runBrokerPhase(OrchestratorConfig &cfg, const tool::RunOptions &opt,
+               const std::string &brokerPath, double stallSec)
+{
+    // Workload fingerprint = job identity: a reconnecting drive with
+    // the same command line resumes its parked job, a different
+    // workload can never collide into it (the broker re-checks the
+    // full fingerprint string, not just its hash).
+    std::string fp = opt.w.fingerprint(opt.shots);
+    fp += "|seed=" + std::to_string(opt.seed);
+    fp += "|stream=" +
+          std::to_string(static_cast<int>(opt.stream));
+    fp += "|shards=" + std::to_string(cfg.requestedShards);
+    fp += "|factors=";
+    json::appendDoubleArray(fp, opt.factors);
+
+    auto transportFail = [&](const std::string &why) {
+        ++cfg.brokerTransportFailures;
+        std::fprintf(stderr,
+                     "warning: broker %s unavailable (%s); "
+                     "falling back to direct dispatch\n",
+                     brokerPath.c_str(), why.c_str());
+    };
+
+    brk::Msg sub;
+    sub.type = "submit";
+    sub.fingerprint = fp;
+    sub.nshards = cfg.requestedShards;
+    sub.args = cfg.workloadArgs;
+    brk::Msg jobResp;
+    std::string err;
+    if (!brk::roundTrip(brokerPath, sub, jobResp, &err)) {
+        transportFail(err);
+        return;
+    }
+    if (jobResp.type != "job") {
+        std::fprintf(stderr,
+                     "warning: broker rejected the job (%s); "
+                     "falling back to direct dispatch\n",
+                     jobResp.error.c_str());
+        ++cfg.brokerTransportFailures;
+        return;
+    }
+    if (jobResp.total != cfg.plan.shards.size()) {
+        // The broker planned different geometry than this drive —
+        // its results would not be this job's checkpoints.
+        std::fprintf(stderr,
+                     "warning: broker planned %llu shards, drive "
+                     "planned %zu; falling back\n",
+                     static_cast<unsigned long long>(jobResp.total),
+                     cfg.plan.shards.size());
+        ++cfg.brokerTransportFailures;
+        return;
+    }
+    if (jobResp.resumed)
+        std::fprintf(stderr,
+                     "qramsim_drive: broker resumed job %s\n",
+                     jobResp.job.c_str());
+    if (!makeDirs(cfg.jobDir)) {
+        std::fprintf(stderr,
+                     "warning: cannot create %s for broker "
+                     "checkpoints\n",
+                     cfg.jobDir.c_str());
+        return;
+    }
+
+    std::vector<bool> fetched(cfg.plan.shards.size(), false);
+    auto lastProgress = std::chrono::steady_clock::now();
+    for (;;) {
+        brk::Msg poll, st;
+        poll.type = "poll";
+        poll.job = jobResp.job;
+        if (!brk::roundTrip(brokerPath, poll, st, &err) ||
+            st.type != "status") {
+            transportFail(st.type.empty() ? err : st.error);
+            break;
+        }
+        bool progress = false, transportDown = false;
+        for (double d : st.done) {
+            const std::size_t idx = static_cast<std::size_t>(d);
+            if (idx >= fetched.size() || fetched[idx])
+                continue;
+            brk::Msg get, res;
+            get.type = "fetch";
+            get.job = jobResp.job;
+            get.shard = idx;
+            if (!brk::roundTrip(brokerPath, get, res, &err)) {
+                transportFail(err);
+                transportDown = true;
+                break;
+            }
+            if (res.type != "result")
+                continue; // raced a re-dispatch; next poll retries
+            std::string werr;
+            if (atomicWriteFile(
+                    Orchestrator::checkpointPath(cfg.jobDir, idx),
+                    res.payload, &werr)) {
+                fetched[idx] = true;
+                ++cfg.brokerShards;
+                progress = true;
+            } else {
+                std::fprintf(stderr, "warning: %s\n", werr.c_str());
+            }
+        }
+        if (transportDown)
+            break;
+        const auto now = std::chrono::steady_clock::now();
+        if (progress)
+            lastProgress = now;
+        if (st.complete)
+            break;
+        if (st.jobFailed) {
+            std::fprintf(stderr,
+                         "warning: broker settled the job with "
+                         "failed shards; recomputing them "
+                         "directly\n");
+            break;
+        }
+        if (std::chrono::duration<double>(now - lastProgress)
+                .count() > stallSec) {
+            std::fprintf(stderr,
+                         "warning: no broker result for %.0f s; "
+                         "recomputing the remainder directly\n",
+                         stallSec);
+            break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+    }
+    // Whatever landed is a checkpoint; resume makes the orchestrator
+    // trust (re-validate) it and compute only the remainder.
+    cfg.resume = true;
 }
 
 } // namespace
@@ -98,7 +275,8 @@ main(int argc, char **argv)
 {
     OrchestratorConfig cfg;
     cfg.requestedShards = 4;
-    std::string outPath;
+    std::string outPath, brokerPath;
+    double brokerStallSec = 60.0;
     bool inProcess = false;
     std::vector<char *> workloadArgv;
 
@@ -164,6 +342,14 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             cfg.serverPath = v;
+        } else if (flag == "--broker") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            brokerPath = v;
+        } else if (flag == "--broker-stall") {
+            if (!doubleVal(brokerStallSec) || brokerStallSec <= 0.0)
+                return usage();
         } else if (flag == "--max-attempts") {
             if (!uintVal(1000, u) || u == 0)
                 return usage();
@@ -248,6 +434,26 @@ main(int argc, char **argv)
                      "ignoring --server and using fork/exec\n");
         cfg.serverPath.clear();
     }
+    if (!brokerPath.empty() && inProcess) {
+        std::fprintf(stderr,
+                     "warning: --broker is a subprocess-mode "
+                     "transport; ignored with --in-process\n");
+        brokerPath.clear();
+    }
+    if (!brokerPath.empty() && !opt.tier.empty()) {
+        // Broker workers are resident servers and refuse --tier for
+        // the same reason --server does.
+        std::fprintf(stderr,
+                     "warning: --tier pins are per-process; "
+                     "ignoring --broker and using fork/exec\n");
+        brokerPath.clear();
+    }
+
+    // The broker phase runs FIRST: finished shards stream in as
+    // checkpoints, and everything else (a dead broker included)
+    // falls through to the orchestrator's server/fork-exec ladder.
+    if (!brokerPath.empty())
+        runBrokerPhase(cfg, opt, brokerPath, brokerStallSec);
 
     // In-process mode: one estimator serves every shard on this
     // thread, and — so concurrent shards don't each spin up their
@@ -293,11 +499,12 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "qramsim_drive: %s — %zu launched, %zu retries, "
                  "%zu timeouts, %zu speculative (%zu byte-matched, "
-                 "%zu mismatched), %zu resumed\n",
+                 "%zu mismatched), %zu resumed, %zu brokered\n",
                  report.complete ? "complete" : "DEGRADED",
                  report.launched, report.retries, report.timeouts,
                  report.speculativeLaunches, report.duplicateMatches,
-                 report.duplicateMismatches, report.resumedShards);
+                 report.duplicateMismatches, report.resumedShards,
+                 report.brokerShards);
     for (std::size_t shard : report.missing)
         std::fprintf(stderr, "qramsim_drive: shard %zu missing: %s\n",
                      shard,
